@@ -1,0 +1,99 @@
+// Component ablations for the design choices DESIGN.md calls out:
+//   1. adaptive thresholding (Sec. III-E) vs SSumM's harmonic rule,
+//   2. the paper's sparsifier order (increasing Cost_AB) vs min-damage,
+//   3. error-correction-only encoding vs SSumM's best-of-both.
+// Each ablation flips one switch and reports personalized error and RWR
+// accuracy at a fixed budget.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/pegasus.h"
+#include "src/core/personal_weights.h"
+#include "src/distributed/experiment.h"
+#include "src/eval/error_eval.h"
+
+namespace pegasus::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  PegasusConfig config;
+};
+
+void Run() {
+  Banner("bench_ablation_components",
+         "ablations: threshold rule / sparsifier order / encoding");
+  const DatasetScale scale = BenchScaleFromEnv();
+  const double ratio = 0.3;  // tight budget so the sparsifier matters
+  const size_t num_queries = scale == DatasetScale::kTiny ? 8 : 20;
+
+  PegasusConfig base;
+  base.alpha = 1.25;
+  base.seed = 10;
+
+  std::vector<Variant> variants;
+  variants.push_back({"default (adaptive/EC/min-damage)", base});
+  {
+    PegasusConfig c = base;
+    c.threshold_rule = ThresholdRule::kHarmonic;
+    variants.push_back({"harmonic threshold", c});
+  }
+  {
+    PegasusConfig c = base;
+    c.sparsify_policy = SparsifyPolicy::kPaperCostAscending;
+    variants.push_back({"literal Cost_AB-order sparsifier", c});
+  }
+  {
+    PegasusConfig c = base;
+    c.encoding = EncodingScheme::kBestOfBoth;
+    variants.push_back({"best-of-both encoding", c});
+  }
+  // The paper's candidate-group constants (Sec. III-C): size cap 500,
+  // at most 10 recursive splits. Vary both.
+  {
+    PegasusConfig c = base;
+    c.groups.max_group_size = 100;
+    variants.push_back({"group cap 100", c});
+  }
+  {
+    PegasusConfig c = base;
+    c.groups.max_group_size = 2000;
+    variants.push_back({"group cap 2000", c});
+  }
+  {
+    PegasusConfig c = base;
+    c.groups.max_split_rounds = 3;
+    variants.push_back({"3 split rounds", c});
+  }
+
+  Table table({"dataset", "variant", "PersErr", "RWR_SMAPE", "RWR_SC",
+               "dropped", "time_s"});
+  for (DatasetId id : {DatasetId::kLastFmAsia, DatasetId::kCaida}) {
+    Dataset ds = MakeDataset(id, scale);
+    const Graph& g = ds.graph;
+    std::vector<NodeId> queries = SampleNodes(g, num_queries, 43);
+    auto w = PersonalWeights::Compute(g, queries, base.alpha);
+
+    for (const Variant& v : variants) {
+      auto result = SummarizeGraphToRatio(g, queries, ratio, v.config);
+      auto acc =
+          MeasureSummaryAccuracy(g, result.summary, queries, QueryType::kRwr);
+      table.AddRow({ds.abbrev, v.name,
+                    FormatDouble(PersonalizedError(g, result.summary, w), 1),
+                    FormatDouble(acc.smape, 3),
+                    FormatDouble(acc.spearman, 3),
+                    FormatCount(result.superedges_dropped),
+                    FormatDouble(result.elapsed_seconds, 3)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() {
+  pegasus::bench::Run();
+  return 0;
+}

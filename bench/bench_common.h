@@ -1,0 +1,49 @@
+// Shared plumbing for the benchmark harness binaries.
+//
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md §4) and prints paper-style rows. Dataset sizes follow
+// PEGASUS_BENCH_SCALE (tiny/small/default/paper).
+
+#ifndef PEGASUS_BENCH_BENCH_COMMON_H_
+#define PEGASUS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/graph/datasets.h"
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace pegasus::bench {
+
+// Prints the standard bench banner.
+inline void Banner(const std::string& name, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", name.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  const char* scale = std::getenv("PEGASUS_BENCH_SCALE");
+  std::printf("Scale: %s\n\n", scale ? scale : "default");
+}
+
+// Uniform random query/target nodes.
+inline std::vector<NodeId> SampleNodes(const Graph& graph, size_t count,
+                                       uint64_t seed) {
+  Rng rng(SplitMix64(seed ^ 0xabcdef1234567890ULL));
+  auto raw = rng.SampleDistinct(graph.num_nodes(),
+                                std::min<uint64_t>(count, graph.num_nodes()));
+  return std::vector<NodeId>(raw.begin(), raw.end());
+}
+
+// The dataset list used by most benches. Tiny/small scales shrink each
+// graph; "paper" grows them toward the paper's node counts.
+inline std::vector<Dataset> BenchDatasets(DatasetScale scale) {
+  std::vector<Dataset> out;
+  for (DatasetId id : AllDatasetIds()) out.push_back(MakeDataset(id, scale));
+  return out;
+}
+
+}  // namespace pegasus::bench
+
+#endif  // PEGASUS_BENCH_BENCH_COMMON_H_

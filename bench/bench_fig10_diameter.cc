@@ -1,0 +1,80 @@
+// Fig. 10: the best-performing alpha vs the effective diameter.
+//
+// Five Watts-Strogatz graphs (n = 1000, |E| = 10000) with rewiring
+// probabilities {0, 1e-4, 1e-3, 1e-2, 1e-1} span effective diameters from
+// ~45 down to ~4. On each, 100 BFS-adjacent nodes form the target/query
+// set, and the alpha in {1.05..2} with the best accuracy per query type is
+// reported. The paper's shape: the best alpha *decreases* as the effective
+// diameter grows.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/pegasus.h"
+#include "src/distributed/experiment.h"
+#include "src/graph/bfs.h"
+#include "src/graph/components.h"
+#include "src/graph/diameter.h"
+#include "src/graph/generators.h"
+
+namespace pegasus::bench {
+namespace {
+
+void Run() {
+  Banner("bench_fig10_diameter",
+         "Fig. 10 (best alpha vs effective diameter; WS graphs)");
+  const double rewirings[] = {0.0, 0.0001, 0.001, 0.01, 0.1};
+  const double alphas[] = {1.05, 1.25, 1.5, 1.75, 2.0};
+  const double ratio = 0.3;
+
+  Table table({"rewire_p", "eff_diam", "best_a(RWR)", "best_a(HOP)",
+               "best_a(PHP)"});
+  for (double p : rewirings) {
+    Graph ws = GenerateWattsStrogatz(1000, 20, p, 4);
+    Graph g = LargestComponent(ws).graph;
+    const double diam = EffectiveDiameter(g, 0.9, 128, 2);
+
+    // Target/query set: 100 adjacent nodes discovered by BFS from a random
+    // node (the paper's setup for high-diameter graphs).
+    std::vector<NodeId> queries = BfsSample(g, 17 % g.num_nodes(), 100);
+
+    double best_alpha[3] = {0, 0, 0};
+    double best_score[3] = {-2, -2, -2};
+    for (double alpha : alphas) {
+      PegasusConfig config;
+      config.alpha = alpha;
+      config.seed = 4;
+      auto result = SummarizeGraphToRatio(g, queries, ratio, config);
+      // Score with Spearman (the SC panel of Fig. 10); evaluate on a
+      // subsample of queries for speed.
+      std::vector<NodeId> eval_queries(queries.begin(),
+                                       queries.begin() + 10);
+      int i = 0;
+      for (QueryType type :
+           {QueryType::kRwr, QueryType::kHop, QueryType::kPhp}) {
+        auto acc =
+            MeasureSummaryAccuracy(g, result.summary, eval_queries, type);
+        if (acc.spearman > best_score[i]) {
+          best_score[i] = acc.spearman;
+          best_alpha[i] = alpha;
+        }
+        ++i;
+      }
+    }
+    table.AddRow({FormatDouble(p, 4), FormatDouble(diam, 2),
+                  FormatDouble(best_alpha[0], 2),
+                  FormatDouble(best_alpha[1], 2),
+                  FormatDouble(best_alpha[2], 2)});
+  }
+  table.Print();
+  std::printf("\nExpected shape: best alpha decreases as the effective "
+              "diameter increases.\n");
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() {
+  pegasus::bench::Run();
+  return 0;
+}

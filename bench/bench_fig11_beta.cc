@@ -1,0 +1,88 @@
+// Fig. 11: effect of the adaptive-thresholding parameter beta.
+//
+// For beta in {~0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9} at compression ratios
+// {0.3, 0.5}, query accuracy on target nodes is averaged over datasets.
+// The paper's shape: beta = 0.1 is best or near-best in the majority of
+// cases, and accuracy is insensitive as long as beta avoids the extremes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/pegasus.h"
+#include "src/distributed/experiment.h"
+
+namespace pegasus::bench {
+namespace {
+
+void Run() {
+  Banner("bench_fig11_beta", "Fig. 11 (accuracy vs beta at ratios 0.3/0.5)");
+  const DatasetScale scale = BenchScaleFromEnv();
+  const double betas[] = {0.001, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
+  const double ratios[] = {0.3, 0.5};
+  const size_t num_queries = scale == DatasetScale::kTiny ? 8 : 20;
+
+  std::vector<Dataset> datasets;
+  for (DatasetId id : {DatasetId::kLastFmAsia, DatasetId::kCaida}) {
+    datasets.push_back(MakeDataset(id, scale));
+  }
+
+  struct DatasetTruth {
+    std::vector<NodeId> queries;
+    GroundTruth truth[3];
+  };
+  std::vector<DatasetTruth> dataset_truth;
+  for (Dataset& ds : datasets) {
+    DatasetTruth dt;
+    dt.queries = SampleNodes(ds.graph, num_queries, 23);
+    int i = 0;
+    for (QueryType type :
+         {QueryType::kRwr, QueryType::kHop, QueryType::kPhp}) {
+      dt.truth[i++] = ComputeGroundTruth(ds.graph, dt.queries, type);
+    }
+    dataset_truth.push_back(std::move(dt));
+  }
+
+  for (double ratio : ratios) {
+    std::printf("--- compression ratio %.1f (avg over %zu datasets) ---\n",
+                ratio, datasets.size());
+    Table table({"beta", "RWR_SMAPE", "RWR_SC", "HOP_SMAPE", "HOP_SC",
+                 "PHP_SMAPE", "PHP_SC"});
+    for (double beta : betas) {
+      AccuracyResult sums[3];
+      for (size_t d = 0; d < datasets.size(); ++d) {
+        const Graph& g = datasets[d].graph;
+        const std::vector<NodeId>& queries = dataset_truth[d].queries;
+        PegasusConfig config;
+        config.alpha = 1.25;
+        config.beta = beta;
+        config.seed = 6;
+        auto result = SummarizeGraphToRatio(g, queries, ratio, config);
+        int i = 0;
+        for (QueryType type :
+             {QueryType::kRwr, QueryType::kHop, QueryType::kPhp}) {
+          auto acc = MeasureSummaryAccuracy(g, result.summary, queries, type,
+                                            &dataset_truth[d].truth[i]);
+          sums[i].smape += acc.smape / datasets.size();
+          sums[i].spearman += acc.spearman / datasets.size();
+          ++i;
+        }
+      }
+      table.AddRow({FormatDouble(beta, 3), FormatDouble(sums[0].smape, 3),
+                    FormatDouble(sums[0].spearman, 3),
+                    FormatDouble(sums[1].smape, 3),
+                    FormatDouble(sums[1].spearman, 3),
+                    FormatDouble(sums[2].smape, 3),
+                    FormatDouble(sums[2].spearman, 3)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() {
+  pegasus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 2(a) & Fig. 5: effectiveness of personalization.
+//
+// For each dataset, the personalized error at test nodes (Eq. 1 with
+// T = {u}) of summaries personalized to target sets of varying size is
+// reported *relative to* the non-personalized summary (T = V) of the same
+// size budget (compression ratio 0.5). Rows are printed per degree of
+// personalization alpha, plus an SSumM reference. The paper's shape:
+// smaller |T| and larger alpha => lower relative error (stronger focus).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/ssumm.h"
+#include "src/core/pegasus.h"
+#include "src/core/personal_weights.h"
+#include "src/eval/error_eval.h"
+
+namespace pegasus::bench {
+namespace {
+
+// Mean personalized error at the test nodes for a summary.
+double ErrorAtTestNodes(const Graph& g, const SummaryGraph& s,
+                        const std::vector<NodeId>& test_nodes, double alpha) {
+  double total = 0.0;
+  for (NodeId u : test_nodes) {
+    auto w = PersonalWeights::Compute(g, {u}, alpha);
+    total += PersonalizedError(g, s, w);
+  }
+  return total / static_cast<double>(test_nodes.size());
+}
+
+void Run() {
+  Banner("bench_fig5_effectiveness",
+         "Fig. 2(a) and Fig. 5 (relative personalized error vs |T|, alpha)");
+  const DatasetScale scale = BenchScaleFromEnv();
+  const double ratio = 0.5;
+  const double alphas[] = {1.25, 1.75};  // endpoints of the paper's grid
+  const double t_fractions[] = {-1.0, 0.01, 0.1, 0.5, 1.0};  // -1: |T|=1
+
+  for (Dataset& ds : BenchDatasets(scale)) {
+    const Graph& g = ds.graph;
+    std::vector<NodeId> test_nodes = SampleNodes(g, 3, 1234);
+
+    // Non-personalized reference: T = V.
+    PegasusConfig base_config;
+    base_config.alpha = 1.0;
+    base_config.seed = 1;
+    auto base = SummarizeGraphToRatio(g, {}, ratio, base_config);
+    // SSumM reference.
+    auto ssumm = SsummSummarizeToRatio(g, ratio, {.seed = 1});
+
+    Table table({"alpha", "|T|", "RelErr(PeGaSus)", "RelErr(SSumM)"});
+    for (double alpha : alphas) {
+      // Denominators: error of the non-personalized summaries under the
+      // same test-node weights.
+      double base_err = ErrorAtTestNodes(g, base.summary, test_nodes, alpha);
+      double ssumm_err =
+          ErrorAtTestNodes(g, ssumm.summary, test_nodes, alpha);
+      if (base_err <= 0.0) base_err = 1.0;
+
+      for (double frac : t_fractions) {
+        PegasusConfig config;
+        config.alpha = alpha;
+        config.seed = 1;
+        double err = 0.0;
+        if (frac < 0) {
+          // |T| = 1: one summary per test node, personalized to it alone.
+          for (NodeId u : test_nodes) {
+            auto personalized = SummarizeGraphToRatio(g, {u}, ratio, config);
+            auto w = PersonalWeights::Compute(g, {u}, alpha);
+            err += PersonalizedError(g, personalized.summary, w);
+          }
+          err /= static_cast<double>(test_nodes.size());
+        } else {
+          // Targets include the test nodes, padded with random nodes.
+          const size_t t_size = std::max<size_t>(
+              test_nodes.size(),
+              static_cast<size_t>(frac * g.num_nodes()));
+          std::vector<NodeId> targets = test_nodes;
+          for (NodeId u : SampleNodes(g, t_size, 555)) {
+            if (targets.size() >= t_size) break;
+            targets.push_back(u);
+          }
+          auto personalized =
+              SummarizeGraphToRatio(g, targets, ratio, config);
+          err = ErrorAtTestNodes(g, personalized.summary, test_nodes, alpha);
+        }
+        table.AddRow({FormatDouble(alpha, 2),
+                      frac < 0 ? "1" : FormatDouble(frac, 2) + "|V|",
+                      FormatDouble(err / base_err, 3),
+                      FormatDouble(ssumm_err / base_err, 3)});
+      }
+    }
+    std::printf("--- %s (%s): ratio %.1f, relative to T=V summary ---\n",
+                ds.name.c_str(), ds.abbrev.c_str(), ratio);
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() {
+  pegasus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Fig. 8: summarization time and query time.
+//
+// (a) Wall-clock summarization time per algorithm per dataset at
+//     compression ratio 0.5 (supernode-budget baselines at 50% of |V|).
+// (b) Query time for BFS (HOP) and RWR on the resulting summary graphs,
+//     next to the uncompressed graph. Dense summaries (SAAGs, k-GraSS,
+//     S2L) are expected to be much slower to query than PeGaSus's sparse
+//     output — the paper's headline for this figure.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/grass.h"
+#include "src/baselines/saags.h"
+#include "src/baselines/s2l.h"
+#include "src/baselines/ssumm.h"
+#include "src/core/pegasus.h"
+#include "src/query/exact_queries.h"
+#include "src/query/summary_queries.h"
+
+namespace pegasus::bench {
+namespace {
+
+struct QueryTimes {
+  double bfs_ms = 0.0;
+  double rwr_ms = 0.0;
+};
+
+QueryTimes TimeSummaryQueries(const SummaryGraph& s,
+                              const std::vector<NodeId>& queries) {
+  QueryTimes t;
+  Timer timer;
+  for (NodeId q : queries) {
+    volatile auto r = FastSummaryHopDistances(s, q).size();
+    (void)r;
+  }
+  t.bfs_ms = timer.ElapsedMillis() / queries.size();
+  timer.Reset();
+  IterativeQueryOptions opts;
+  opts.max_iterations = 30;
+  for (NodeId q : queries) {
+    volatile auto r = SummaryRwrScores(s, q, 0.05, true, opts).size();
+    (void)r;
+  }
+  t.rwr_ms = timer.ElapsedMillis() / queries.size();
+  return t;
+}
+
+QueryTimes TimeExactQueries(const Graph& g,
+                            const std::vector<NodeId>& queries) {
+  QueryTimes t;
+  Timer timer;
+  for (NodeId q : queries) {
+    volatile auto r = ExactHopDistances(g, q).size();
+    (void)r;
+  }
+  t.bfs_ms = timer.ElapsedMillis() / queries.size();
+  timer.Reset();
+  IterativeQueryOptions opts;
+  opts.max_iterations = 30;
+  for (NodeId q : queries) {
+    volatile auto r = ExactRwrScores(g, q, 0.05, opts).size();
+    (void)r;
+  }
+  t.rwr_ms = timer.ElapsedMillis() / queries.size();
+  return t;
+}
+
+void Run() {
+  Banner("bench_fig8_timing",
+         "Fig. 8 (summarization time; BFS/RWR query time at ratio 0.5)");
+  const DatasetScale scale = BenchScaleFromEnv();
+  const size_t num_queries = 5;
+  const double kBaselineTimeLimit = 15.0;
+  const EdgeId kSlowBaselineEdgeCap = 35000;
+
+  Table table({"dataset", "algo", "summarize_s", "query_BFS_ms",
+               "query_RWR_ms", "superedges"});
+  for (Dataset& ds : BenchDatasets(scale)) {
+    const Graph& g = ds.graph;
+    std::vector<NodeId> queries = SampleNodes(g, num_queries, 31);
+
+    {
+      Timer timer;
+      PegasusConfig config;
+      config.alpha = 1.25;
+      auto r = SummarizeGraphToRatio(g, queries, 0.5, config);
+      const double secs = timer.ElapsedSeconds();
+      auto qt = TimeSummaryQueries(r.summary, queries);
+      table.AddRow({ds.abbrev, "PeGaSus", FormatDouble(secs, 3),
+                    FormatDouble(qt.bfs_ms, 2), FormatDouble(qt.rwr_ms, 2),
+                    FormatCount(r.summary.num_superedges())});
+    }
+    {
+      Timer timer;
+      auto r = SsummSummarizeToRatio(g, 0.5);
+      const double secs = timer.ElapsedSeconds();
+      auto qt = TimeSummaryQueries(r.summary, queries);
+      table.AddRow({ds.abbrev, "SSumM", FormatDouble(secs, 3),
+                    FormatDouble(qt.bfs_ms, 2), FormatDouble(qt.rwr_ms, 2),
+                    FormatCount(r.summary.num_superedges())});
+    }
+    if (g.num_edges() <= kSlowBaselineEdgeCap) {
+      const uint32_t k = g.num_nodes() / 2;
+      {
+        SaagsConfig config;
+        config.time_limit_seconds = kBaselineTimeLimit;
+        Timer timer;
+        auto r = SaagsSummarize(g, k, config);
+        if (r.timed_out) {
+          table.AddRow({ds.abbrev, "SAAGs", "o.o.t", "", "", ""});
+        } else {
+          auto qt = TimeSummaryQueries(r.summary, queries);
+          table.AddRow({ds.abbrev, "SAAGs",
+                        FormatDouble(timer.ElapsedSeconds(), 3),
+                        FormatDouble(qt.bfs_ms, 2),
+                        FormatDouble(qt.rwr_ms, 2),
+                        FormatCount(r.summary.num_superedges())});
+        }
+      }
+      {
+        GrassConfig config;
+        config.time_limit_seconds = kBaselineTimeLimit;
+        Timer timer;
+        auto r = GrassSummarize(g, k, config);
+        if (r.timed_out) {
+          table.AddRow({ds.abbrev, "k-GraSS", "o.o.t", "", "", ""});
+        } else {
+          auto qt = TimeSummaryQueries(r.summary, queries);
+          table.AddRow({ds.abbrev, "k-GraSS",
+                        FormatDouble(timer.ElapsedSeconds(), 3),
+                        FormatDouble(qt.bfs_ms, 2),
+                        FormatDouble(qt.rwr_ms, 2),
+                        FormatCount(r.summary.num_superedges())});
+        }
+      }
+      {
+        S2lConfig config;
+        config.time_limit_seconds = kBaselineTimeLimit;
+        Timer timer;
+        auto r = S2lSummarize(g, k, config);
+        if (r.timed_out) {
+          table.AddRow({ds.abbrev, "S2L", "o.o.t/o.o.m", "", "", ""});
+        } else {
+          auto qt = TimeSummaryQueries(r.summary, queries);
+          table.AddRow({ds.abbrev, "S2L",
+                        FormatDouble(timer.ElapsedSeconds(), 3),
+                        FormatDouble(qt.bfs_ms, 2),
+                        FormatDouble(qt.rwr_ms, 2),
+                        FormatCount(r.summary.num_superedges())});
+        }
+      }
+    } else {
+      table.AddRow(
+          {ds.abbrev, "SAAGs/k-GraSS/S2L", "o.o.t (skipped)", "", "", ""});
+    }
+    {
+      auto qt = TimeExactQueries(g, queries);
+      table.AddRow({ds.abbrev, "Uncompressed", "-",
+                    FormatDouble(qt.bfs_ms, 2), FormatDouble(qt.rwr_ms, 2),
+                    FormatCount(g.num_edges())});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() {
+  pegasus::bench::Run();
+  return 0;
+}

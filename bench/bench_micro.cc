@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark) for the core operations: BFS,
+// personalized-weight computation, shingle grouping, merge evaluation and
+// application, error evaluation, and summary-graph query answering.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/candidate_groups.h"
+#include "src/core/cost_model.h"
+#include "src/core/merge_engine.h"
+#include "src/core/pegasus.h"
+#include "src/core/personal_weights.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/bfs.h"
+#include "src/graph/generators.h"
+#include "src/query/exact_queries.h"
+#include "src/query/summary_queries.h"
+#include "src/util/rng.h"
+
+namespace pegasus {
+namespace {
+
+Graph MakeGraph(int64_t nodes) {
+  return GenerateBarabasiAlbert(static_cast<NodeId>(nodes), 5, 12345);
+}
+
+void BM_MultiSourceBfs(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  std::vector<NodeId> sources{0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiSourceBfsDistances(g, sources));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_MultiSourceBfs)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_PersonalWeights(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  std::vector<NodeId> targets{0, 7, 21};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PersonalWeights::Compute(g, targets, 1.25));
+  }
+}
+BENCHMARK(BM_PersonalWeights)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_CandidateGroups(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  SummaryGraph s = SummaryGraph::Identity(g);
+  Rng rng(1);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCandidateGroups(g, s, ++seed, {}, rng));
+  }
+}
+BENCHMARK(BM_CandidateGroups)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_EvaluateMerge(benchmark::State& state) {
+  Graph g = MakeGraph(1 << 12);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {0}, 1.25);
+  CostModel cm(g, w, s);
+  Rng rng(2);
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(g.num_nodes() - 1));
+    if (b >= a) ++b;
+    benchmark::DoNotOptimize(cm.EvaluateMerge(a, b));
+  }
+}
+BENCHMARK(BM_EvaluateMerge);
+
+void BM_ApplyMerge(benchmark::State& state) {
+  // Rebuild the summary once it gets too coarse; timing includes only the
+  // merge itself amortized over pairs of fresh supernodes.
+  Graph g = MakeGraph(1 << 12);
+  auto w = PersonalWeights::Compute(g, {0}, 1.25);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto cm = std::make_unique<CostModel>(g, w, s);
+  auto engine = std::make_unique<MergeEngine>(g, s, *cm, MergeScore::kRelative);
+  auto active = s.ActiveSupernodes();
+  size_t cursor = 0;
+  for (auto _ : state) {
+    if (cursor + 2 >= active.size()) {
+      state.PauseTiming();
+      s = SummaryGraph::Identity(g);
+      cm = std::make_unique<CostModel>(g, w, s);
+      engine = std::make_unique<MergeEngine>(g, s, *cm, MergeScore::kRelative);
+      active = s.ActiveSupernodes();
+      cursor = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        engine->ApplyMerge(active[cursor], active[cursor + 1]));
+    ++cursor;
+    ++cursor;
+  }
+}
+BENCHMARK(BM_ApplyMerge);
+
+void BM_SummarizeEndToEnd(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  std::vector<NodeId> targets{0, 1, 2};
+  for (auto _ : state) {
+    PegasusConfig config;
+    config.max_iterations = 10;
+    benchmark::DoNotOptimize(SummarizeGraphToRatio(g, targets, 0.5, config));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SummarizeEndToEnd)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+void BM_PersonalizedError(benchmark::State& state) {
+  Graph g = MakeGraph(1 << 13);
+  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  auto w = PersonalWeights::Compute(g, {0}, 1.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PersonalizedError(g, result.summary, w));
+  }
+}
+BENCHMARK(BM_PersonalizedError);
+
+void BM_SummaryRwr(benchmark::State& state) {
+  Graph g = MakeGraph(1 << 13);
+  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  IterativeQueryOptions opts;
+  opts.max_iterations = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SummaryRwrScores(result.summary, 0, 0.05, true, opts));
+  }
+}
+BENCHMARK(BM_SummaryRwr);
+
+void BM_SummaryHop(benchmark::State& state) {
+  Graph g = MakeGraph(1 << 13);
+  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FastSummaryHopDistances(result.summary, 0));
+  }
+}
+BENCHMARK(BM_SummaryHop);
+
+void BM_ExactRwr(benchmark::State& state) {
+  Graph g = MakeGraph(1 << 13);
+  IterativeQueryOptions opts;
+  opts.max_iterations = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactRwrScores(g, 0, 0.05, opts));
+  }
+}
+BENCHMARK(BM_ExactRwr);
+
+}  // namespace
+}  // namespace pegasus

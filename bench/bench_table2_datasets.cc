@@ -1,0 +1,64 @@
+// Table II: summary of the datasets (here: their synthetic analogs).
+//
+// Prints name, node count, edge count, mean degree, and 90%-effective
+// diameter for each analog at the active bench scale, next to the paper's
+// original statistics for reference.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/graph/diameter.h"
+
+namespace pegasus::bench {
+namespace {
+
+struct PaperRow {
+  const char* nodes;
+  const char* edges;
+};
+
+// The original Table II values, for side-by-side comparison.
+PaperRow PaperStats(DatasetId id) {
+  switch (id) {
+    case DatasetId::kLastFmAsia:
+      return {"7,624", "27,806"};
+    case DatasetId::kCaida:
+      return {"26,475", "53,381"};
+    case DatasetId::kDblp:
+      return {"317,080", "1,049,866"};
+    case DatasetId::kAmazon:
+      return {"403,364", "2,443,311"};
+    case DatasetId::kSkitter:
+      return {"1,694,616", "11,094,209"};
+    case DatasetId::kWikipedia:
+      return {"3,174,745", "103,310,688"};
+  }
+  return {"?", "?"};
+}
+
+void Run() {
+  Banner("bench_table2_datasets", "Table II (dataset summary)");
+  Table table({"Name", "Abbrev", "Summary", "Nodes", "Edges", "MeanDeg",
+               "EffDiam", "PaperNodes", "PaperEdges"});
+  for (Dataset& ds : BenchDatasets(BenchScaleFromEnv())) {
+    const PaperRow paper = PaperStats(ds.id);
+    table.AddRow({ds.name, ds.abbrev, ds.summary,
+                  FormatCount(ds.graph.num_nodes()),
+                  FormatCount(ds.graph.num_edges()),
+                  FormatDouble(ds.graph.MeanDegree(), 2),
+                  FormatDouble(EffectiveDiameter(ds.graph, 0.9, 64, 1), 2),
+                  paper.nodes, paper.edges});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: analogs (*) are synthetic stand-ins with matching density\n"
+      "and degree-skew regimes; see DESIGN.md 'Substitutions'.\n");
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() {
+  pegasus::bench::Run();
+  return 0;
+}

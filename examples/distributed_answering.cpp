@@ -1,0 +1,62 @@
+// Communication-free distributed multi-query answering (Sec. IV, Alg. 3).
+//
+// Eight simulated machines each hold one summary of the whole graph,
+// personalized to their Louvain shard. Queries are routed to the machine
+// owning the query node and answered with no inter-machine traffic. The
+// same budget spent on plain subgraph shards (the paper's "potential
+// alternative") answers the same queries noticeably worse.
+
+#include <cstdio>
+
+#include "src/distributed/cluster.h"
+#include "src/distributed/experiment.h"
+#include "src/distributed/subgraph_baseline.h"
+#include "src/graph/datasets.h"
+#include "src/partition/louvain.h"
+#include "src/util/rng.h"
+
+using namespace pegasus;  // NOLINT: example brevity
+
+int main() {
+  Graph graph = MakeDataset(DatasetId::kCaida, DatasetScale::kSmall).graph;
+  std::printf("graph: %u nodes, %llu edges\n", graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  const uint32_t machines = 8;
+  Partition partition = LouvainPartition(graph, machines);
+  std::printf("Louvain partition into %u shards (balance factor %.2f)\n",
+              machines, BalanceFactor(partition, graph.num_nodes()));
+
+  const double budget = 0.4 * graph.SizeInBits();
+  PegasusConfig config;
+  config.alpha = 1.25;
+  config.max_iterations = 10;
+  std::printf("building %u personalized summaries (%.0f kbit each)...\n",
+              machines, budget / 1000.0);
+  auto summaries = SummaryCluster::Build(graph, partition, budget, config);
+  auto subgraphs = SubgraphCluster::Build(graph, partition, budget);
+
+  // 50 random query nodes, routed by shard.
+  Rng rng(4);
+  std::vector<NodeId> queries;
+  for (int i = 0; i < 50; ++i) {
+    queries.push_back(static_cast<NodeId>(rng.Uniform(graph.num_nodes())));
+  }
+
+  std::printf("\n%-6s  %-22s  %-22s\n", "query", "PeGaSus summaries",
+              "subgraph shards");
+  std::printf("%-6s  %-10s %-10s  %-10s %-10s\n", "type", "SMAPE", "Spearman",
+              "SMAPE", "Spearman");
+  for (QueryType type : {QueryType::kRwr, QueryType::kHop, QueryType::kPhp}) {
+    const char* name = type == QueryType::kRwr   ? "RWR"
+                       : type == QueryType::kHop ? "HOP"
+                                                 : "PHP";
+    auto acc_s = MeasureClusterAccuracy(graph, summaries, queries, type);
+    auto acc_g = MeasureClusterAccuracy(graph, subgraphs, queries, type);
+    std::printf("%-6s  %-10.4f %-10.4f  %-10.4f %-10.4f\n", name, acc_s.smape,
+                acc_s.spearman, acc_g.smape, acc_g.spearman);
+  }
+  std::printf("\nEvery query was answered on a single machine -- zero\n"
+              "inter-machine communication (cf. Fig. 12).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Exhaustive optimal summarizer for tiny graphs.
+//
+// The paper notes (Sec. III) that PeGaSus is a heuristic without
+// approximation guarantees and leaves "theoretically sound algorithms" as
+// future work. This module provides the ground truth for tiny inputs: it
+// enumerates every partition of V (Bell number growth — practical to
+// ~10 nodes), chooses superedges optimally per partition under the
+// error-correction encoding, and returns the summary minimizing the
+// personalized cost (Eq. 5), optionally under a size budget. Used by
+// property tests to bound how far the greedy lands from the optimum, and
+// available as a reference for algorithm research.
+
+#ifndef PEGASUS_BASELINES_EXACT_OPTIMAL_H_
+#define PEGASUS_BASELINES_EXACT_OPTIMAL_H_
+
+#include <limits>
+#include <optional>
+
+#include "src/core/personal_weights.h"
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+struct ExactOptimalResult {
+  SummaryGraph summary;
+  double cost = std::numeric_limits<double>::infinity();  // Eq. (5)
+  uint64_t partitions_examined = 0;
+};
+
+// Finds the summary minimizing Cost(G̅) = Size(G̅) + log2|V| * RE_T(G̅)
+// over all node partitions, with superedges chosen optimally. If
+// `budget_bits` is set, partitions whose optimal summary exceeds the
+// budget are excluded (superedges are greedily dropped first, as in
+// Sec. III-F, before exclusion). Requires graph.num_nodes() <= 12.
+ExactOptimalResult ExactOptimalSummary(
+    const Graph& graph, const PersonalWeights& weights,
+    std::optional<double> budget_bits = std::nullopt);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_BASELINES_EXACT_OPTIMAL_H_

@@ -1,0 +1,42 @@
+// GraSS / k-GraSS: Graph Structure Summarization (LeFevre & Terzi, SDM'10).
+//
+// Greedy agglomerative summarization toward a target number of supernodes:
+// at each step a set of candidate pairs is sampled (the SamplePairs
+// strategy with c = 1.0, as configured in the paper's experiments) and the
+// pair whose merger increases the expected-adjacency L1 reconstruction
+// error the least is merged. The output keeps a superedge for *every*
+// supernode pair with at least one real edge (a dense summary, which is
+// why query processing on k-GraSS output is slow in Fig. 8).
+
+#ifndef PEGASUS_BASELINES_GRASS_H_
+#define PEGASUS_BASELINES_GRASS_H_
+
+#include <cstdint>
+
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+struct GrassConfig {
+  // SamplePairs constant: number of sampled pairs per merge step is
+  // max(1, c * |S|).
+  double sample_pairs_c = 1.0;
+  uint64_t seed = 0;
+  // Abort knob for the o.o.t. reporting in the benches; <= 0 disables.
+  double time_limit_seconds = 0.0;
+};
+
+struct GrassResult {
+  SummaryGraph summary;
+  bool timed_out = false;
+  double elapsed_seconds = 0.0;
+};
+
+// Merges until at most `target_supernodes` supernodes remain.
+GrassResult GrassSummarize(const Graph& graph, uint32_t target_supernodes,
+                           const GrassConfig& config = {});
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_BASELINES_GRASS_H_

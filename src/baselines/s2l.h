@@ -1,0 +1,41 @@
+// S2L: Graph Summarization with Quality Guarantees
+// (Riondato, Garcia-Soriano & Bonchi, DMKD 2017).
+//
+// Summarization via geometric clustering: nodes are points (their
+// adjacency-matrix rows), supernodes are clusters of a k-median clustering
+// under the L1 distance, and superedges carry block densities. The paper's
+// experiments configure S2L with the L1 error and no dimensionality
+// reduction; we implement the clustering as k-median++ seeding followed by
+// a single nearest-seed assignment pass, using the identity
+// L1(row_u, row_s) = deg(u) + deg(s) - 2 |N(u) ∩ N(s)|.
+// S2L is the least scalable baseline (it runs out of time/memory on the
+// paper's medium datasets, Fig. 7-8), and the time-limit knob reproduces
+// that reporting.
+
+#ifndef PEGASUS_BASELINES_S2L_H_
+#define PEGASUS_BASELINES_S2L_H_
+
+#include <cstdint>
+
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+struct S2lConfig {
+  uint64_t seed = 0;
+  double time_limit_seconds = 0.0;  // <= 0 disables
+};
+
+struct S2lResult {
+  SummaryGraph summary;
+  bool timed_out = false;
+  double elapsed_seconds = 0.0;
+};
+
+S2lResult S2lSummarize(const Graph& graph, uint32_t target_supernodes,
+                       const S2lConfig& config = {});
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_BASELINES_S2L_H_

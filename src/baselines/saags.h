@@ -1,0 +1,41 @@
+// SAAGs: Scalable Approximation Algorithm for Graph Summarization
+// (Beg et al., PAKDD 2018).
+//
+// Agglomerative summarization that approximates neighborhood overlap with
+// count-min sketches instead of exact set intersections. Per merge step a
+// pivot supernode and log(n) candidate partners are sampled (the paper's
+// configuration); candidates are scored by the CMS-estimated Jaccard
+// similarity of the neighbor multisets and the best candidate is merged
+// into the pivot. The paper's experiments use a sketch of width 50 and
+// depth 2, which we adopt as defaults. The output is a dense density
+// summary like GraSS's.
+
+#ifndef PEGASUS_BASELINES_SAAGS_H_
+#define PEGASUS_BASELINES_SAAGS_H_
+
+#include <cstdint>
+
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+struct SaagsConfig {
+  uint32_t sketch_width = 50;  // w
+  uint32_t sketch_depth = 2;   // d
+  uint64_t seed = 0;
+  double time_limit_seconds = 0.0;  // <= 0 disables
+};
+
+struct SaagsResult {
+  SummaryGraph summary;
+  bool timed_out = false;
+  double elapsed_seconds = 0.0;
+};
+
+SaagsResult SaagsSummarize(const Graph& graph, uint32_t target_supernodes,
+                           const SaagsConfig& config = {});
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_BASELINES_SAAGS_H_

@@ -1,0 +1,23 @@
+#include "src/baselines/ssumm.h"
+
+namespace pegasus {
+
+SummarizationResult SsummSummarize(const Graph& graph, double budget_bits,
+                                   const SsummConfig& config) {
+  PegasusConfig pc;
+  pc.alpha = 1.0;  // uniform weights: plain reconstruction error
+  pc.max_iterations = config.max_iterations;
+  pc.seed = config.seed;
+  pc.threshold_rule = ThresholdRule::kHarmonic;
+  pc.encoding = EncodingScheme::kBestOfBoth;
+  pc.merge_score = MergeScore::kRelative;
+  // T = {} means T = V; with alpha = 1 every pair weight is exactly 1.
+  return SummarizeGraph(graph, /*targets=*/{}, budget_bits, pc);
+}
+
+SummarizationResult SsummSummarizeToRatio(const Graph& graph, double ratio,
+                                          const SsummConfig& config) {
+  return SsummSummarize(graph, ratio * graph.SizeInBits(), config);
+}
+
+}  // namespace pegasus

@@ -1,0 +1,35 @@
+// SSumM: Sparse Summarization of Massive Graphs (Lee et al., KDD 2020).
+//
+// The state-of-the-art *non-personalized* summarizer that PeGaSus builds
+// on (Sec. III-G), reproduced here as the main baseline. Relative to
+// PeGaSus it differs by:
+//   * uniform weights (it minimizes plain reconstruction error),
+//   * the fixed harmonic threshold theta(t) = 1/(1+t) (0 at t = tmax),
+//   * best-of-two error encoding (entropy coding or error correction).
+// It shares the shingle grouping, greedy merging, and sparsification
+// machinery, which is exactly how the paper describes the relationship.
+
+#ifndef PEGASUS_BASELINES_SSUMM_H_
+#define PEGASUS_BASELINES_SSUMM_H_
+
+#include "src/core/pegasus.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+struct SsummConfig {
+  int max_iterations = 20;
+  uint64_t seed = 0;
+};
+
+// Summarizes `graph` to at most `budget_bits` bits (Eq. 3).
+SummarizationResult SsummSummarize(const Graph& graph, double budget_bits,
+                                   const SsummConfig& config = {});
+
+// Convenience wrapper taking a compression ratio in (0, 1].
+SummarizationResult SsummSummarizeToRatio(const Graph& graph, double ratio,
+                                          const SsummConfig& config = {});
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_BASELINES_SSUMM_H_

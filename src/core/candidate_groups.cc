@@ -1,0 +1,95 @@
+#include "src/core/candidate_groups.h"
+
+#include <algorithm>
+
+namespace pegasus {
+
+namespace {
+
+// f(v) under a given hash seed.
+inline uint64_t HashNode(NodeId v, uint64_t hash_seed) {
+  return SplitMix64(hash_seed ^ (0x9e3779b97f4a7c15ULL + v));
+}
+
+}  // namespace
+
+uint64_t NodeShingle(const Graph& graph, NodeId u, uint64_t hash_seed) {
+  uint64_t best = HashNode(u, hash_seed);
+  for (NodeId v : graph.neighbors(u)) {
+    best = std::min(best, HashNode(v, hash_seed));
+  }
+  return best;
+}
+
+uint64_t SupernodeShingle(const Graph& graph, const SummaryGraph& summary,
+                          SupernodeId a, uint64_t hash_seed) {
+  uint64_t best = UINT64_MAX;
+  for (NodeId u : summary.members(a)) {
+    best = std::min(best, NodeShingle(graph, u, hash_seed));
+  }
+  return best;
+}
+
+std::vector<std::vector<SupernodeId>> GenerateCandidateGroups(
+    const Graph& graph, const SummaryGraph& summary, uint64_t iteration_seed,
+    const CandidateGroupsOptions& options, Rng& rng) {
+  std::vector<std::vector<SupernodeId>> done;
+  std::vector<std::pair<std::vector<SupernodeId>, int>> pending;
+  pending.emplace_back(summary.ActiveSupernodes(), 0);
+
+  std::vector<std::pair<uint64_t, SupernodeId>> keyed;
+  while (!pending.empty()) {
+    auto [group, depth] = std::move(pending.back());
+    pending.pop_back();
+    if (group.size() < 2) continue;
+    if (group.size() <= options.max_group_size && depth > 0) {
+      done.push_back(std::move(group));
+      continue;
+    }
+    if (depth >= options.max_split_rounds) {
+      // Chunk at random into pieces of at most max_group_size.
+      rng.Shuffle(group);
+      for (size_t begin = 0; begin < group.size();
+           begin += options.max_group_size) {
+        size_t end = std::min(begin + options.max_group_size, group.size());
+        if (end - begin >= 2) {
+          done.emplace_back(group.begin() + static_cast<ptrdiff_t>(begin),
+                            group.begin() + static_cast<ptrdiff_t>(end));
+        }
+      }
+      continue;
+    }
+    // Split by shingle under a fresh hash for this depth.
+    const uint64_t hash_seed =
+        SplitMix64(iteration_seed + 0x517cc1b727220a95ULL * (depth + 1));
+    keyed.clear();
+    keyed.reserve(group.size());
+    for (SupernodeId a : group) {
+      keyed.emplace_back(SupernodeShingle(graph, summary, a, hash_seed), a);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    size_t begin = 0;
+    while (begin < keyed.size()) {
+      size_t end = begin;
+      while (end < keyed.size() && keyed[end].first == keyed[begin].first) {
+        ++end;
+      }
+      if (end - begin >= 2) {
+        std::vector<SupernodeId> sub;
+        sub.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) sub.push_back(keyed[i].second);
+        if (sub.size() <= options.max_group_size) {
+          done.push_back(std::move(sub));
+        } else {
+          // Oversized subgroup: re-split with a fresh hash. Depth strictly
+          // increases, so the recursion terminates via random chunking.
+          pending.emplace_back(std::move(sub), depth + 1);
+        }
+      }
+      begin = end;
+    }
+  }
+  return done;
+}
+
+}  // namespace pegasus

@@ -1,0 +1,46 @@
+// Shingle-based candidate generation (Sec. III-C).
+//
+// Supernodes with similar connectivity are grouped so that only pairs
+// within a group are considered for merging. The shingle of a supernode U
+// is F(U) = min_{u in U} min_{v in N(u) ∪ {u}} f(v) for a uniform random
+// hash f over nodes; two supernodes collide with probability equal to the
+// Jaccard similarity of their (one-hop) neighbor sets. Groups larger than
+// `max_group_size` are split recursively with fresh hashes (at most
+// `max_split_rounds` times) and finally chunked at random. Each iteration
+// of PeGaSus draws new hashes from `iteration_seed`, exploring different
+// groupings over time.
+
+#ifndef PEGASUS_CORE_CANDIDATE_GROUPS_H_
+#define PEGASUS_CORE_CANDIDATE_GROUPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+struct CandidateGroupsOptions {
+  size_t max_group_size = 500;  // the paper's constant
+  int max_split_rounds = 10;    // the paper's constant
+};
+
+// Returns groups of >= 2 supernodes each; singleton groups are dropped as
+// no merge is possible inside them.
+std::vector<std::vector<SupernodeId>> GenerateCandidateGroups(
+    const Graph& graph, const SummaryGraph& summary, uint64_t iteration_seed,
+    const CandidateGroupsOptions& options, Rng& rng);
+
+// One-hop min-hash of a single node under hash seed `hash_seed`:
+// min over v in N(u) ∪ {u} of f(v). Exposed for tests.
+uint64_t NodeShingle(const Graph& graph, NodeId u, uint64_t hash_seed);
+
+// Shingle of a supernode (Eq. 12): min of its members' node shingles.
+uint64_t SupernodeShingle(const Graph& graph, const SummaryGraph& summary,
+                          SupernodeId a, uint64_t hash_seed);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_CANDIDATE_GROUPS_H_

@@ -1,0 +1,57 @@
+// Lossless graph summarization: summary graph + edge corrections.
+//
+// The lossless branch of graph summarization (Navlakha et al., SWeG,
+// Slugger — Sec. VI of the paper) encodes the input exactly as a summary
+// graph plus two correction sets: positive corrections C+ (edges of G that
+// Ĝ misses) and negative corrections C- (edges of Ĝ that G lacks). This
+// module adds that capability on top of any SummaryGraph:
+//
+//   G  ==  Restore(G̅, C+, C-)          (exactly)
+//   bits(G̅) + bits(C+) + bits(C-)  <   bits(G)   for compressible graphs.
+//
+// Each correction costs 2 log2 |V| bits (row + column of the flipped
+// adjacency entry, footnote 4) — identical to the error-correction term of
+// the lossy cost, so PeGaSus/SSumM summaries are exactly the summaries
+// that make this encoding small.
+//
+// Complexity note: computing C- enumerates superedge blocks, so it is
+// bounded by the total pair count under superedges. For MDL-chosen
+// superedges (kept only when E_AB > T_AB/2) this is at most ~2|E|; dense
+// density summaries (k-GraSS/S2L) can make it quadratic.
+
+#ifndef PEGASUS_CORE_CORRECTIONS_H_
+#define PEGASUS_CORE_CORRECTIONS_H_
+
+#include <vector>
+
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+struct EdgeCorrections {
+  std::vector<Edge> positive;  // in G, missing from Ĝ
+  std::vector<Edge> negative;  // in Ĝ, not in G
+
+  size_t TotalCount() const { return positive.size() + negative.size(); }
+
+  // 2 log2 |V| bits per correction.
+  double SizeInBits(NodeId num_nodes) const;
+};
+
+// Computes the correction sets that make `summary` a lossless encoding of
+// `graph`. Output edges are canonical (u < v) and sorted.
+EdgeCorrections ComputeCorrections(const Graph& graph,
+                                   const SummaryGraph& summary);
+
+// Restores the input graph exactly from summary + corrections.
+Graph RestoreGraph(const SummaryGraph& summary,
+                   const EdgeCorrections& corrections);
+
+// Total size in bits of the lossless encoding (Eq. 3 + corrections).
+double LosslessSizeInBits(const SummaryGraph& summary,
+                          const EdgeCorrections& corrections);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_CORRECTIONS_H_

@@ -1,0 +1,216 @@
+#include "src/core/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/util/bits.h"
+
+namespace pegasus {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+CostModel::CostModel(const Graph& graph, const PersonalWeights& weights,
+                     const SummaryGraph& summary, EncodingScheme encoding)
+    : graph_(graph),
+      weights_(weights),
+      summary_(summary),
+      encoding_(encoding),
+      bits_per_error_(2.0 * Log2Bits(graph.num_nodes())) {
+  const SupernodeId bound = summary.id_bound();
+  pi_sum_.assign(bound, 0.0);
+  pi2_sum_.assign(bound, 0.0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const SupernodeId a = summary.supernode_of(u);
+    const double p = weights.pi(u);
+    pi_sum_[a] += p;
+    pi2_sum_[a] += p * p;
+  }
+  scratch_stamp_.assign(bound, 0);
+  scratch_weight_.assign(bound, 0.0);
+  scratch_count_.assign(bound, 0);
+}
+
+double CostModel::PairPotential(SupernodeId a, SupernodeId b) const {
+  const double z = weights_.Z();
+  if (a == b) {
+    return (pi_sum_[a] * pi_sum_[a] - pi2_sum_[a]) / (2.0 * z);
+  }
+  return pi_sum_[a] * pi_sum_[b] / z;
+}
+
+double CostModel::PairCost(double potential, double edge_weight,
+                           uint32_t num_supernodes) const {
+  // Guard against floating-point drift: real-edge weight can never exceed
+  // the total pair weight.
+  edge_weight = std::min(edge_weight, potential);
+  const double superedge_bits = 2.0 * Log2Bits(num_supernodes);
+  const double with_edge =
+      superedge_bits + bits_per_error_ * (potential - edge_weight);
+  const double without_edge = bits_per_error_ * edge_weight;
+  double cost = std::min(with_edge, without_edge);
+  if (encoding_ == EncodingScheme::kBestOfBoth && potential > kEps) {
+    const double entropy =
+        superedge_bits + potential * BinaryEntropy(edge_weight / potential);
+    cost = std::min(cost, entropy);
+  }
+  return cost;
+}
+
+bool CostModel::SuperedgeBeneficial(double potential, double edge_weight,
+                                    uint32_t num_supernodes) const {
+  edge_weight = std::min(edge_weight, potential);
+  const double superedge_bits = 2.0 * Log2Bits(num_supernodes);
+  const double with_edge =
+      superedge_bits + bits_per_error_ * (potential - edge_weight);
+  const double without_edge = bits_per_error_ * edge_weight;
+  return with_edge < without_edge;
+}
+
+void CostModel::CollectIncident(SupernodeId a,
+                                std::vector<IncidentPair>& out) {
+  out.clear();
+  ++stamp_;
+  scratch_touched_.clear();
+  const double z = weights_.Z();
+  (void)z;
+  for (NodeId u : summary_.members(a)) {
+    const double pu = weights_.pi(u);
+    for (NodeId v : graph_.neighbors(u)) {
+      const SupernodeId c = summary_.supernode_of(v);
+      const double w = pu * weights_.pi(v) / weights_.Z();
+      if (scratch_stamp_[c] != stamp_) {
+        scratch_stamp_[c] = stamp_;
+        scratch_weight_[c] = 0.0;
+        scratch_count_[c] = 0;
+        scratch_touched_.push_back(c);
+      }
+      scratch_weight_[c] += w;
+      ++scratch_count_[c];
+    }
+  }
+  out.reserve(scratch_touched_.size());
+  for (SupernodeId c : scratch_touched_) {
+    IncidentPair p;
+    p.neighbor = c;
+    if (c == a) {
+      // Internal edges were seen from both endpoints.
+      p.edge_weight = scratch_weight_[c] / 2.0;
+      p.edge_count = scratch_count_[c] / 2;
+    } else {
+      p.edge_weight = scratch_weight_[c];
+      p.edge_count = scratch_count_[c];
+    }
+    out.push_back(p);
+  }
+}
+
+double CostModel::PairListCost(const std::vector<IncidentPair>& pairs,
+                               SupernodeId self, double self_pi,
+                               double self_pi2,
+                               uint32_t num_supernodes) const {
+  const double z = weights_.Z();
+  double total = 0.0;
+  for (const IncidentPair& p : pairs) {
+    double potential;
+    if (p.neighbor == self) {
+      potential = (self_pi * self_pi - self_pi2) / (2.0 * z);
+    } else {
+      potential = self_pi * pi_sum_[p.neighbor] / z;
+    }
+    total += PairCost(potential, p.edge_weight, num_supernodes);
+  }
+  return total;
+}
+
+double CostModel::SupernodeCost(SupernodeId a) {
+  CollectIncident(a, buf_a_);
+  return PairListCost(buf_a_, a, pi_sum_[a], pi2_sum_[a],
+                      summary_.num_supernodes());
+}
+
+MergeEval CostModel::EvaluateMerge(SupernodeId a, SupernodeId b) {
+  assert(a != b);
+  const uint32_t s = summary_.num_supernodes();
+  CollectIncident(a, buf_a_);
+  CollectIncident(b, buf_b_);
+
+  const double cost_a = PairListCost(buf_a_, a, pi_sum_[a], pi2_sum_[a], s);
+  const double cost_b = PairListCost(buf_b_, b, pi_sum_[b], pi2_sum_[b], s);
+
+  // Cost of the pair {a, b} itself, which is counted in both supernode
+  // costs (Eq. 10 subtracts it once).
+  double edge_weight_ab = 0.0;
+  for (const IncidentPair& p : buf_a_) {
+    if (p.neighbor == b) {
+      edge_weight_ab = p.edge_weight;
+      break;
+    }
+  }
+  const double cost_ab = PairCost(PairPotential(a, b), edge_weight_ab, s);
+
+  // Aggregates of the hypothetical merged supernode. We reuse `a` as the
+  // sentinel id for "the merged supernode" in buf_m_.
+  buf_m_.clear();
+  ++stamp_;
+  scratch_touched_.clear();
+  double self_weight = 0.0;
+  uint32_t self_count = 0;
+  auto fold = [&](const std::vector<IncidentPair>& buf, bool from_a) {
+    for (const IncidentPair& p : buf) {
+      if (p.neighbor == a || p.neighbor == b) {
+        // Internal to the merged supernode. The cross pair {a, b} appears
+        // in both buffers; count it only from a's side.
+        if (!from_a && p.neighbor == a) continue;
+        self_weight += p.edge_weight;
+        self_count += p.edge_count;
+        continue;
+      }
+      const SupernodeId c = p.neighbor;
+      if (scratch_stamp_[c] != stamp_) {
+        scratch_stamp_[c] = stamp_;
+        scratch_weight_[c] = 0.0;
+        scratch_count_[c] = 0;
+        scratch_touched_.push_back(c);
+      }
+      scratch_weight_[c] += p.edge_weight;
+      scratch_count_[c] += p.edge_count;
+    }
+  };
+  fold(buf_a_, /*from_a=*/true);
+  fold(buf_b_, /*from_a=*/false);
+  for (SupernodeId c : scratch_touched_) {
+    buf_m_.push_back({c, scratch_weight_[c], scratch_count_[c]});
+  }
+  if (self_count > 0 || self_weight > kEps) {
+    buf_m_.push_back({a, self_weight, self_count});
+  }
+
+  const double merged_pi = pi_sum_[a] + pi_sum_[b];
+  const double merged_pi2 = pi2_sum_[a] + pi2_sum_[b];
+  // Temporarily alias the merged aggregates through `self_pi` arguments;
+  // neighbor potentials use the (unchanged) per-neighbor sums.
+  const double cost_merged =
+      PairListCost(buf_m_, a, merged_pi, merged_pi2, s > 1 ? s - 1 : 1);
+
+  MergeEval eval;
+  const double base = cost_a + cost_b - cost_ab;
+  eval.absolute = base - cost_merged;
+  if (base > kEps) {
+    eval.relative = eval.absolute / base;
+  } else {
+    eval.relative = eval.absolute >= -kEps ? 1.0 : -1.0;
+  }
+  return eval;
+}
+
+void CostModel::OnMerge(SupernodeId a, SupernodeId b, SupernodeId winner) {
+  const double pi = pi_sum_[a] + pi_sum_[b];
+  const double pi2 = pi2_sum_[a] + pi2_sum_[b];
+  pi_sum_[winner] = pi;
+  pi2_sum_[winner] = pi2;
+}
+
+}  // namespace pegasus

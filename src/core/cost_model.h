@@ -1,0 +1,143 @@
+// Personalized MDL cost model (Sec. III-B, Eqs. 5-11).
+//
+// Works in the unordered-pair domain (see DESIGN.md): for a supernode pair
+// {A, B},
+//   T_AB = total personalized weight of all spanned node pairs
+//        = Pi_A * Pi_B / Z                      (A != B)
+//        = (Pi_A^2 - sum_{u in A} pi_u^2)/(2Z)  (A == B),
+//   E_AB = summed weight of *actual* input edges between A and B,
+// and the encoding cost of the pair is
+//   with a superedge   : 2 log2|S| + 2 log2|V| * (T_AB - E_AB)
+//   without a superedge:              2 log2|V| * E_AB
+// (an erroneous unordered pair costs 2 log2|V| bits, footnote 4). SSumM's
+// best-of-two scheme adds an entropy-coded option. Because a superedge is
+// only worth keeping when E_AB > 0, every supernode's total cost is a sum
+// over pairs with at least one real edge, computable in O(sum of member
+// degrees) — Lemma 1.
+//
+// The model owns the per-supernode aggregates (Pi_A, sum pi^2, weighted
+// self-edge sums) and must be notified of merges via OnMerge().
+
+#ifndef PEGASUS_CORE_COST_MODEL_H_
+#define PEGASUS_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/personal_weights.h"
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+// How the number of bits for the error inside a superedge block is counted.
+enum class EncodingScheme {
+  // Error-correction encoding only (PeGaSus; Eq. 5 and footnote 4).
+  kErrorCorrection,
+  // Best of error correction and entropy coding (SSumM).
+  kBestOfBoth,
+};
+
+// Score used to rank candidate merges.
+enum class MergeScore {
+  kRelative,  // Eq. (11) — PeGaSus default
+  kAbsolute,  // Eq. (10) — ablation
+};
+
+// One incident supernode pair of some supernode A, aggregated over the
+// input edges between A and the neighbor.
+struct IncidentPair {
+  SupernodeId neighbor = 0;
+  double edge_weight = 0.0;  // E_AB: summed W over real edges
+  uint32_t edge_count = 0;   // number of real edges
+};
+
+// Result of evaluating a hypothetical merge.
+struct MergeEval {
+  double absolute = 0.0;  // Eq. (10)
+  double relative = 0.0;  // Eq. (11)
+  double score(MergeScore s) const {
+    return s == MergeScore::kRelative ? relative : absolute;
+  }
+};
+
+class CostModel {
+ public:
+  // All references must outlive the model. `summary` must currently be the
+  // identity summary of `graph` or share its partition with the model's
+  // construction-time snapshot.
+  CostModel(const Graph& graph, const PersonalWeights& weights,
+            const SummaryGraph& summary,
+            EncodingScheme encoding = EncodingScheme::kErrorCorrection);
+
+  // Aggregated sums.
+  double Pi(SupernodeId a) const { return pi_sum_[a]; }
+  double Pi2(SupernodeId a) const { return pi2_sum_[a]; }
+
+  // T_AB for the current partition (a may equal b).
+  double PairPotential(SupernodeId a, SupernodeId b) const;
+
+  // Encoding cost of one pair given its aggregates, for a summary with
+  // `num_supernodes` supernodes. Chooses the cheaper of keeping/dropping
+  // the superedge (and the entropy option under kBestOfBoth).
+  double PairCost(double potential, double edge_weight,
+                  uint32_t num_supernodes) const;
+
+  // True iff keeping a superedge for the pair is the cheaper option under
+  // error correction (this is the output decision rule of Alg. 2 line 9).
+  bool SuperedgeBeneficial(double potential, double edge_weight,
+                           uint32_t num_supernodes) const;
+
+  // Collects the incident pairs of supernode a: every supernode (possibly a
+  // itself) sharing at least one input edge with a, with E and edge counts
+  // aggregated. O(sum of member degrees). The self pair, if present, has
+  // its double counting already corrected.
+  void CollectIncident(SupernodeId a, std::vector<IncidentPair>& out);
+
+  // Cost of supernode a (Eq. 9) under the optimal per-pair encoding.
+  double SupernodeCost(SupernodeId a);
+
+  // Evaluates merging supernodes a and b (Eqs. 10-11) without mutating
+  // anything.
+  MergeEval EvaluateMerge(SupernodeId a, SupernodeId b);
+
+  // Notifies the model that the summary merged a and b into `winner`.
+  void OnMerge(SupernodeId a, SupernodeId b, SupernodeId winner);
+
+  // 2 * log2 |V| — bits per erroneous unordered pair.
+  double BitsPerError() const { return bits_per_error_; }
+
+  const PersonalWeights& weights() const { return weights_; }
+
+ private:
+  // Cost contribution of a pair list (shared by SupernodeCost and
+  // EvaluateMerge).
+  double PairListCost(const std::vector<IncidentPair>& pairs,
+                      SupernodeId self, double self_pi, double self_pi2,
+                      uint32_t num_supernodes) const;
+
+  const Graph& graph_;
+  const PersonalWeights& weights_;
+  const SummaryGraph& summary_;
+  EncodingScheme encoding_;
+  double bits_per_error_;
+
+  std::vector<double> pi_sum_;   // Pi_A per supernode id
+  std::vector<double> pi2_sum_;  // sum of pi^2 per supernode id
+
+  // Timestamped dense scratch for CollectIncident (avoids hashing).
+  std::vector<uint32_t> scratch_stamp_;
+  std::vector<double> scratch_weight_;
+  std::vector<uint32_t> scratch_count_;
+  std::vector<SupernodeId> scratch_touched_;
+  uint32_t stamp_ = 0;
+
+  // Reusable buffers for EvaluateMerge.
+  std::vector<IncidentPair> buf_a_;
+  std::vector<IncidentPair> buf_b_;
+  std::vector<IncidentPair> buf_m_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_COST_MODEL_H_

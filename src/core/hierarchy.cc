@@ -1,0 +1,59 @@
+#include "src/core/hierarchy.h"
+
+#include <cassert>
+
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+SummaryHierarchy SummaryHierarchy::Build(const Graph& graph,
+                                         const std::vector<NodeId>& targets,
+                                         const std::vector<double>& ratios,
+                                         const PegasusConfig& config) {
+  assert(!ratios.empty());
+  SummaryHierarchy hierarchy;
+  hierarchy.levels_.reserve(ratios.size());
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    assert(i == 0 || ratios[i] < ratios[i - 1]);
+    PegasusConfig level_config = config;
+    level_config.seed = SplitMix64(config.seed + 0x9e3779b97f4a7c15ULL * i);
+    const double budget = ratios[i] * graph.SizeInBits();
+    SummaryGraph start = hierarchy.levels_.empty()
+                             ? SummaryGraph::Identity(graph)
+                             : hierarchy.levels_.back();
+    hierarchy.levels_.push_back(
+        SummarizeGraphFrom(graph, targets, budget, std::move(start),
+                           level_config)
+            .summary);
+  }
+  return hierarchy;
+}
+
+const SummaryGraph& SummaryHierarchy::FinestWithin(
+    double budget_bits) const {
+  for (const SummaryGraph& level : levels_) {
+    if (level.SizeInBits() <= budget_bits) return level;
+  }
+  return levels_.back();
+}
+
+bool SummaryHierarchy::IsMonotone() const {
+  for (size_t i = 0; i + 1 < levels_.size(); ++i) {
+    const SummaryGraph& fine = levels_[i];
+    const SummaryGraph& coarse = levels_[i + 1];
+    // Co-membership at the fine level must imply co-membership at the
+    // coarser level. Checking the representative of each fine supernode
+    // against every member suffices.
+    for (SupernodeId a = 0; a < fine.id_bound(); ++a) {
+      if (!fine.alive(a)) continue;
+      const auto& members = fine.members(a);
+      const SupernodeId coarse_rep = coarse.supernode_of(members[0]);
+      for (NodeId u : members) {
+        if (coarse.supernode_of(u) != coarse_rep) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pegasus

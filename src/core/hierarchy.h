@@ -1,0 +1,53 @@
+// Multi-resolution summary hierarchy.
+//
+// Because PeGaSus only ever merges supernodes, running it at a sequence of
+// decreasing budgets yields a chain of summaries where each level's
+// partition refines the next coarser level when built by *continued
+// coarsening*: level 0 summarizes the input graph, and each further level
+// re-summarizes under a smaller budget starting from the finer level's
+// partition. Queries can then pick the finest level that fits the serving
+// machine, and interactive exploration can drill from coarse to fine
+// (the multi-resolution use case of GMine and the visualization line in
+// Sec. VI).
+
+#ifndef PEGASUS_CORE_HIERARCHY_H_
+#define PEGASUS_CORE_HIERARCHY_H_
+
+#include <vector>
+
+#include "src/core/pegasus.h"
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+class SummaryHierarchy {
+ public:
+  // Builds one summary per entry of `ratios` (must be strictly
+  // decreasing). Level i + 1 continues coarsening level i's partition, so
+  // co-members at a fine level remain co-members at every coarser level.
+  static SummaryHierarchy Build(const Graph& graph,
+                                const std::vector<NodeId>& targets,
+                                const std::vector<double>& ratios,
+                                const PegasusConfig& config = {});
+
+  size_t num_levels() const { return levels_.size(); }
+
+  // Level 0 is the finest (largest budget).
+  const SummaryGraph& level(size_t i) const { return levels_[i]; }
+
+  // The finest level whose size fits `budget_bits`; falls back to the
+  // coarsest level.
+  const SummaryGraph& FinestWithin(double budget_bits) const;
+
+  // True iff every pair of co-members at level i are co-members at level
+  // i+1 (the refinement invariant; exposed for tests).
+  bool IsMonotone() const;
+
+ private:
+  std::vector<SummaryGraph> levels_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_HIERARCHY_H_

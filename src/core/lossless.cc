@@ -1,0 +1,58 @@
+#include "src/core/lossless.h"
+
+#include "src/core/candidate_groups.h"
+#include "src/core/cost_model.h"
+#include "src/core/merge_engine.h"
+#include "src/core/personal_weights.h"
+#include "src/core/threshold.h"
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+LosslessResult LosslessSummarize(const Graph& graph,
+                                 const LosslessConfig& config) {
+  LosslessResult result;
+  result.summary = SummaryGraph::Identity(graph);
+  SummaryGraph& summary = result.summary;
+
+  // Uniform weights: the MDL pair cost equals the lossless encoding cost
+  // (superedge bits + 2 log2|V| per correction), so greedy merging with
+  // the zero-clamped adaptive threshold is exactly "merge while the
+  // lossless encoding shrinks". No budget, no sparsification, no forced
+  // rounds — the loop simply runs its tmax iterations.
+  const PersonalWeights weights = PersonalWeights::Compute(graph, {}, 1.0);
+  CostModel cost(graph, weights, summary);
+  MergeEngine engine(graph, summary, cost, MergeScore::kRelative);
+  ThresholdPolicy threshold(ThresholdRule::kAdaptive, config.beta,
+                            config.max_iterations);
+  Rng rng(SplitMix64(config.seed ^ 0xd1b54a32d192ed03ULL));
+
+  int idle_iterations = 0;
+  for (int t = 1; t <= config.max_iterations; ++t) {
+    const uint64_t iteration_seed =
+        SplitMix64(config.seed + 0x9e3779b97f4a7c15ULL * t);
+    std::vector<std::vector<SupernodeId>> groups =
+        GenerateCandidateGroups(graph, summary, iteration_seed, {}, rng);
+    const uint64_t before = engine.stats().merges;
+    for (std::vector<SupernodeId>& group : groups) {
+      engine.ProcessGroup(group, threshold, rng);
+    }
+    result.iterations_run = t;
+    threshold.EndIteration(t + 1);
+    // Converged once two consecutive iterations merge nothing: a single
+    // idle iteration can still lower theta (e.g., a clique's first round
+    // scores 0.497 < the initial 0.5) and enable the next one.
+    idle_iterations = engine.stats().merges == before
+                          ? idle_iterations + 1
+                          : 0;
+    if (idle_iterations >= 2) break;
+  }
+
+  result.corrections = ComputeCorrections(graph, result.summary);
+  result.total_bits = LosslessSizeInBits(result.summary, result.corrections);
+  result.compression_ratio =
+      graph.SizeInBits() > 0 ? result.total_bits / graph.SizeInBits() : 0.0;
+  return result;
+}
+
+}  // namespace pegasus

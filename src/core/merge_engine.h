@@ -1,0 +1,65 @@
+// Merging-and-addition step (Sec. III-D, Alg. 2).
+//
+// Within one candidate group the engine repeatedly samples |Ci| supernode
+// pairs, evaluates the (relative) cost reduction of each, and merges the
+// best pair if its reduction clears the threshold theta; otherwise the
+// reduction is logged for adaptive thresholding and a failure is counted.
+// The group is abandoned after log2|Ci| consecutive failures or when only
+// one supernode remains. After a merge the superedges incident to the new
+// supernode are re-chosen to minimize its cost (Alg. 2 line 9), which is
+// where the summary becomes sparse.
+
+#ifndef PEGASUS_CORE_MERGE_ENGINE_H_
+#define PEGASUS_CORE_MERGE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/summary_graph.h"
+#include "src/core/threshold.h"
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+// Aggregate statistics of a summarization run, for benches and tests.
+struct MergeStats {
+  uint64_t merges = 0;
+  uint64_t evaluations = 0;
+  uint64_t failures = 0;
+};
+
+class MergeEngine {
+ public:
+  MergeEngine(const Graph& graph, SummaryGraph& summary, CostModel& cost,
+              MergeScore score);
+
+  // Runs Alg. 2 on `group` (contents are consumed/permuted). Failures are
+  // recorded into `threshold`.
+  void ProcessGroup(std::vector<SupernodeId>& group,
+                    ThresholdPolicy& threshold, Rng& rng);
+
+  // Merges a and b: structural merge, cost-model update, and re-selection
+  // of the merged supernode's superedges. Returns the winner id. Exposed
+  // for tests and for baselines that drive merges directly.
+  SupernodeId ApplyMerge(SupernodeId a, SupernodeId b);
+
+  // Re-chooses the superedges incident to `a` so that Cost_a is minimized
+  // given the current partition (used after external partition changes).
+  void ReselectSuperedges(SupernodeId a);
+
+  const MergeStats& stats() const { return stats_; }
+
+ private:
+  const Graph& graph_;
+  SummaryGraph& summary_;
+  CostModel& cost_;
+  MergeScore score_;
+  MergeStats stats_;
+  std::vector<IncidentPair> incident_buf_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_MERGE_ENGINE_H_

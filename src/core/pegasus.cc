@@ -1,0 +1,110 @@
+#include "src/core/pegasus.h"
+
+#include "src/core/personal_weights.h"
+#include "src/util/bits.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace pegasus {
+
+SummarizationResult SummarizeGraph(const Graph& graph,
+                                   const std::vector<NodeId>& targets,
+                                   double budget_bits,
+                                   const PegasusConfig& config) {
+  return SummarizeGraphFrom(graph, targets, budget_bits,
+                            SummaryGraph::Identity(graph), config);
+}
+
+SummarizationResult SummarizeGraphFrom(const Graph& graph,
+                                       const std::vector<NodeId>& targets,
+                                       double budget_bits,
+                                       SummaryGraph initial,
+                                       const PegasusConfig& config) {
+  Timer timer;
+  SummarizationResult result;
+  result.summary = std::move(initial);
+  SummaryGraph& summary = result.summary;
+
+  const PersonalWeights weights =
+      PersonalWeights::Compute(graph, targets, config.alpha);
+  CostModel cost(graph, weights, summary, config.encoding);
+  MergeEngine engine(graph, summary, cost, config.merge_score);
+  ThresholdPolicy threshold(config.threshold_rule, config.beta,
+                            config.max_iterations);
+  Rng rng(SplitMix64(config.seed ^ 0xc2b2ae3d27d4eb4fULL));
+
+  int t = 1;
+  while (t <= config.max_iterations && summary.SizeInBits() > budget_bits) {
+    const uint64_t iteration_seed =
+        SplitMix64(config.seed + 0x9e3779b97f4a7c15ULL * t);
+    std::vector<std::vector<SupernodeId>> groups = GenerateCandidateGroups(
+        graph, summary, iteration_seed, config.groups, rng);
+    for (std::vector<SupernodeId>& group : groups) {
+      engine.ProcessGroup(group, threshold, rng);
+      // Alg. 1 checks the budget per iteration; checking per group has the
+      // same semantics but stops precisely at the budget instead of
+      // overshooting by up to a whole iteration's worth of merges, which
+      // keeps realized sizes comparable across runs (Sec. V compares
+      // summaries "of similar size").
+      if (summary.SizeInBits() <= budget_bits) break;
+    }
+    ++t;
+    threshold.EndIteration(t);
+    result.iterations_run = t - 1;
+  }
+
+  // Endgame. The adaptive threshold never goes below 0 (cost-increasing
+  // merges are rejected), so a tight budget may survive the main loop.
+  // Two tools remain, applied from gentlest to harshest:
+  //  1. sparsification — drop superedges (only helps while the membership
+  //     term |V| log2|S| itself fits the budget);
+  //  2. forced coarsening — extra merge rounds with an increasingly
+  //     lenient threshold, shrinking |S| (and with it every encoding
+  //     term), re-checking after each round.
+  double forced_theta = -0.05;
+  int round = 0;
+  while (summary.SizeInBits() > budget_bits &&
+         summary.num_supernodes() > 1) {
+    const double membership_bits =
+        static_cast<double>(graph.num_nodes()) *
+        Log2Bits(summary.num_supernodes());
+    if (membership_bits <= budget_bits) {
+      result.superedges_dropped += SparsifyToBudget(
+          graph, cost, summary, budget_bits, config.sparsify_policy);
+      if (summary.SizeInBits() <= budget_bits) break;
+    }
+    if (round >= config.max_forced_rounds) break;
+    ThresholdPolicy forced(config.threshold_rule, config.beta,
+                           config.max_iterations);
+    forced.ForceTheta(forced_theta);
+    const uint64_t round_seed =
+        SplitMix64(config.seed + 0xa0761d6478bd642fULL * (round + 1));
+    std::vector<std::vector<SupernodeId>> groups = GenerateCandidateGroups(
+        graph, summary, round_seed, config.groups, rng);
+    for (std::vector<SupernodeId>& group : groups) {
+      engine.ProcessGroup(group, forced, rng);
+      if (summary.SizeInBits() <= budget_bits) break;
+    }
+    forced_theta *= 2.0;
+    ++round;
+  }
+  if (summary.SizeInBits() > budget_bits) {
+    // Last resort for budgets below every reachable size.
+    result.superedges_dropped += SparsifyToBudget(
+        graph, cost, summary, budget_bits, config.sparsify_policy);
+  }
+
+  result.merge_stats = engine.stats();
+  result.final_size_bits = summary.SizeInBits();
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+SummarizationResult SummarizeGraphToRatio(const Graph& graph,
+                                          const std::vector<NodeId>& targets,
+                                          double ratio,
+                                          const PegasusConfig& config) {
+  return SummarizeGraph(graph, targets, ratio * graph.SizeInBits(), config);
+}
+
+}  // namespace pegasus

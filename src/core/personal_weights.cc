@@ -1,0 +1,66 @@
+#include "src/core/personal_weights.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/graph/bfs.h"
+
+namespace pegasus {
+
+PersonalWeights PersonalWeights::Compute(const Graph& graph,
+                                         const std::vector<NodeId>& targets,
+                                         double alpha) {
+  assert(alpha >= 1.0);
+  const NodeId n = graph.num_nodes();
+  PersonalWeights w;
+  w.alpha_ = alpha;
+
+  if (targets.empty() || alpha == 1.0) {
+    // Non-personalized: all distances conceptually 0-weighted; pi = 1.
+    w.dist_.assign(n, 0);
+    if (!targets.empty()) w.dist_ = MultiSourceBfsDistances(graph, targets);
+    w.pi_.assign(n, 1.0);
+    w.total_pi_ = static_cast<double>(n);
+    w.total_pi2_ = static_cast<double>(n);
+    w.z_ = 1.0;
+    return w;
+  }
+
+  w.dist_ = MultiSourceBfsDistances(graph, targets);
+
+  // Robustness for disconnected inputs: unreachable nodes get the max
+  // finite distance + 1 (farther than everything reachable).
+  uint32_t max_finite = 0;
+  for (uint32_t d : w.dist_) {
+    if (d != kUnreachable) max_finite = std::max(max_finite, d);
+  }
+  for (uint32_t& d : w.dist_) {
+    if (d == kUnreachable) d = max_finite + 1;
+  }
+
+  w.pi_.resize(n);
+  const double log_alpha = std::log(alpha);
+  for (NodeId u = 0; u < n; ++u) {
+    w.pi_[u] = std::exp(-log_alpha * static_cast<double>(w.dist_[u]));
+  }
+  double sum = 0.0, sum2 = 0.0;
+  for (double p : w.pi_) {
+    sum += p;
+    sum2 += p * p;
+  }
+  w.total_pi_ = sum;
+  w.total_pi2_ = sum2;
+  if (n >= 2) {
+    w.z_ = (sum * sum - sum2) /
+           (static_cast<double>(n) * (static_cast<double>(n) - 1.0));
+  } else {
+    w.z_ = 1.0;
+  }
+  // Guard against pathological all-zero pi (cannot happen for alpha >= 1
+  // with finite distances, but keeps PairWeight well defined).
+  if (!(w.z_ > 0.0)) w.z_ = 1.0;
+  return w;
+}
+
+}  // namespace pegasus

@@ -1,0 +1,69 @@
+// Personalized pair weights W_uv (Sec. II-B, Eq. 2).
+//
+// W_uv = alpha^-(D(u,T) + D(v,T)) / Z, where D(u,T) is the hop distance
+// from u to the nearest target and Z normalizes the mean ordered-pair
+// weight to 1. The weight factorizes as W_uv = pi_u * pi_v / Z with
+// pi_u = alpha^-D(u,T); this class precomputes pi and Z so that the cost
+// model can aggregate weights over supernodes in O(1) per supernode pair.
+//
+// Conventions:
+//  * alpha = 1 or T = V reproduces the non-personalized case: every
+//    W_uv = 1 and the personalized error equals the plain reconstruction
+//    error, which is how SSumM is recovered as a special case.
+//  * Nodes unreachable from every target are assigned distance
+//    (max finite distance + 1); the paper's graphs are connected so this
+//    only matters for robustness.
+
+#ifndef PEGASUS_CORE_PERSONAL_WEIGHTS_H_
+#define PEGASUS_CORE_PERSONAL_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+class PersonalWeights {
+ public:
+  // Computes weights for `graph` personalized to `targets` with the given
+  // degree of personalization. An empty target set is interpreted as T = V
+  // (non-personalized). Requires alpha >= 1.
+  static PersonalWeights Compute(const Graph& graph,
+                                 const std::vector<NodeId>& targets,
+                                 double alpha);
+
+  // Node factor pi_u = alpha^-D(u,T).
+  double pi(NodeId u) const { return pi_[u]; }
+  const std::vector<double>& pi() const { return pi_; }
+
+  // Normalizer Z: the mean of pi_u * pi_v over ordered pairs u != v.
+  double Z() const { return z_; }
+
+  // Unordered pair weight W_uv = pi_u * pi_v / Z (u != v).
+  double PairWeight(NodeId u, NodeId v) const { return pi_[u] * pi_[v] / z_; }
+
+  // Degree of personalization used to build these weights.
+  double alpha() const { return alpha_; }
+
+  // Hop distances D(u, T).
+  const std::vector<uint32_t>& distances() const { return dist_; }
+
+  // Sum of pi over all nodes, and sum of pi^2 (used by tests).
+  double TotalPi() const { return total_pi_; }
+  double TotalPiSquared() const { return total_pi2_; }
+
+ private:
+  PersonalWeights() = default;
+
+  double alpha_ = 1.0;
+  double z_ = 1.0;
+  double total_pi_ = 0.0;
+  double total_pi2_ = 0.0;
+  std::vector<double> pi_;
+  std::vector<uint32_t> dist_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_PERSONAL_WEIGHTS_H_

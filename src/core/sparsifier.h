@@ -1,0 +1,32 @@
+// Further sparsification (Sec. III-F).
+//
+// If the summary still exceeds the bit budget after tmax iterations,
+// superedges are dropped greedily until the budget is met. The paper drops
+// superedges in increasing order of their pair cost Cost_AB (Eq. 6); we
+// also provide a "minimum damage" policy that drops the superedges whose
+// removal adds the least reconstruction error, measured as an ablation in
+// bench_ablation_components.
+
+#ifndef PEGASUS_CORE_SPARSIFIER_H_
+#define PEGASUS_CORE_SPARSIFIER_H_
+
+#include "src/core/cost_model.h"
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+enum class SparsifyPolicy {
+  kPaperCostAscending,  // drop in increasing Cost_AB (the paper's rule)
+  kMinDamage,           // drop in increasing added error
+};
+
+// Drops superedges until summary.SizeInBits() <= budget_bits (or no
+// superedges remain). Returns the number of dropped superedges.
+uint64_t SparsifyToBudget(const Graph& graph, CostModel& cost,
+                          SummaryGraph& summary, double budget_bits,
+                          SparsifyPolicy policy);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_SPARSIFIER_H_

@@ -1,0 +1,168 @@
+#include "src/core/summary_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/graph/graph_builder.h"
+#include "src/util/bits.h"
+
+namespace pegasus {
+
+SummaryGraph SummaryGraph::Identity(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  SummaryGraph s;
+  s.supernode_of_.resize(n);
+  s.members_.resize(n);
+  s.alive_.assign(n, 1);
+  s.adjacency_.resize(n);
+  s.num_active_ = n;
+  for (NodeId u = 0; u < n; ++u) {
+    s.supernode_of_[u] = u;
+    s.members_[u] = {u};
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    auto nb = graph.neighbors(u);
+    s.adjacency_[u].reserve(nb.size());
+    for (NodeId v : nb) s.adjacency_[u].emplace(v, 1);
+  }
+  s.num_superedges_ = graph.num_edges();
+  return s;
+}
+
+SummaryGraph SummaryGraph::FromPartition(const Graph& graph,
+                                         const std::vector<NodeId>& labels) {
+  assert(labels.size() == graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+  // Densify labels.
+  std::vector<NodeId> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  auto dense = [&](NodeId label) {
+    return static_cast<SupernodeId>(
+        std::lower_bound(sorted.begin(), sorted.end(), label) -
+        sorted.begin());
+  };
+  SummaryGraph s;
+  s.supernode_of_.resize(n);
+  s.members_.resize(sorted.size());
+  s.alive_.assign(sorted.size(), 1);
+  s.adjacency_.resize(sorted.size());
+  s.num_active_ = static_cast<uint32_t>(sorted.size());
+  for (NodeId u = 0; u < n; ++u) {
+    SupernodeId a = dense(labels[u]);
+    s.supernode_of_[u] = a;
+    s.members_[a].push_back(u);
+  }
+  return s;
+}
+
+std::vector<SupernodeId> SummaryGraph::ActiveSupernodes() const {
+  std::vector<SupernodeId> out;
+  out.reserve(num_active_);
+  for (SupernodeId a = 0; a < alive_.size(); ++a) {
+    if (alive_[a]) out.push_back(a);
+  }
+  return out;
+}
+
+SupernodeId SummaryGraph::MergeSupernodes(SupernodeId a, SupernodeId b) {
+  assert(a != b && alive_[a] && alive_[b]);
+  SupernodeId winner = members_[a].size() >= members_[b].size() ? a : b;
+  SupernodeId loser = winner == a ? b : a;
+
+  // Erase all superedges incident to either id (Alg. 2 line 8). Processing
+  // the winner first also removes the {winner, loser} back-pointer from the
+  // loser's map, so that pair is decremented exactly once.
+  for (SupernodeId x : {winner, loser}) {
+    for (const auto& [c, w] : adjacency_[x]) {
+      (void)w;
+      if (c != x) adjacency_[c].erase(x);
+      --num_superedges_;
+    }
+    adjacency_[x].clear();
+  }
+
+  for (NodeId u : members_[loser]) supernode_of_[u] = winner;
+  members_[winner].insert(members_[winner].end(), members_[loser].begin(),
+                          members_[loser].end());
+  members_[loser].clear();
+  members_[loser].shrink_to_fit();
+  alive_[loser] = 0;
+  --num_active_;
+  return winner;
+}
+
+bool SummaryGraph::HasSuperedge(SupernodeId a, SupernodeId b) const {
+  return adjacency_[a].contains(b);
+}
+
+uint32_t SummaryGraph::SuperedgeWeight(SupernodeId a, SupernodeId b) const {
+  auto it = adjacency_[a].find(b);
+  return it == adjacency_[a].end() ? 0 : it->second;
+}
+
+void SummaryGraph::SetSuperedge(SupernodeId a, SupernodeId b,
+                                uint32_t weight) {
+  assert(alive_[a] && alive_[b] && weight >= 1);
+  auto [it, inserted] = adjacency_[a].insert_or_assign(b, weight);
+  (void)it;
+  if (a != b) adjacency_[b].insert_or_assign(a, weight);
+  if (inserted) ++num_superedges_;
+}
+
+bool SummaryGraph::EraseSuperedge(SupernodeId a, SupernodeId b) {
+  if (adjacency_[a].erase(b) == 0) return false;
+  if (a != b) adjacency_[b].erase(a);
+  --num_superedges_;
+  return true;
+}
+
+uint32_t SummaryGraph::MaxSuperedgeWeight() const {
+  uint32_t best = 1;
+  for (SupernodeId a = 0; a < adjacency_.size(); ++a) {
+    for (const auto& [c, w] : adjacency_[a]) {
+      (void)c;
+      best = std::max(best, w);
+    }
+  }
+  return best;
+}
+
+double SummaryGraph::SizeInBits() const {
+  const double bits = Log2Bits(num_active_);
+  return 2.0 * static_cast<double>(num_superedges_) * bits +
+         static_cast<double>(num_nodes()) * bits;
+}
+
+double SummaryGraph::SizeInBitsWeighted() const {
+  const double bits = Log2Bits(num_active_);
+  return static_cast<double>(num_superedges_) *
+             (2.0 * bits + Log2Bits(MaxSuperedgeWeight())) +
+         static_cast<double>(num_nodes()) * bits;
+}
+
+Graph SummaryGraph::Reconstruct() const {
+  GraphBuilder builder(num_nodes());
+  for (SupernodeId a = 0; a < adjacency_.size(); ++a) {
+    if (!alive_[a]) continue;
+    for (const auto& [b, w] : adjacency_[a]) {
+      (void)w;
+      if (b < a) continue;  // each unordered pair once
+      if (a == b) {
+        const auto& m = members_[a];
+        for (size_t i = 0; i < m.size(); ++i) {
+          for (size_t j = i + 1; j < m.size(); ++j) {
+            builder.AddEdge(m[i], m[j]);
+          }
+        }
+      } else {
+        for (NodeId u : members_[a]) {
+          for (NodeId v : members_[b]) builder.AddEdge(u, v);
+        }
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace pegasus

@@ -1,0 +1,121 @@
+// Summary graph G̅ = (S, P) (Sec. II-A).
+//
+// Supernodes S form a partition of the input node set V; superedges P join
+// unordered supernode pairs and may be self-loops. Each superedge carries a
+// weight: the number of input-graph edges it represents, which is what the
+// paper's weighted summary graphs store for query answering.
+//
+// The structure is mutable in exactly the way the summarizers need: two
+// supernodes can be merged (members are unioned, the loser id retires) and
+// superedges can be inserted/erased. Supernode ids are stable: they are
+// never reused, and `alive()` distinguishes active ids; ids are in
+// [0, initial |V|).
+//
+// Size accounting follows Eq. (3): Size(G̅) = 2|P| log2|S| + |V| log2|S|,
+// with the weighted variant |P| (2 log2|S| + log2 w_max) + |V| log2|S|
+// used when weights are retained (Sec. V-A).
+
+#ifndef PEGASUS_CORE_SUMMARY_GRAPH_H_
+#define PEGASUS_CORE_SUMMARY_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+using SupernodeId = uint32_t;
+
+class SummaryGraph {
+ public:
+  // An empty summary (no nodes); assign from Identity()/FromPartition().
+  SummaryGraph() = default;
+
+  // Superedge adjacency of one supernode: neighbor supernode -> weight
+  // (count of represented input edges). A self-loop appears as an entry
+  // keyed by the supernode's own id.
+  using AdjacencyMap = std::unordered_map<SupernodeId, uint32_t>;
+
+  // The identity summary of `graph`: every node is a singleton supernode
+  // and every edge a superedge of weight 1. Reconstructs `graph` exactly.
+  static SummaryGraph Identity(const Graph& graph);
+
+  // A summary with the given partition (labels need not be dense) and no
+  // superedges; used by baselines that choose superedges after clustering.
+  static SummaryGraph FromPartition(const Graph& graph,
+                                    const std::vector<NodeId>& labels);
+
+  // --- Supernode structure -------------------------------------------------
+
+  NodeId num_nodes() const { return static_cast<NodeId>(supernode_of_.size()); }
+
+  // Number of *active* supernodes |S|.
+  uint32_t num_supernodes() const { return num_active_; }
+
+  // Upper bound (exclusive) on supernode ids ever issued.
+  SupernodeId id_bound() const { return static_cast<SupernodeId>(members_.size()); }
+
+  bool alive(SupernodeId a) const { return alive_[a]; }
+
+  SupernodeId supernode_of(NodeId u) const { return supernode_of_[u]; }
+
+  const std::vector<NodeId>& members(SupernodeId a) const { return members_[a]; }
+
+  // All active supernode ids (ascending).
+  std::vector<SupernodeId> ActiveSupernodes() const;
+
+  // Merges supernodes a and b (both alive, a != b). Members are unioned
+  // into the larger of the two ("winner"); the other id retires. All
+  // superedges incident to either id are erased — callers re-add the
+  // superedges of the merged supernode (Alg. 2 line 9). Returns the winner.
+  SupernodeId MergeSupernodes(SupernodeId a, SupernodeId b);
+
+  // --- Superedges ----------------------------------------------------------
+
+  const AdjacencyMap& superedges(SupernodeId a) const { return adjacency_[a]; }
+
+  // Number of superedges |P| (each unordered pair counted once; a
+  // self-loop counts once).
+  uint64_t num_superedges() const { return num_superedges_; }
+
+  bool HasSuperedge(SupernodeId a, SupernodeId b) const;
+
+  // Weight of superedge {a, b}; 0 if absent.
+  uint32_t SuperedgeWeight(SupernodeId a, SupernodeId b) const;
+
+  // Inserts or updates superedge {a, b} (a may equal b) with `weight` >= 1.
+  void SetSuperedge(SupernodeId a, SupernodeId b, uint32_t weight);
+
+  // Removes superedge {a, b} if present. Returns true if removed.
+  bool EraseSuperedge(SupernodeId a, SupernodeId b);
+
+  // Largest superedge weight (1 if there are no superedges).
+  uint32_t MaxSuperedgeWeight() const;
+
+  // --- Size & reconstruction ------------------------------------------------
+
+  // Eq. (3): 2 |P| log2 |S| + |V| log2 |S|.
+  double SizeInBits() const;
+
+  // Weighted-output encoding (Sec. V-A):
+  // |P| (2 log2|S| + log2 w_max) + |V| log2 |S|.
+  double SizeInBitsWeighted() const;
+
+  // The reconstructed graph Ĝ (Sec. II-A). Intended for small graphs and
+  // tests; Ĝ can be dense.
+  Graph Reconstruct() const;
+
+ private:
+  std::vector<SupernodeId> supernode_of_;     // node -> supernode
+  std::vector<std::vector<NodeId>> members_;  // supernode -> member nodes
+  std::vector<uint8_t> alive_;
+  std::vector<AdjacencyMap> adjacency_;
+  uint32_t num_active_ = 0;
+  uint64_t num_superedges_ = 0;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_SUMMARY_GRAPH_H_

@@ -1,0 +1,83 @@
+#include "src/core/summary_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+bool SaveSummary(const SummaryGraph& summary, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  // Densify supernode ids.
+  std::vector<SupernodeId> dense(summary.id_bound(), 0);
+  SupernodeId next = 0;
+  for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
+    if (summary.alive(a)) dense[a] = next++;
+  }
+
+  out << "PEGASUS-SUMMARY v1\n";
+  out << "nodes " << summary.num_nodes() << " supernodes "
+      << summary.num_supernodes() << " superedges "
+      << summary.num_superedges() << '\n';
+  for (NodeId u = 0; u < summary.num_nodes(); ++u) {
+    out << dense[summary.supernode_of(u)]
+        << (u + 1 == summary.num_nodes() ? '\n' : ' ');
+  }
+  for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
+    if (!summary.alive(a)) continue;
+    for (const auto& [b, w] : summary.superedges(a)) {
+      if (b < a) continue;
+      out << dense[a] << ' ' << dense[b] << ' ' << w << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<SummaryGraph> LoadSummary(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "PEGASUS-SUMMARY" ||
+      version != "v1") {
+    return std::nullopt;
+  }
+  std::string key;
+  uint64_t num_nodes = 0, num_supernodes = 0, num_superedges = 0;
+  if (!(in >> key >> num_nodes) || key != "nodes") return std::nullopt;
+  if (!(in >> key >> num_supernodes) || key != "supernodes") {
+    return std::nullopt;
+  }
+  if (!(in >> key >> num_superedges) || key != "superedges") {
+    return std::nullopt;
+  }
+
+  std::vector<NodeId> labels(num_nodes);
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    if (!(in >> labels[u]) || labels[u] >= num_supernodes) {
+      return std::nullopt;
+    }
+  }
+  // FromPartition needs a graph only for the node count; build the summary
+  // structure directly through an empty graph of the right size.
+  Graph empty(std::vector<EdgeId>(num_nodes + 1, 0), {});
+  SummaryGraph summary = SummaryGraph::FromPartition(empty, labels);
+  if (summary.num_supernodes() != num_supernodes) return std::nullopt;
+
+  for (uint64_t i = 0; i < num_superedges; ++i) {
+    SupernodeId a = 0, b = 0;
+    uint32_t w = 0;
+    if (!(in >> a >> b >> w) || a >= num_supernodes ||
+        b >= num_supernodes || w == 0) {
+      return std::nullopt;
+    }
+    summary.SetSuperedge(a, b, w);
+  }
+  return summary;
+}
+
+}  // namespace pegasus

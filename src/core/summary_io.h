@@ -1,0 +1,34 @@
+// Summary-graph serialization.
+//
+// A summary graph is the artifact a deployment ships to query-serving
+// machines (Sec. IV loads one per machine), so it needs a durable format.
+// The text format is line-oriented and self-describing:
+//
+//   PEGASUS-SUMMARY v1
+//   nodes <|V|> supernodes <|S|> superedges <|P|>
+//   <supernode id of node 0> ... <supernode id of node |V|-1>
+//   <a> <b> <weight>          (one line per superedge, a <= b)
+//
+// Supernode ids are re-densified on save; loading reproduces an equivalent
+// summary (same partition, same superedges/weights).
+
+#ifndef PEGASUS_CORE_SUMMARY_IO_H_
+#define PEGASUS_CORE_SUMMARY_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/core/summary_graph.h"
+
+namespace pegasus {
+
+// Writes the summary to `path`. Returns false on I/O failure.
+bool SaveSummary(const SummaryGraph& summary, const std::string& path);
+
+// Reads a summary previously written by SaveSummary. Returns nullopt on
+// I/O or format errors.
+std::optional<SummaryGraph> LoadSummary(const std::string& path);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_SUMMARY_IO_H_

@@ -1,0 +1,58 @@
+// Merge-threshold policies (Sec. III-E and Sec. III-G).
+//
+// PeGaSus balances exploitation and exploration with an *adaptive*
+// threshold: rejected relative reductions are logged in a list L, and at
+// the end of each iteration theta becomes the floor(beta * |L|)-th largest
+// logged value (larger beta => theta falls faster => more exploitation).
+// SSumM instead uses the fixed harmonic rule theta(t) = 1/(1+t), dropping
+// to 0 in the final iteration.
+
+#ifndef PEGASUS_CORE_THRESHOLD_H_
+#define PEGASUS_CORE_THRESHOLD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pegasus {
+
+enum class ThresholdRule {
+  kAdaptive,  // PeGaSus (Sec. III-E)
+  kHarmonic,  // SSumM: theta(t) = 1/(1+t), 0 at the last iteration
+};
+
+// Stateful threshold controller used by the summarizer driver.
+class ThresholdPolicy {
+ public:
+  ThresholdPolicy(ThresholdRule rule, double beta, int max_iterations);
+
+  double theta() const { return theta_; }
+
+  // Records a rejected candidate's score (Alg. 2 line 12). Only meaningful
+  // under the adaptive rule; harmless otherwise.
+  void RecordFailure(double score) { failures_.push_back(score); }
+
+  // Advances to iteration `next_t` (1-based) and updates theta. Under the
+  // adaptive rule theta is clamped at 0: a merge with negative relative
+  // reduction *increases* the personalized cost, so accepting it is never
+  // justified by Eq. (5); the budget endgame is handled by sparsification
+  // and forced coarsening in the driver instead.
+  void EndIteration(int next_t);
+
+  // Overrides theta directly (used by the driver's forced-coarsening
+  // endgame and by tests).
+  void ForceTheta(double value) { theta_ = value; }
+
+  // Number of failures recorded during the current iteration (for stats).
+  std::size_t num_recorded() const { return failures_.size(); }
+
+ private:
+  ThresholdRule rule_;
+  double beta_;
+  int max_iterations_;
+  double theta_ = 0.5;  // the paper's initial value
+  std::vector<double> failures_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_THRESHOLD_H_

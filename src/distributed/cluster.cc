@@ -1,0 +1,48 @@
+#include "src/distributed/cluster.h"
+
+#include "src/query/summary_queries.h"
+
+namespace pegasus {
+
+SummaryCluster SummaryCluster::Build(const Graph& graph,
+                                     const Partition& partition,
+                                     double budget_bits_per_machine,
+                                     const PegasusConfig& config) {
+  SummaryCluster cluster;
+  cluster.partition_ = partition;
+  const auto parts = partition.Parts();
+  cluster.summaries_.reserve(parts.size());
+  for (uint32_t i = 0; i < parts.size(); ++i) {
+    PegasusConfig machine_config = config;
+    machine_config.seed = SplitMix64(config.seed + i + 1);
+    cluster.summaries_.push_back(
+        SummarizeGraph(graph, parts[i], budget_bits_per_machine,
+                       machine_config)
+            .summary);
+  }
+  return cluster;
+}
+
+double SummaryCluster::TotalBits() const {
+  double total = 0.0;
+  for (const SummaryGraph& s : summaries_) total += s.SizeInBits();
+  return total;
+}
+
+std::vector<uint32_t> SummaryCluster::AnswerHop(NodeId q) const {
+  return FastSummaryHopDistances(summaries_[MachineOf(q)], q);
+}
+
+std::vector<double> SummaryCluster::AnswerRwr(
+    NodeId q, double restart_prob, const IterativeQueryOptions& opts) const {
+  return SummaryRwrScores(summaries_[MachineOf(q)], q, restart_prob,
+                          /*weighted=*/true, opts);
+}
+
+std::vector<double> SummaryCluster::AnswerPhp(
+    NodeId q, double decay, const IterativeQueryOptions& opts) const {
+  return SummaryPhpScores(summaries_[MachineOf(q)], q, decay,
+                          /*weighted=*/true, opts);
+}
+
+}  // namespace pegasus

@@ -1,0 +1,61 @@
+// "Communication-free" distributed multi-query answering (Sec. IV, Alg. 3).
+//
+// A simulated cluster of m machines, each holding one summary graph of the
+// whole input personalized to its shard of nodes. A query on node q is
+// routed to the machine whose shard contains q and answered there without
+// any inter-machine communication. This is the paper's flagship
+// application of PeGaSus: because machine i's summary is personalized to
+// V_i, queries on V_i's nodes stay accurate even at small budgets.
+
+#ifndef PEGASUS_DISTRIBUTED_CLUSTER_H_
+#define PEGASUS_DISTRIBUTED_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/pegasus.h"
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+#include "src/partition/partition.h"
+#include "src/query/exact_queries.h"
+
+namespace pegasus {
+
+class SummaryCluster {
+ public:
+  // Builds one personalized summary per part: machine i gets
+  // PeGaSus(graph, k = budget_bits_per_machine, T = V_i) (Alg. 3 lines
+  // 1-4). `config.alpha` etc. apply to every machine.
+  static SummaryCluster Build(const Graph& graph, const Partition& partition,
+                              double budget_bits_per_machine,
+                              const PegasusConfig& config = {});
+
+  uint32_t num_machines() const {
+    return static_cast<uint32_t>(summaries_.size());
+  }
+
+  // Machine responsible for queries on q (Alg. 3 lines 6-7).
+  uint32_t MachineOf(NodeId q) const { return partition_.part_of[q]; }
+
+  const SummaryGraph& summary(uint32_t machine) const {
+    return summaries_[machine];
+  }
+
+  // Total bits held across machines (weighted encoding, as stored).
+  double TotalBits() const;
+
+  // Query answering, routed to the responsible machine.
+  std::vector<uint32_t> AnswerHop(NodeId q) const;
+  std::vector<double> AnswerRwr(NodeId q, double restart_prob = 0.05,
+                                const IterativeQueryOptions& opts = {}) const;
+  std::vector<double> AnswerPhp(NodeId q, double decay = 0.95,
+                                const IterativeQueryOptions& opts = {}) const;
+
+ private:
+  Partition partition_;
+  std::vector<SummaryGraph> summaries_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_DISTRIBUTED_CLUSTER_H_

@@ -1,0 +1,58 @@
+// Shared measurement harness for the distributed experiment (Fig. 12).
+//
+// Given a cluster (summary-based or subgraph-based), a set of query nodes,
+// and ground-truth answers computed on the full graph, reports the mean
+// SMAPE and Spearman correlation per query type.
+
+#ifndef PEGASUS_DISTRIBUTED_EXPERIMENT_H_
+#define PEGASUS_DISTRIBUTED_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/distributed/cluster.h"
+#include "src/distributed/subgraph_baseline.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+enum class QueryType { kRwr, kHop, kPhp };
+
+struct AccuracyResult {
+  double smape = 0.0;
+  double spearman = 0.0;
+};
+
+// Exact per-query ground truth, precomputable once per (graph, queries,
+// type) and shared across every method under comparison.
+using GroundTruth = std::vector<std::vector<double>>;
+GroundTruth ComputeGroundTruth(const Graph& graph,
+                               const std::vector<NodeId>& queries,
+                               QueryType type);
+
+// Mean accuracy of `cluster` (either SummaryCluster or SubgraphCluster)
+// over `queries`, against exact answers on `graph`. The overloads without
+// `truth` compute it internally; pass a precomputed GroundTruth when
+// comparing several methods on the same queries.
+AccuracyResult MeasureClusterAccuracy(const Graph& graph,
+                                      const SummaryCluster& cluster,
+                                      const std::vector<NodeId>& queries,
+                                      QueryType type,
+                                      const GroundTruth* truth = nullptr);
+AccuracyResult MeasureClusterAccuracy(const Graph& graph,
+                                      const SubgraphCluster& cluster,
+                                      const std::vector<NodeId>& queries,
+                                      QueryType type,
+                                      const GroundTruth* truth = nullptr);
+
+// Accuracy of answering queries on a single summary graph (used by the
+// Fig. 7 and Fig. 9/11 benches).
+AccuracyResult MeasureSummaryAccuracy(const Graph& graph,
+                                      const SummaryGraph& summary,
+                                      const std::vector<NodeId>& queries,
+                                      QueryType type,
+                                      const GroundTruth* truth = nullptr);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_DISTRIBUTED_EXPERIMENT_H_

@@ -1,0 +1,52 @@
+// The "potential alternative" of Sec. IV: distributed overlapping
+// subgraphs instead of personalized summaries.
+//
+// Machine i stores an ordinary (uncompressed) subgraph of size at most k
+// bits (Eq. 4) composed of the edges *closest* to its shard V_i: edges are
+// ranked by the hop distance of their nearer endpoint from V_i (ties in
+// discovery order) and taken until the budget is exhausted. Queries on V_i
+// are answered exactly on that subgraph — accurate near the shard, blind
+// far away, which is the trade-off Fig. 12 quantifies.
+
+#ifndef PEGASUS_DISTRIBUTED_SUBGRAPH_BASELINE_H_
+#define PEGASUS_DISTRIBUTED_SUBGRAPH_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/partition/partition.h"
+#include "src/query/exact_queries.h"
+
+namespace pegasus {
+
+class SubgraphCluster {
+ public:
+  static SubgraphCluster Build(const Graph& graph,
+                               const Partition& partition,
+                               double budget_bits_per_machine);
+
+  uint32_t num_machines() const {
+    return static_cast<uint32_t>(subgraphs_.size());
+  }
+
+  uint32_t MachineOf(NodeId q) const { return partition_.part_of[q]; }
+
+  const Graph& subgraph(uint32_t machine) const {
+    return subgraphs_[machine];
+  }
+
+  std::vector<uint32_t> AnswerHop(NodeId q) const;
+  std::vector<double> AnswerRwr(NodeId q, double restart_prob = 0.05,
+                                const IterativeQueryOptions& opts = {}) const;
+  std::vector<double> AnswerPhp(NodeId q, double decay = 0.95,
+                                const IterativeQueryOptions& opts = {}) const;
+
+ private:
+  Partition partition_;
+  std::vector<Graph> subgraphs_;  // full node set, truncated edge set
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_DISTRIBUTED_SUBGRAPH_BASELINE_H_

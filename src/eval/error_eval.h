@@ -1,0 +1,44 @@
+// Exact evaluation of the (personalized) reconstruction error (Eq. 1).
+//
+// RE_T(G̅) = sum over the full adjacency matrix of W_uv |A_uv - Â_uv|. It
+// decomposes over unordered pairs as
+//   RE = 2 * [ (weight of E \ Ê) + (weight of Ê \ E) ]
+//      = 2 * [ (W_E - W_both) + (W_Ê - W_both) ],
+// where W_E is the total weight of real edges, W_Ê the total pair weight
+// under all superedges, and W_both the weight of real edges covered by a
+// superedge. All three are computable in O(|E| + |P|) time using the
+// factorized weights, so no adjacency matrix is ever materialized.
+
+#ifndef PEGASUS_EVAL_ERROR_EVAL_H_
+#define PEGASUS_EVAL_ERROR_EVAL_H_
+
+#include "src/core/personal_weights.h"
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+// Personalized error (Eq. 1, full-matrix convention).
+double PersonalizedError(const Graph& graph, const SummaryGraph& summary,
+                         const PersonalWeights& weights);
+
+// Plain reconstruction error: the number of flipped adjacency-matrix
+// entries (personalized error with uniform weights).
+double ReconstructionError(const Graph& graph, const SummaryGraph& summary);
+
+// Total personalized cost (Eq. 5): Size(G̅) + log2|V| * RE_T(G̅).
+double PersonalizedCost(const Graph& graph, const SummaryGraph& summary,
+                        const PersonalWeights& weights);
+
+// Compression ratio in bits: Size(G̅) / Size(G) (Eq. 3 / Eq. 4).
+double CompressionRatio(const Graph& graph, const SummaryGraph& summary);
+
+// Compression ratio under the weighted-output encoding (Sec. V-A):
+// [|P| (2 log2|S| + log2 w_max) + |V| log2|S|] / Size(G). This is how the
+// paper sizes the weighted summaries produced by k-GraSS, SAAGs, and S2L.
+double CompressionRatioWeighted(const Graph& graph,
+                                const SummaryGraph& summary);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_EVAL_ERROR_EVAL_H_

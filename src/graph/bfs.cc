@@ -1,0 +1,58 @@
+#include "src/graph/bfs.h"
+
+namespace pegasus {
+
+std::vector<uint32_t> BfsDistances(const Graph& graph, NodeId source) {
+  return MultiSourceBfsDistances(graph, {source});
+}
+
+std::vector<uint32_t> MultiSourceBfsDistances(
+    const Graph& graph, const std::vector<NodeId>& sources) {
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier;
+  frontier.reserve(sources.size());
+  for (NodeId s : sources) {
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> next;
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : graph.neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<NodeId> BfsSample(const Graph& graph, NodeId source,
+                              NodeId count) {
+  std::vector<NodeId> order;
+  order.reserve(count);
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::vector<NodeId> queue{source};
+  seen[source] = true;
+  for (size_t head = 0; head < queue.size() && order.size() < count; ++head) {
+    NodeId u = queue[head];
+    order.push_back(u);
+    for (NodeId v : graph.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace pegasus

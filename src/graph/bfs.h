@@ -1,0 +1,35 @@
+// Breadth-first search primitives.
+//
+// Multi-source BFS computes D(u, T) = min_{t in T} #hops(u, t), the distance
+// field that defines the personalized weights (Eq. 2), in O(|V| + |E|).
+
+#ifndef PEGASUS_GRAPH_BFS_H_
+#define PEGASUS_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+// Distance value for nodes unreachable from every source.
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+// Hop distances from a single source. dist[source] = 0; unreachable nodes
+// get kUnreachable.
+std::vector<uint32_t> BfsDistances(const Graph& graph, NodeId source);
+
+// Hop distances from the nearest of multiple sources: D(u, T) of Eq. (2).
+std::vector<uint32_t> MultiSourceBfsDistances(const Graph& graph,
+                                              const std::vector<NodeId>& sources);
+
+// The first `count` nodes discovered by a BFS from `source` (including the
+// source). Used by the Fig. 10 experiment, which samples target nodes
+// "adjacent by BFS from a random node".
+std::vector<NodeId> BfsSample(const Graph& graph, NodeId source,
+                              NodeId count);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_BFS_H_

@@ -1,0 +1,60 @@
+#include "src/graph/components.h"
+
+#include <algorithm>
+
+#include "src/graph/graph_builder.h"
+
+namespace pegasus {
+
+ComponentLabels ConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  ComponentLabels result;
+  result.label.assign(n, kInvalidLabel);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (result.label[s] != kInvalidLabel) continue;
+    NodeId c = result.num_components++;
+    result.label[s] = c;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : graph.neighbors(u)) {
+        if (result.label[v] == kInvalidLabel) {
+          result.label[v] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+LargestComponentResult LargestComponent(const Graph& graph) {
+  ComponentLabels cc = ConnectedComponents(graph);
+  std::vector<EdgeId> size(cc.num_components, 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) ++size[cc.label[u]];
+  NodeId best = 0;
+  for (NodeId c = 1; c < cc.num_components; ++c) {
+    if (size[c] > size[best]) best = c;
+  }
+
+  LargestComponentResult result;
+  std::vector<NodeId> new_id(graph.num_nodes(), kInvalidLabel);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (cc.label[u] == best) {
+      new_id[u] = static_cast<NodeId>(result.original_id.size());
+      result.original_id.push_back(u);
+    }
+  }
+  GraphBuilder builder(static_cast<NodeId>(result.original_id.size()));
+  for (NodeId u : result.original_id) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v && cc.label[v] == best) builder.AddEdge(new_id[u], new_id[v]);
+    }
+  }
+  result.graph = std::move(builder).Build();
+  return result;
+}
+
+}  // namespace pegasus

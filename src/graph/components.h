@@ -1,0 +1,39 @@
+// Connected components and largest-component extraction.
+//
+// The paper preprocesses every dataset by keeping only the largest connected
+// component; LargestComponent reproduces that step and returns the node
+// relabeling so callers can map results back.
+
+#ifndef PEGASUS_GRAPH_COMPONENTS_H_
+#define PEGASUS_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+// Sentinel for "no label assigned yet".
+inline constexpr NodeId kInvalidLabel = UINT32_MAX;
+
+// Component label per node (labels are dense, 0-based).
+struct ComponentLabels {
+  std::vector<NodeId> label;  // size |V|
+  NodeId num_components = 0;
+};
+
+ComponentLabels ConnectedComponents(const Graph& graph);
+
+// The induced subgraph on the largest connected component, with nodes
+// relabeled densely in ascending original-id order.
+struct LargestComponentResult {
+  Graph graph;
+  // original_id[i] = id in the input graph of the i-th node of `graph`.
+  std::vector<NodeId> original_id;
+};
+
+LargestComponentResult LargestComponent(const Graph& graph);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_COMPONENTS_H_

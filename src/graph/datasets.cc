@@ -1,0 +1,136 @@
+#include "src/graph/datasets.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/graph/components.h"
+#include "src/graph/generators.h"
+
+namespace pegasus {
+
+namespace {
+
+// Node-count multiplier per scale, relative to kDefault.
+double ScaleFactor(DatasetScale scale) {
+  switch (scale) {
+    case DatasetScale::kTiny:
+      return 0.02;
+    case DatasetScale::kSmall:
+      return 0.25;
+    case DatasetScale::kDefault:
+      return 1.0;
+    case DatasetScale::kPaper:
+      return 4.0;
+  }
+  return 1.0;
+}
+
+NodeId Scaled(NodeId base, DatasetScale scale, NodeId min_nodes = 200) {
+  double n = base * ScaleFactor(scale);
+  return n < min_nodes ? min_nodes : static_cast<NodeId>(n);
+}
+
+}  // namespace
+
+std::vector<DatasetId> AllDatasetIds() {
+  return {DatasetId::kLastFmAsia, DatasetId::kCaida,  DatasetId::kDblp,
+          DatasetId::kAmazon,     DatasetId::kSkitter, DatasetId::kWikipedia};
+}
+
+Dataset MakeDataset(DatasetId id, DatasetScale scale, uint64_t seed) {
+  Dataset ds;
+  ds.id = id;
+  Graph raw;
+  switch (id) {
+    case DatasetId::kLastFmAsia: {
+      // Social network: strong communities plus a skewed-degree backbone.
+      // Paper scale: 7,624 nodes / 27,806 edges; generated at full scale
+      // for kDefault and above.
+      ds.name = "LastFM-Asia*";
+      ds.abbrev = "LA";
+      ds.summary = "Social";
+      NodeId n = scale == DatasetScale::kPaper
+                     ? 7624
+                     : Scaled(7624, scale, 200);
+      raw = UnionGraphs(
+          GeneratePlantedPartition(n, 24, 5.0, 1.0, seed),
+          GenerateBarabasiAlbert(n, 1, seed + 1));
+      break;
+    }
+    case DatasetId::kCaida: {
+      // Internet AS topology: heavy-tailed degrees with strong geographic
+      // locality — modeled as a ring of BA communities so that hop
+      // distance grows with "geographic" distance (the property the
+      // personalized weights exploit). Paper scale: 26,475 / 53,381;
+      // matching node count at kDefault+.
+      ds.name = "Caida*";
+      ds.abbrev = "CA";
+      ds.summary = "Internet";
+      NodeId csize = Scaled(1650, scale, 24);
+      raw = GenerateCommunityRing(16, csize, 4, 12, seed + 2,
+                                  /*tail_fraction=*/0.75);
+      break;
+    }
+    case DatasetId::kDblp: {
+      // Collaboration network: dense co-author communities with sparse
+      // cross links and topical locality — a grid of BA communities.
+      // Paper: 317k / 1.05M; scaled down.
+      ds.name = "DBLP*";
+      ds.abbrev = "DB";
+      ds.summary = "Collaboration";
+      NodeId csize = Scaled(1600, scale, 24);
+      raw = GenerateCommunityGrid(5, 5, csize, 5, 10, seed + 3,
+                                  /*tail_fraction=*/0.55);
+      break;
+    }
+    case DatasetId::kAmazon: {
+      // Co-purchase network: moderate degree (mean ~12), strong local
+      // clustering and category locality — a denser community grid.
+      // Paper: 403k / 2.44M; scaled down.
+      ds.name = "Amazon0601*";
+      ds.abbrev = "A6";
+      ds.summary = "Co-purchase";
+      NodeId csize = Scaled(1400, scale, 24);
+      raw = GenerateCommunityGrid(6, 6, csize, 10, 14, seed + 5,
+                                  /*tail_fraction=*/0.55);
+      break;
+    }
+    case DatasetId::kSkitter: {
+      // Internet topology at router granularity: heavy skew, mean degree
+      // ~13, regional locality — a ring of larger, denser BA communities.
+      // Paper: 1.69M / 11.1M; scaled down.
+      ds.name = "Skitter*";
+      ds.abbrev = "SK";
+      ds.summary = "Internet";
+      NodeId csize = Scaled(4200, scale, 48);
+      raw = GenerateCommunityRing(14, csize, 13, 20, seed + 7,
+                                  /*tail_fraction=*/0.6);
+      break;
+    }
+    case DatasetId::kWikipedia: {
+      // Hyperlink network: very dense (mean degree ~65) with a remarkably
+      // small effective diameter. Paper: 3.17M / 103M; scaled down with
+      // the density regime preserved.
+      ds.name = "Wikipedia*";
+      ds.abbrev = "WK";
+      ds.summary = "Hyperlinks";
+      NodeId n = Scaled(40000, scale, 300);
+      raw = GenerateBarabasiAlbertTails(n, 24, /*tail_fraction=*/0.4,
+                                        seed + 8);
+      break;
+    }
+  }
+  ds.graph = LargestComponent(raw).graph;
+  return ds;
+}
+
+DatasetScale BenchScaleFromEnv() {
+  const char* env = std::getenv("PEGASUS_BENCH_SCALE");
+  if (env == nullptr) return DatasetScale::kDefault;
+  if (std::strcmp(env, "tiny") == 0) return DatasetScale::kTiny;
+  if (std::strcmp(env, "small") == 0) return DatasetScale::kSmall;
+  if (std::strcmp(env, "paper") == 0) return DatasetScale::kPaper;
+  return DatasetScale::kDefault;
+}
+
+}  // namespace pegasus

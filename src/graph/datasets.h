@@ -1,0 +1,63 @@
+// Named synthetic analogs of the paper's datasets (Table II).
+//
+// The paper evaluates on six public real-world graphs. Those files are not
+// bundled here, so each dataset is replaced by a deterministic synthetic
+// analog chosen to match the regime that drives the paper's results:
+// degree skew (preferential attachment), community structure (planted
+// partition), density, and diameter. The two smallest graphs are generated
+// at full paper scale; the larger ones are scaled down so that the whole
+// benchmark suite runs on one machine (see DESIGN.md, "Substitutions").
+// If you download the real SNAP/KONECT edge lists, LoadEdgeList() in
+// graph/io.h reads them unchanged and every harness accepts a Graph.
+//
+// As in the paper, each analog is post-processed to its largest connected
+// component.
+
+#ifndef PEGASUS_GRAPH_DATASETS_H_
+#define PEGASUS_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+enum class DatasetId {
+  kLastFmAsia,   // LA: social network, 7.6k nodes (full scale)
+  kCaida,        // CA: internet topology, 26k nodes (full scale)
+  kDblp,         // DB: collaboration network (scaled)
+  kAmazon,       // A6: co-purchase network (scaled)
+  kSkitter,      // SK: internet topology (scaled)
+  kWikipedia,    // WK: dense hyperlink network (scaled)
+};
+
+// Relative sizing of the analogs.
+enum class DatasetScale {
+  kTiny,     // hundreds of nodes; unit tests
+  kSmall,    // a few thousand nodes; fast benches / CI
+  kDefault,  // tens of thousands of nodes; the shipped bench scale
+  kPaper,    // paper-scale node counts where feasible
+};
+
+struct Dataset {
+  DatasetId id;
+  std::string name;    // e.g. "LastFM-Asia*" (the star marks an analog)
+  std::string abbrev;  // e.g. "LA"
+  std::string summary; // e.g. "Social"
+  Graph graph;
+};
+
+// All six analogs in Table II order.
+std::vector<DatasetId> AllDatasetIds();
+
+// Builds the analog for `id` at `scale`. Deterministic for a fixed seed.
+Dataset MakeDataset(DatasetId id, DatasetScale scale, uint64_t seed = 7);
+
+// Parses the PEGASUS_BENCH_SCALE environment variable
+// ("tiny"/"small"/"default"/"paper"); defaults to kDefault.
+DatasetScale BenchScaleFromEnv();
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_DATASETS_H_

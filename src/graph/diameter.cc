@@ -1,0 +1,50 @@
+#include "src/graph/diameter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/graph/bfs.h"
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+double EffectiveDiameter(const Graph& graph, double percentile,
+                         NodeId num_samples, uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  if (n < 2) return 0.0;
+  Rng rng(seed);
+  std::vector<uint64_t> sources =
+      rng.SampleDistinct(n, std::min<uint64_t>(num_samples, n));
+
+  // hop_count[h] = number of sampled (source, node) pairs at distance
+  // exactly h. Distances are bounded by n - 1.
+  std::vector<uint64_t> hop_count;
+  uint64_t total_pairs = 0;
+  for (uint64_t s : sources) {
+    std::vector<uint32_t> dist = BfsDistances(graph, static_cast<NodeId>(s));
+    for (NodeId u = 0; u < n; ++u) {
+      uint32_t d = dist[u];
+      if (d == kUnreachable || d == 0) continue;
+      if (d >= hop_count.size()) hop_count.resize(d + 1, 0);
+      ++hop_count[d];
+      ++total_pairs;
+    }
+  }
+  if (total_pairs == 0) return 0.0;
+
+  const double threshold = percentile * static_cast<double>(total_pairs);
+  uint64_t cumulative = 0;
+  for (uint32_t h = 1; h < hop_count.size(); ++h) {
+    uint64_t next = cumulative + hop_count[h];
+    if (static_cast<double>(next) >= threshold) {
+      // Linear interpolation between h-1 (cumulative) and h (next).
+      double frac = (threshold - static_cast<double>(cumulative)) /
+                    static_cast<double>(hop_count[h]);
+      return (h - 1) + frac;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(hop_count.size() - 1);
+}
+
+}  // namespace pegasus

@@ -1,0 +1,25 @@
+// Effective-diameter estimation.
+//
+// The paper uses the 90-percentile effective diameter (the minimum number
+// of hops within which 90% of connected node pairs lie) to explain how the
+// best degree of personalization alpha varies across graphs (Fig. 10). We
+// estimate it by exact BFS from a uniform sample of source nodes, with
+// linear interpolation between hop counts as is standard for this measure.
+
+#ifndef PEGASUS_GRAPH_DIAMETER_H_
+#define PEGASUS_GRAPH_DIAMETER_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+// Estimates the `percentile` effective diameter from `num_samples` BFS
+// sources (capped at |V|). Returns 0 for graphs with < 2 nodes.
+double EffectiveDiameter(const Graph& graph, double percentile = 0.9,
+                         NodeId num_samples = 256, uint64_t seed = 1);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_DIAMETER_H_

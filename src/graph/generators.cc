@@ -1,0 +1,240 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+Graph GenerateBarabasiAlbert(NodeId num_nodes, uint32_t edges_per_node,
+                             uint64_t seed) {
+  return GenerateBarabasiAlbertTails(num_nodes, edges_per_node, 0.0, seed);
+}
+
+Graph GenerateBarabasiAlbertTails(NodeId num_nodes, uint32_t edges_per_node,
+                                  double tail_fraction, uint64_t seed) {
+  assert(edges_per_node >= 1);
+  Rng rng(seed);
+  const NodeId m = edges_per_node;
+  const NodeId seed_nodes = std::min<NodeId>(num_nodes, m + 1);
+
+  GraphBuilder builder(num_nodes);
+  // Endpoint list: every node appears once per incident edge, so uniform
+  // sampling from it is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(num_nodes) * m * 2);
+
+  // Seed clique over the first m+1 nodes.
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> chosen;
+  for (NodeId u = seed_nodes; u < num_nodes; ++u) {
+    chosen.clear();
+    const NodeId attach =
+        (tail_fraction > 0.0 && rng.Bernoulli(tail_fraction)) ? 1 : m;
+    // Draw distinct existing endpoints by rejection; the endpoint list is
+    // large relative to m so rejection terminates quickly.
+    while (chosen.size() < attach) {
+      NodeId v = endpoints[rng.Uniform(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), v) == chosen.end()) {
+        chosen.push_back(v);
+      }
+    }
+    for (NodeId v : chosen) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph GenerateWattsStrogatz(NodeId num_nodes, uint32_t k, double rewire_prob,
+                            uint64_t seed) {
+  assert(k % 2 == 0 && k < num_nodes);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % num_nodes);
+      if (rng.Bernoulli(rewire_prob)) {
+        // Rewire the far endpoint to a uniform random node (avoid u itself;
+        // accidental duplicates are deduplicated by the builder, matching
+        // the standard construction closely enough for diameter control).
+        NodeId w;
+        do {
+          w = static_cast<NodeId>(rng.Uniform(num_nodes));
+        } while (w == u);
+        builder.AddEdge(u, w);
+      } else {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph GenerateErdosRenyi(NodeId num_nodes, EdgeId num_edges, uint64_t seed) {
+  Rng rng(seed);
+  const __uint128_t max_edges =
+      static_cast<__uint128_t>(num_nodes) * (num_nodes - 1) / 2;
+  if (static_cast<__uint128_t>(num_edges) > max_edges) {
+    num_edges = static_cast<EdgeId>(max_edges);
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  GraphBuilder builder(num_nodes);
+  while (seen.size() < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Uniform(num_nodes));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+Graph GeneratePlantedPartition(NodeId num_nodes, uint32_t num_blocks,
+                               double in_degree, double out_degree,
+                               uint64_t seed) {
+  assert(num_blocks >= 1);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  const NodeId block_size = std::max<NodeId>(1, num_nodes / num_blocks);
+  auto block_of = [&](NodeId u) {
+    return std::min<uint32_t>(u / block_size, num_blocks - 1);
+  };
+  auto block_begin = [&](uint32_t b) { return b * block_size; };
+  auto block_end = [&](uint32_t b) {
+    return b + 1 == num_blocks ? num_nodes : (b + 1) * block_size;
+  };
+
+  const EdgeId target_in =
+      static_cast<EdgeId>(in_degree * num_nodes / 2.0);
+  const EdgeId target_out =
+      static_cast<EdgeId>(out_degree * num_nodes / 2.0);
+
+  // Within-block edges: sample a block proportional to its size, then a
+  // uniform pair inside it.
+  for (EdgeId i = 0; i < target_in; ++i) {
+    NodeId anchor = static_cast<NodeId>(rng.Uniform(num_nodes));
+    uint32_t b = block_of(anchor);
+    NodeId lo = block_begin(b), hi = block_end(b);
+    if (hi - lo < 2) continue;
+    NodeId u = lo + static_cast<NodeId>(rng.Uniform(hi - lo));
+    NodeId v = lo + static_cast<NodeId>(rng.Uniform(hi - lo));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  // Cross-block edges: uniform pairs in different blocks.
+  for (EdgeId i = 0; i < target_out; ++i) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Uniform(num_nodes));
+    if (u != v && block_of(u) != block_of(v)) builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+Graph GenerateGrid(NodeId rows, NodeId cols, double shortcut_prob,
+                   uint64_t seed) {
+  Rng rng(seed);
+  const NodeId n = rows * cols;
+  GraphBuilder builder(n);
+  auto id = [&](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+      if (shortcut_prob > 0 && r + 1 < rows && c + 1 < cols &&
+          rng.Bernoulli(shortcut_prob)) {
+        builder.AddEdge(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+namespace {
+
+// Shared implementation: communities laid out consecutively, BA inside
+// each, plus `inter_edges` random edges per (a, b) community adjacency.
+Graph CommunityGraph(uint32_t communities, NodeId community_size,
+                     uint32_t m_intra,
+                     const std::vector<std::pair<uint32_t, uint32_t>>& links,
+                     uint32_t inter_edges, uint64_t seed,
+                     double tail_fraction) {
+  const NodeId n = communities * community_size;
+  GraphBuilder builder(n);
+  for (uint32_t c = 0; c < communities; ++c) {
+    Graph inner = GenerateBarabasiAlbertTails(
+        community_size, m_intra, tail_fraction,
+        SplitMix64(seed + 0x100 + c));
+    const NodeId base = c * community_size;
+    for (const Edge& e : inner.CanonicalEdges()) {
+      builder.AddEdge(base + e.u, base + e.v);
+    }
+  }
+  Rng rng(SplitMix64(seed ^ 0x71374491428a2f98ULL));
+  for (const auto& [a, b] : links) {
+    for (uint32_t i = 0; i < inter_edges; ++i) {
+      const NodeId u =
+          a * community_size + static_cast<NodeId>(rng.Uniform(community_size));
+      const NodeId v =
+          b * community_size + static_cast<NodeId>(rng.Uniform(community_size));
+      builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Graph GenerateCommunityRing(uint32_t communities, NodeId community_size,
+                            uint32_t m_intra, uint32_t inter_edges,
+                            uint64_t seed, double tail_fraction) {
+  assert(communities >= 3);
+  std::vector<std::pair<uint32_t, uint32_t>> links;
+  links.reserve(communities);
+  for (uint32_t c = 0; c < communities; ++c) {
+    links.emplace_back(c, (c + 1) % communities);
+  }
+  return CommunityGraph(communities, community_size, m_intra, links,
+                        inter_edges, seed, tail_fraction);
+}
+
+Graph GenerateCommunityGrid(uint32_t rows, uint32_t cols,
+                            NodeId community_size, uint32_t m_intra,
+                            uint32_t inter_edges, uint64_t seed,
+                            double tail_fraction) {
+  std::vector<std::pair<uint32_t, uint32_t>> links;
+  auto id = [&](uint32_t r, uint32_t c) { return r * cols + c; };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) links.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return CommunityGraph(rows * cols, community_size, m_intra, links,
+                        inter_edges, seed, tail_fraction);
+}
+
+Graph UnionGraphs(const Graph& a, const Graph& b) {
+  const NodeId n = std::max(a.num_nodes(), b.num_nodes());
+  GraphBuilder builder(n);
+  for (const Edge& e : a.CanonicalEdges()) builder.AddEdge(e.u, e.v);
+  for (const Edge& e : b.CanonicalEdges()) builder.AddEdge(e.u, e.v);
+  return std::move(builder).Build();
+}
+
+}  // namespace pegasus

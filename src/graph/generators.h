@@ -1,0 +1,91 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on public SNAP/KONECT graphs plus two synthetic
+// families: Barabasi-Albert (scalability, Fig. 2b/6) and Watts-Strogatz
+// (effective-diameter study, Fig. 10). We implement those two families
+// faithfully and add Erdos-Renyi G(n, m), a planted-partition/stochastic
+// block model, and a grid ("road network") generator; the latter two drive
+// the real-dataset analogs in datasets.h.
+
+#ifndef PEGASUS_GRAPH_GENERATORS_H_
+#define PEGASUS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+// Barabasi-Albert preferential attachment: starts from a small clique and
+// attaches each new node to `edges_per_node` existing nodes chosen with
+// probability proportional to degree (implemented by uniform sampling from
+// the endpoint list, which realizes exact preferential attachment).
+Graph GenerateBarabasiAlbert(NodeId num_nodes, uint32_t edges_per_node,
+                             uint64_t seed);
+
+// Preferential attachment with degree-1 tails: each arriving node attaches
+// with a single edge with probability `tail_fraction` and with
+// `edges_per_node` edges otherwise. Plain BA has minimum degree m, but real
+// internet/web/social graphs are dominated by degree-1/2 nodes ("leaves"
+// hanging off hubs) — and those leaves are exactly the structurally
+// equivalent twins that graph summarization merges losslessly, so the
+// tails matter for any summarization study.
+Graph GenerateBarabasiAlbertTails(NodeId num_nodes, uint32_t edges_per_node,
+                                  double tail_fraction, uint64_t seed);
+
+// Watts-Strogatz small world: a ring lattice where each node connects to
+// `k` nearest neighbors (k even), then each lattice edge is rewired with
+// probability `rewire_prob` to a uniform random endpoint. rewire_prob=0
+// yields a large-diameter lattice; 0.1 already collapses the diameter.
+Graph GenerateWattsStrogatz(NodeId num_nodes, uint32_t k, double rewire_prob,
+                            uint64_t seed);
+
+// Erdos-Renyi G(n, m): exactly `num_edges` distinct uniform random edges
+// (less if the complete graph is smaller).
+Graph GenerateErdosRenyi(NodeId num_nodes, EdgeId num_edges, uint64_t seed);
+
+// Planted-partition stochastic block model: `num_blocks` equal-size blocks;
+// expected `in_degree` within-block and `out_degree` cross-block incident
+// edges per node. Produces modular graphs resembling social/collaboration
+// networks.
+Graph GeneratePlantedPartition(NodeId num_nodes, uint32_t num_blocks,
+                               double in_degree, double out_degree,
+                               uint64_t seed);
+
+// 2D grid with diagonal shortcuts added with probability `shortcut_prob`
+// per node; models road networks (high diameter, low degree).
+Graph GenerateGrid(NodeId rows, NodeId cols, double shortcut_prob,
+                   uint64_t seed);
+
+// Ring of communities: `communities` clusters of `community_size` nodes
+// each, arranged on a ring. Inside each community a Barabasi-Albert graph
+// (edges_per_node = m_intra) provides degree skew; `inter_edges` random
+// edges connect each pair of ring-adjacent communities. This produces the
+// locality (Tobler's first law) that real internet / collaboration /
+// co-purchase graphs exhibit: hop distance grows with ring distance, so
+// personalization to a region has structure to exploit. The effective
+// diameter scales with `communities`.
+// `tail_fraction` is forwarded to GenerateBarabasiAlbertTails inside each
+// community.
+Graph GenerateCommunityRing(uint32_t communities, NodeId community_size,
+                            uint32_t m_intra, uint32_t inter_edges,
+                            uint64_t seed, double tail_fraction = 0.0);
+
+// Grid of communities: like GenerateCommunityRing but communities sit on a
+// rows x cols grid with inter-community edges to the right and down
+// neighbors (no wraparound). Models planar-ish locality (road-adjacent
+// commerce, regional collaboration).
+Graph GenerateCommunityGrid(uint32_t rows, uint32_t cols,
+                            NodeId community_size, uint32_t m_intra,
+                            uint32_t inter_edges, uint64_t seed,
+                            double tail_fraction = 0.0);
+
+// Overlays the union of two generators' edge sets on a shared node set.
+// Used by the dataset analogs to combine degree skew (BA) with community
+// structure (planted partition).
+Graph UnionGraphs(const Graph& a, const Graph& b);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_GENERATORS_H_

@@ -1,0 +1,43 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/util/bits.h"
+
+namespace pegasus {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::CanonicalEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+double Graph::SizeInBits() const {
+  return 2.0 * static_cast<double>(num_edges()) * Log2Bits(num_nodes());
+}
+
+EdgeId Graph::MaxDegree() const {
+  EdgeId best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+double Graph::MeanDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / num_nodes();
+}
+
+}  // namespace pegasus

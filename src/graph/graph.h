@@ -1,0 +1,79 @@
+// Immutable undirected graph in Compressed Sparse Row (CSR) form.
+//
+// This is the input-graph substrate for the whole library: nodes are dense
+// ids 0..n-1, edges are undirected, self-loops are disallowed, and the
+// neighbor list of each node is sorted and duplicate-free. All summarizers,
+// query processors, and partitioners read graphs only through this type.
+
+#ifndef PEGASUS_GRAPH_GRAPH_H_
+#define PEGASUS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pegasus {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+
+// An undirected edge as an unordered pair; canonical form has u < v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+// Immutable CSR graph. Construct through GraphBuilder (graph_builder.h),
+// the generators (generators.h), or the loaders (io.h).
+class Graph {
+ public:
+  Graph() = default;
+
+  // Takes ownership of validated CSR arrays. `offsets` has n+1 entries;
+  // `neighbors` stores both directions of each edge, sorted per node.
+  Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors);
+
+  // Number of nodes |V|.
+  NodeId num_nodes() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  // Number of undirected edges |E|.
+  EdgeId num_edges() const { return neighbors_.size() / 2; }
+
+  // Degree of node u.
+  EdgeId degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  // Sorted neighbor list of node u.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  // True iff {u, v} is an edge. O(log degree(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // All edges in canonical (u < v) order, sorted lexicographically.
+  std::vector<Edge> CanonicalEdges() const;
+
+  // Size of this graph in bits under the paper's encoding (Eq. 4):
+  // 2 * |E| * log2 |V|.
+  double SizeInBits() const;
+
+  // Maximum degree over all nodes (0 for the empty graph).
+  EdgeId MaxDegree() const;
+
+  // Mean degree 2|E| / |V| (0 for the empty graph).
+  double MeanDegree() const;
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<NodeId> neighbors_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_GRAPH_H_

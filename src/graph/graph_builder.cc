@@ -1,0 +1,51 @@
+#include "src/graph/graph_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pegasus {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  assert(u < num_nodes_ && v < num_nodes_);
+  if (u == v) return;  // The model disallows self-loops.
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v});
+}
+
+Graph GraphBuilder::Build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<EdgeId> offsets(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> neighbors(edges_.size() * 2);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges_) {
+    neighbors[cursor[e.u]++] = e.v;
+    neighbors[cursor[e.v]++] = e.u;
+  }
+  // Edges were inserted in sorted canonical order, which makes each
+  // node's forward neighbors sorted, but the backward (v -> u) entries are
+  // interleaved; sort each adjacency range to restore the invariant.
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[u]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[u + 1]));
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph BuildGraph(NodeId num_nodes, const std::vector<Edge>& edges) {
+  GraphBuilder builder(num_nodes);
+  for (const Edge& e : edges) builder.AddEdge(e.u, e.v);
+  return std::move(builder).Build();
+}
+
+}  // namespace pegasus

@@ -1,0 +1,41 @@
+// Mutable edge-list accumulator that produces an immutable CSR Graph.
+//
+// The builder normalizes its input the same way the paper preprocesses its
+// datasets: edge directions are dropped (each pair is stored once),
+// self-loops are removed, and duplicate edges are deduplicated.
+
+#ifndef PEGASUS_GRAPH_GRAPH_BUILDER_H_
+#define PEGASUS_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+class GraphBuilder {
+ public:
+  // Creates a builder for a graph with `num_nodes` nodes (ids 0..n-1).
+  explicit GraphBuilder(NodeId num_nodes);
+
+  // Adds the undirected edge {u, v}. Self-loops and duplicates are tolerated
+  // here and removed in Build(). Node ids must be < num_nodes.
+  void AddEdge(NodeId u, NodeId v);
+
+  // Number of raw (possibly duplicated) edge insertions so far.
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  // Builds the deduplicated CSR graph. The builder is consumed.
+  Graph Build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+// Convenience: builds a graph directly from an edge list.
+Graph BuildGraph(NodeId num_nodes, const std::vector<Edge>& edges);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_GRAPH_BUILDER_H_

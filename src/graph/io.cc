@@ -1,0 +1,49 @@
+#include "src/graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph_builder.h"
+
+namespace pegasus {
+
+std::optional<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::vector<std::pair<uint64_t, uint64_t>> raw;
+  std::unordered_map<uint64_t, NodeId> remap;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) continue;
+    raw.emplace_back(a, b);
+    remap.emplace(a, 0);
+    remap.emplace(b, 0);
+  }
+  if (raw.empty()) return std::nullopt;
+
+  NodeId next = 0;
+  for (auto& [id, dense] : remap) dense = next++;
+  GraphBuilder builder(next);
+  for (const auto& [a, b] : raw) builder.AddEdge(remap[a], remap[b]);
+  return std::move(builder).Build();
+}
+
+bool SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# pegasus edge list: " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges\n";
+  for (const Edge& e : graph.CanonicalEdges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace pegasus

@@ -1,0 +1,28 @@
+// Edge-list file I/O.
+//
+// LoadEdgeList reads the whitespace-separated "u v" format used by SNAP and
+// KONECT dumps (the paper's datasets), tolerating comment lines starting
+// with '#' or '%'. Node ids are remapped densely; directions, self-loops,
+// and duplicates are normalized away, matching the paper's preprocessing.
+
+#ifndef PEGASUS_GRAPH_IO_H_
+#define PEGASUS_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+// Loads a graph from an edge-list file. Returns nullopt if the file cannot
+// be opened or contains no valid edges.
+std::optional<Graph> LoadEdgeList(const std::string& path);
+
+// Writes the graph as a canonical "u v" edge list. Returns false on I/O
+// failure.
+bool SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_IO_H_

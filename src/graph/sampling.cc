@@ -1,0 +1,39 @@
+#include "src/graph/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+Graph InducedSubgraph(const Graph& graph, const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> new_id(graph.num_nodes(), UINT32_MAX);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    new_id[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  for (NodeId u : nodes) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v && new_id[v] != UINT32_MAX) {
+        builder.AddEdge(new_id[u], new_id[v]);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph SampleInducedSubgraph(const Graph& graph, double fraction,
+                            uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  NodeId count = static_cast<NodeId>(
+      std::lround(std::clamp(fraction, 0.0, 1.0) * n));
+  Rng rng(seed);
+  std::vector<uint64_t> sample = rng.SampleDistinct(n, count);
+  std::vector<NodeId> nodes(sample.begin(), sample.end());
+  std::sort(nodes.begin(), nodes.end());
+  return InducedSubgraph(graph, nodes);
+}
+
+}  // namespace pegasus

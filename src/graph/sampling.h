@@ -1,0 +1,28 @@
+// Node-sampled induced subgraphs.
+//
+// The scalability experiment (Fig. 6) builds graphs of increasing size by
+// sampling 10%..100% of the nodes uniformly at random and taking the
+// induced subgraph; InducedSubgraph implements exactly that.
+
+#ifndef PEGASUS_GRAPH_SAMPLING_H_
+#define PEGASUS_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+// The induced subgraph on `nodes` (relabeled densely in the given order;
+// duplicate ids are not allowed).
+Graph InducedSubgraph(const Graph& graph, const std::vector<NodeId>& nodes);
+
+// Samples round(fraction * |V|) nodes uniformly at random and returns the
+// induced subgraph.
+Graph SampleInducedSubgraph(const Graph& graph, double fraction,
+                            uint64_t seed);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_GRAPH_SAMPLING_H_

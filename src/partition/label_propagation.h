@@ -1,0 +1,30 @@
+// Balanced label propagation (BLP; Ugander & Backstrom, WSDM 2013).
+//
+// Starting from a random balanced assignment, every sweep each node
+// declares the part holding most of its neighbors as its preferred
+// destination; moves are then executed pairwise between parts so that the
+// relocation counts stay matched and the partition remains balanced (the
+// linear-program step of the original system is replaced by the standard
+// greedy matched-swap approximation).
+
+#ifndef PEGASUS_PARTITION_LABEL_PROPAGATION_H_
+#define PEGASUS_PARTITION_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/partition/partition.h"
+
+namespace pegasus {
+
+struct BlpConfig {
+  int max_sweeps = 10;  // the paper's iteration cap
+  uint64_t seed = 0;
+};
+
+Partition BlpPartition(const Graph& graph, uint32_t num_parts,
+                       const BlpConfig& config = {});
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_PARTITION_LABEL_PROPAGATION_H_

@@ -1,0 +1,175 @@
+#include "src/partition/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+namespace {
+
+// Weighted multigraph used for the aggregation phase.
+struct WeightedGraph {
+  // adjacency[u]: (neighbor, weight); self-loops hold intra-community
+  // weight (counted once with weight = 2 * internal edge weight, the
+  // Louvain convention for k_i bookkeeping).
+  std::vector<std::vector<std::pair<uint32_t, double>>> adjacency;
+  std::vector<double> self_loop;  // weight of the self loop of u
+  double total_weight = 0.0;      // sum of all edge weights (2m)
+
+  uint32_t size() const { return static_cast<uint32_t>(adjacency.size()); }
+
+  double WeightedDegree(uint32_t u) const {
+    double d = self_loop[u];
+    for (const auto& [v, w] : adjacency[u]) d += w;
+    return d;
+  }
+};
+
+WeightedGraph FromGraph(const Graph& graph) {
+  WeightedGraph wg;
+  wg.adjacency.resize(graph.num_nodes());
+  wg.self_loop.assign(graph.num_nodes(), 0.0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    wg.adjacency[u].reserve(graph.degree(u));
+    for (NodeId v : graph.neighbors(u)) {
+      wg.adjacency[u].emplace_back(v, 1.0);
+    }
+  }
+  wg.total_weight = 2.0 * static_cast<double>(graph.num_edges());
+  return wg;
+}
+
+// One round of local moves. Returns the labels and whether anything moved.
+bool LocalMoves(const WeightedGraph& wg, std::vector<uint32_t>& community,
+                const LouvainConfig& config, Rng& rng) {
+  const uint32_t n = wg.size();
+  const double m2 = wg.total_weight;  // 2m
+  if (m2 <= 0.0) return false;
+
+  std::vector<double> community_degree(n, 0.0);
+  std::vector<double> node_degree(n, 0.0);
+  for (uint32_t u = 0; u < n; ++u) {
+    node_degree[u] = wg.WeightedDegree(u);
+    community_degree[community[u]] += node_degree[u];
+  }
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::unordered_map<uint32_t, double> links;  // community -> edge weight
+  bool any_move = false;
+  for (int sweep = 0; sweep < config.max_move_sweeps; ++sweep) {
+    bool moved_this_sweep = false;
+    for (uint32_t u : order) {
+      const uint32_t old_c = community[u];
+      links.clear();
+      links[old_c] = 0.0;
+      for (const auto& [v, w] : wg.adjacency[u]) {
+        if (v != u) links[community[v]] += w;
+      }
+      community_degree[old_c] -= node_degree[u];
+
+      uint32_t best_c = old_c;
+      double best_gain = links[old_c] - community_degree[old_c] *
+                                            node_degree[u] / m2;
+      for (const auto& [c, w] : links) {
+        if (c == old_c) continue;
+        const double gain =
+            w - community_degree[c] * node_degree[u] / m2;
+        if (gain > best_gain + config.min_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      community[u] = best_c;
+      community_degree[best_c] += node_degree[u];
+      if (best_c != old_c) {
+        moved_this_sweep = true;
+        any_move = true;
+      }
+    }
+    if (!moved_this_sweep) break;
+  }
+  return any_move;
+}
+
+// Densifies labels in place; returns the number of distinct labels.
+uint32_t Densify(std::vector<uint32_t>& labels) {
+  std::vector<uint32_t> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (uint32_t& l : labels) {
+    l = static_cast<uint32_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), l) - sorted.begin());
+  }
+  return static_cast<uint32_t>(sorted.size());
+}
+
+// Aggregates communities into a new weighted graph.
+WeightedGraph Aggregate(const WeightedGraph& wg,
+                        const std::vector<uint32_t>& community,
+                        uint32_t num_communities) {
+  WeightedGraph agg;
+  agg.adjacency.resize(num_communities);
+  agg.self_loop.assign(num_communities, 0.0);
+  agg.total_weight = wg.total_weight;
+
+  std::vector<std::unordered_map<uint32_t, double>> acc(num_communities);
+  for (uint32_t u = 0; u < wg.size(); ++u) {
+    const uint32_t cu = community[u];
+    agg.self_loop[cu] += wg.self_loop[u];
+    for (const auto& [v, w] : wg.adjacency[u]) {
+      const uint32_t cv = community[v];
+      if (cu == cv) {
+        agg.self_loop[cu] += w;  // both directions land here
+      } else {
+        acc[cu][cv] += w;
+      }
+    }
+  }
+  for (uint32_t c = 0; c < num_communities; ++c) {
+    agg.adjacency[c].assign(acc[c].begin(), acc[c].end());
+  }
+  return agg;
+}
+
+}  // namespace
+
+std::vector<uint32_t> LouvainCommunities(const Graph& graph,
+                                         const LouvainConfig& config) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint32_t> node_community(n);
+  std::iota(node_community.begin(), node_community.end(), 0);
+  if (n == 0) return node_community;
+
+  Rng rng(SplitMix64(config.seed ^ 0x9b05688c2b3e6c1fULL));
+  WeightedGraph level = FromGraph(graph);
+  std::vector<uint32_t> community(level.size());
+  std::iota(community.begin(), community.end(), 0);
+
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    const bool moved = LocalMoves(level, community, config, rng);
+    const uint32_t count = Densify(community);
+    // Project onto original nodes.
+    for (NodeId u = 0; u < n; ++u) {
+      node_community[u] = community[node_community[u]];
+    }
+    if (!moved || count == level.size()) break;
+    level = Aggregate(level, community, count);
+    community.resize(count);
+    std::iota(community.begin(), community.end(), 0);
+  }
+  Densify(node_community);
+  return node_community;
+}
+
+Partition LouvainPartition(const Graph& graph, uint32_t num_parts,
+                           const LouvainConfig& config) {
+  return PackIntoParts(LouvainCommunities(graph, config), num_parts);
+}
+
+}  // namespace pegasus

@@ -1,0 +1,38 @@
+// Louvain community detection (Blondel et al., 2008).
+//
+// The paper's distributed application (Alg. 3) partitions the node set
+// with the Louvain method before summarizing each shard. This is the
+// standard two-phase implementation: local moves maximizing modularity
+// gain, then graph aggregation, repeated until modularity stops improving.
+// LouvainPartition additionally packs the resulting communities into
+// exactly m balanced machine shards via PackIntoParts.
+
+#ifndef PEGASUS_PARTITION_LOUVAIN_H_
+#define PEGASUS_PARTITION_LOUVAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/partition/partition.h"
+
+namespace pegasus {
+
+struct LouvainConfig {
+  int max_passes = 10;          // aggregation rounds
+  int max_move_sweeps = 10;     // local-move sweeps per round
+  double min_gain = 1e-7;       // stop when total gain falls below this
+  uint64_t seed = 0;
+};
+
+// Raw Louvain communities (dense labels, count not controlled).
+std::vector<uint32_t> LouvainCommunities(const Graph& graph,
+                                         const LouvainConfig& config = {});
+
+// Louvain communities packed into `num_parts` balanced shards.
+Partition LouvainPartition(const Graph& graph, uint32_t num_parts,
+                           const LouvainConfig& config = {});
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_PARTITION_LOUVAIN_H_

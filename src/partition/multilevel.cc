@@ -1,0 +1,259 @@
+#include "src/partition/multilevel.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+namespace {
+
+// Weighted graph used across coarsening levels.
+struct Level {
+  // adjacency[u]: (neighbor, edge weight)
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> adjacency;
+  std::vector<uint64_t> node_weight;
+  // Mapping from this level's nodes to the next-coarser level's nodes.
+  std::vector<uint32_t> coarse_of;
+
+  uint32_t size() const { return static_cast<uint32_t>(adjacency.size()); }
+};
+
+Level FromGraph(const Graph& graph) {
+  Level level;
+  level.adjacency.resize(graph.num_nodes());
+  level.node_weight.assign(graph.num_nodes(), 1);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    level.adjacency[u].reserve(graph.degree(u));
+    for (NodeId v : graph.neighbors(u)) {
+      level.adjacency[u].emplace_back(v, 1);
+    }
+  }
+  return level;
+}
+
+// Heavy-edge matching: each unmatched node pairs with its unmatched
+// neighbor of maximum edge weight. Returns the coarse node count and
+// fills level.coarse_of.
+uint32_t HeavyEdgeMatch(Level& level, Rng& rng) {
+  const uint32_t n = level.size();
+  level.coarse_of.assign(n, UINT32_MAX);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  uint32_t next = 0;
+  for (uint32_t u : order) {
+    if (level.coarse_of[u] != UINT32_MAX) continue;
+    uint32_t best = UINT32_MAX;
+    uint64_t best_weight = 0;
+    for (const auto& [v, w] : level.adjacency[u]) {
+      if (level.coarse_of[v] == UINT32_MAX && v != u && w > best_weight) {
+        best = v;
+        best_weight = w;
+      }
+    }
+    level.coarse_of[u] = next;
+    if (best != UINT32_MAX) level.coarse_of[best] = next;
+    ++next;
+  }
+  return next;
+}
+
+Level Coarsen(const Level& fine, uint32_t coarse_count) {
+  Level coarse;
+  coarse.adjacency.resize(coarse_count);
+  coarse.node_weight.assign(coarse_count, 0);
+  for (uint32_t u = 0; u < fine.size(); ++u) {
+    coarse.node_weight[fine.coarse_of[u]] += fine.node_weight[u];
+  }
+  std::vector<std::unordered_map<uint32_t, uint64_t>> acc(coarse_count);
+  for (uint32_t u = 0; u < fine.size(); ++u) {
+    const uint32_t cu = fine.coarse_of[u];
+    for (const auto& [v, w] : fine.adjacency[u]) {
+      const uint32_t cv = fine.coarse_of[v];
+      if (cu != cv) acc[cu][cv] += w;
+    }
+  }
+  for (uint32_t c = 0; c < coarse_count; ++c) {
+    coarse.adjacency[c].assign(acc[c].begin(), acc[c].end());
+  }
+  return coarse;
+}
+
+// Greedy BFS region growing on the coarsest level.
+std::vector<uint32_t> InitialPartition(const Level& level,
+                                       uint32_t num_parts, Rng& rng) {
+  const uint32_t n = level.size();
+  uint64_t total_weight = 0;
+  for (uint64_t w : level.node_weight) total_weight += w;
+  const double target =
+      static_cast<double>(total_weight) / static_cast<double>(num_parts);
+
+  std::vector<uint32_t> part(n, UINT32_MAX);
+  std::vector<uint32_t> frontier;
+  uint32_t assigned = 0;
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    // Seed at a random unassigned node.
+    uint32_t seed = UINT32_MAX;
+    for (uint32_t tries = 0; tries < 4 * n && seed == UINT32_MAX; ++tries) {
+      uint32_t cand = static_cast<uint32_t>(rng.Uniform(n));
+      if (part[cand] == UINT32_MAX) seed = cand;
+    }
+    if (seed == UINT32_MAX) {
+      for (uint32_t u = 0; u < n; ++u) {
+        if (part[u] == UINT32_MAX) {
+          seed = u;
+          break;
+        }
+      }
+    }
+    if (seed == UINT32_MAX) break;
+    double load = 0.0;
+    frontier.assign(1, seed);
+    part[seed] = p;
+    ++assigned;
+    load += static_cast<double>(level.node_weight[seed]);
+    for (size_t head = 0; head < frontier.size() && load < target; ++head) {
+      for (const auto& [v, w] : level.adjacency[frontier[head]]) {
+        (void)w;
+        if (part[v] != UINT32_MAX || load >= target) continue;
+        part[v] = p;
+        ++assigned;
+        load += static_cast<double>(level.node_weight[v]);
+        frontier.push_back(v);
+      }
+    }
+    (void)assigned;
+  }
+  // Leftovers join their neighbor-majority part (or the lightest part).
+  std::vector<uint64_t> loads(num_parts, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (part[u] != UINT32_MAX) loads[part[u]] += level.node_weight[u];
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    if (part[u] != UINT32_MAX) continue;
+    uint32_t best = static_cast<uint32_t>(
+        std::min_element(loads.begin(), loads.end()) - loads.begin());
+    for (const auto& [v, w] : level.adjacency[u]) {
+      (void)w;
+      if (part[v] != UINT32_MAX) {
+        best = part[v];
+        break;
+      }
+    }
+    part[u] = best;
+    loads[best] += level.node_weight[u];
+  }
+  return part;
+}
+
+// Boundary KL refinement: move boundary nodes to their best part when the
+// cut improves and balance allows.
+void Refine(const Level& level, std::vector<uint32_t>& part,
+            uint32_t num_parts, const MultilevelConfig& config, Rng& rng) {
+  const uint32_t n = level.size();
+  uint64_t total_weight = 0;
+  for (uint64_t w : level.node_weight) total_weight += w;
+  const double max_load = config.balance_slack *
+                          static_cast<double>(total_weight) /
+                          static_cast<double>(num_parts);
+  std::vector<uint64_t> loads(num_parts, 0);
+  for (uint32_t u = 0; u < n; ++u) loads[part[u]] += level.node_weight[u];
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int64_t> gain(num_parts);
+  for (int sweep = 0; sweep < config.refine_sweeps; ++sweep) {
+    rng.Shuffle(order);
+    bool moved = false;
+    for (uint32_t u : order) {
+      const uint32_t from = part[u];
+      std::fill(gain.begin(), gain.end(), 0);
+      bool boundary = false;
+      for (const auto& [v, w] : level.adjacency[u]) {
+        gain[part[v]] += static_cast<int64_t>(w);
+        boundary |= (part[v] != from);
+      }
+      if (!boundary) continue;
+      uint32_t best = from;
+      for (uint32_t p = 0; p < num_parts; ++p) {
+        if (p == from || gain[p] <= gain[best]) continue;
+        if (static_cast<double>(loads[p] + level.node_weight[u]) >
+            max_load) {
+          continue;
+        }
+        best = p;
+      }
+      if (best != from) {
+        loads[from] -= level.node_weight[u];
+        loads[best] += level.node_weight[u];
+        part[u] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+Partition MultilevelPartition(const Graph& graph, uint32_t num_parts,
+                              const MultilevelConfig& config) {
+  Partition result;
+  result.num_parts = num_parts;
+  result.part_of.assign(graph.num_nodes(), 0);
+  if (graph.num_nodes() == 0 || num_parts <= 1) return result;
+
+  Rng rng(SplitMix64(config.seed ^ 0x6c62272e07bb0142ULL));
+
+  // Coarsening phase.
+  std::vector<Level> levels;
+  levels.push_back(FromGraph(graph));
+  const uint32_t stop_size =
+      std::max<uint32_t>(num_parts * config.coarse_nodes_per_part,
+                         num_parts);
+  while (levels.back().size() > stop_size) {
+    Level& fine = levels.back();
+    const uint32_t coarse_count = HeavyEdgeMatch(fine, rng);
+    if (coarse_count >= fine.size()) break;  // matching stalled
+    levels.push_back(Coarsen(fine, coarse_count));
+  }
+
+  // Initial partition on the coarsest level.
+  std::vector<uint32_t> part =
+      InitialPartition(levels.back(), num_parts, rng);
+  Refine(levels.back(), part, num_parts, config, rng);
+
+  // Uncoarsening with refinement.
+  for (size_t i = levels.size(); i-- > 1;) {
+    const Level& fine = levels[i - 1];
+    std::vector<uint32_t> fine_part(fine.size());
+    for (uint32_t u = 0; u < fine.size(); ++u) {
+      fine_part[u] = part[fine.coarse_of[u]];
+    }
+    part = std::move(fine_part);
+    Refine(fine, part, num_parts, config, rng);
+  }
+
+  result.part_of = std::move(part);
+  // Ensure no part is empty (tiny graphs / extreme imbalance).
+  auto sizes = result.Sizes();
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    if (sizes[p] != 0) continue;
+    for (NodeId u = 0; u < result.part_of.size(); ++u) {
+      if (sizes[result.part_of[u]] > 1) {
+        --sizes[result.part_of[u]];
+        result.part_of[u] = p;
+        ++sizes[p];
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pegasus

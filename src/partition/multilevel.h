@@ -1,0 +1,37 @@
+// Multilevel graph partitioning (METIS-style: coarsen / partition /
+// refine).
+//
+// A stronger general-purpose partitioner than the single-level local
+// searches of BLP/SHP: the graph is repeatedly coarsened by heavy-edge
+// matching, the coarsest graph is split by greedy BFS region growing, and
+// the partition is projected back level by level with boundary
+// Kernighan-Lin refinement under a balance constraint. Provided as an
+// additional baseline for the distributed application (Sec. IV allows
+// "any graph-partitioning method").
+
+#ifndef PEGASUS_PARTITION_MULTILEVEL_H_
+#define PEGASUS_PARTITION_MULTILEVEL_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/partition/partition.h"
+
+namespace pegasus {
+
+struct MultilevelConfig {
+  // Stop coarsening when at most this many nodes per part remain.
+  NodeId coarse_nodes_per_part = 30;
+  // Maximum allowed part size as a multiple of the average.
+  double balance_slack = 1.1;
+  // Boundary-refinement sweeps per level.
+  int refine_sweeps = 4;
+  uint64_t seed = 0;
+};
+
+Partition MultilevelPartition(const Graph& graph, uint32_t num_parts,
+                              const MultilevelConfig& config = {});
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_PARTITION_MULTILEVEL_H_

@@ -1,0 +1,48 @@
+// Common types and helpers for graph partitioning (Sec. IV).
+//
+// A partition assigns every node a part id in [0, num_parts). The
+// distributed multi-query application partitions V into m subsets, one per
+// machine; the partitioners below are the methods compared in Fig. 12.
+
+#ifndef PEGASUS_PARTITION_PARTITION_H_
+#define PEGASUS_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+struct Partition {
+  std::vector<uint32_t> part_of;  // size |V|
+  uint32_t num_parts = 0;
+
+  // Node sets per part.
+  std::vector<std::vector<NodeId>> Parts() const;
+
+  // Part sizes.
+  std::vector<NodeId> Sizes() const;
+
+  // True iff every node has a valid part id and every part is non-empty.
+  bool Valid(NodeId num_nodes) const;
+};
+
+// Number of edges whose endpoints lie in different parts.
+EdgeId CutEdges(const Graph& graph, const Partition& partition);
+
+// Modularity of the partition (Newman), used to sanity-check Louvain.
+double Modularity(const Graph& graph, const Partition& partition);
+
+// max part size / (|V| / num_parts): 1.0 is perfectly balanced.
+double BalanceFactor(const Partition& partition, NodeId num_nodes);
+
+// Packs an arbitrary community labeling into exactly `num_parts` parts,
+// greedily assigning the largest communities first to the currently
+// lightest part (used to turn Louvain communities into m machine shards).
+Partition PackIntoParts(const std::vector<uint32_t>& labels,
+                        uint32_t num_parts);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_PARTITION_PARTITION_H_

@@ -1,0 +1,24 @@
+#include "src/partition/random_partition.h"
+
+#include <numeric>
+
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+Partition RandomPartition(NodeId num_nodes, uint32_t num_parts,
+                          uint64_t seed) {
+  Rng rng(SplitMix64(seed ^ 0x510e527fade682d1ULL));
+  std::vector<NodeId> perm(num_nodes);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Partition partition;
+  partition.num_parts = num_parts;
+  partition.part_of.resize(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    partition.part_of[perm[i]] = i % num_parts;
+  }
+  return partition;
+}
+
+}  // namespace pegasus

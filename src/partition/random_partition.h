@@ -1,0 +1,21 @@
+// Uniform random balanced partitioning (a trivial baseline and the
+// initializer for the local-search partitioners).
+
+#ifndef PEGASUS_PARTITION_RANDOM_PARTITION_H_
+#define PEGASUS_PARTITION_RANDOM_PARTITION_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/partition/partition.h"
+
+namespace pegasus {
+
+// Assigns nodes to parts round-robin over a random permutation; part sizes
+// differ by at most one.
+Partition RandomPartition(NodeId num_nodes, uint32_t num_parts,
+                          uint64_t seed);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_PARTITION_RANDOM_PARTITION_H_

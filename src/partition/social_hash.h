@@ -1,0 +1,42 @@
+// Social Hash Partitioner variants (Kabiljo et al., 2017).
+//
+// SHP minimizes the average *fanout* of queries — here approximated by the
+// edge cut under an exactly balanced assignment — via iterative local
+// search from a random balanced start. The three variants evaluated in the
+// paper's Fig. 12 are implemented as the three refinement strategies the
+// SHP line of work describes:
+//   * SHPI  — deterministic matched moves: every node computes its best
+//     destination, and the highest-gain wishes are executed pairwise so
+//     balance is preserved (probabilistic move scaling disabled).
+//   * SHPII — probabilistic matched moves: wishes are executed with a
+//     probability proportional to the opposing demand, which escapes the
+//     oscillation SHPI is prone to.
+//   * SHPKL — Kernighan-Lin style: gains are computed for *pairs* of nodes
+//     in different parts and the best swaps are applied greedily.
+
+#ifndef PEGASUS_PARTITION_SOCIAL_HASH_H_
+#define PEGASUS_PARTITION_SOCIAL_HASH_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/partition/partition.h"
+
+namespace pegasus {
+
+enum class ShpVariant { kI, kII, kKL };
+
+struct ShpConfig {
+  int max_sweeps = 10;
+  uint64_t seed = 0;
+  // KL variant: number of candidate swap pairs sampled per sweep, as a
+  // multiple of |V|.
+  double kl_samples_per_node = 1.0;
+};
+
+Partition ShpPartition(const Graph& graph, uint32_t num_parts,
+                       ShpVariant variant, const ShpConfig& config = {});
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_PARTITION_SOCIAL_HASH_H_

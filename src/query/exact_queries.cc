@@ -1,0 +1,133 @@
+#include "src/query/exact_queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/bfs.h"
+
+namespace pegasus {
+
+std::vector<uint32_t> ExactHopDistances(const Graph& graph, NodeId q) {
+  return BfsDistances(graph, q);
+}
+
+std::vector<double> HopVectorForScoring(const std::vector<uint32_t>& hops) {
+  uint32_t max_finite = 0;
+  for (uint32_t h : hops) {
+    if (h != kUnreachable) max_finite = std::max(max_finite, h);
+  }
+  std::vector<double> out(hops.size());
+  for (size_t i = 0; i < hops.size(); ++i) {
+    out[i] = hops[i] == kUnreachable ? static_cast<double>(max_finite)
+                                     : static_cast<double>(hops[i]);
+  }
+  return out;
+}
+
+std::vector<double> ExactRwrScores(const Graph& graph, NodeId q,
+                                   double restart_prob,
+                                   const IterativeQueryOptions& opts) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> r(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nb = graph.neighbors(u);
+      if (nb.empty()) continue;
+      const double share = r[u] / static_cast<double>(nb.size());
+      for (NodeId v : nb) next[v] += share;
+    }
+    double change = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double val = (1.0 - restart_prob) * next[v];
+      if (v == q) val += restart_prob;
+      change += std::abs(val - r[v]);
+      r[v] = val;
+    }
+    if (change < opts.tolerance) break;
+  }
+  return r;
+}
+
+std::vector<double> ExactPhpScores(const Graph& graph, NodeId q,
+                                   double decay,
+                                   const IterativeQueryOptions& opts) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> php(n, 0.0);
+  php[q] = 1.0;
+  std::vector<double> next(n);
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    double change = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == q) {
+        next[u] = 1.0;
+        continue;
+      }
+      const auto nb = graph.neighbors(u);
+      if (nb.empty()) {
+        next[u] = 0.0;
+        continue;
+      }
+      double sum = 0.0;
+      for (NodeId v : nb) sum += php[v];
+      next[u] = decay * sum / static_cast<double>(nb.size());
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      change += std::abs(next[u] - php[u]);
+      php[u] = next[u];
+    }
+    if (change < opts.tolerance) break;
+  }
+  return php;
+}
+
+std::vector<double> PageRank(const Graph& graph, double damping,
+                             const IterativeQueryOptions& opts) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> r(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nb = graph.neighbors(u);
+      if (nb.empty()) {
+        dangling += r[u];
+        continue;
+      }
+      const double share = r[u] / static_cast<double>(nb.size());
+      for (NodeId v : nb) next[v] += share;
+    }
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    double change = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double val = base + damping * next[v];
+      change += std::abs(val - r[v]);
+      r[v] = val;
+    }
+    if (change < opts.tolerance) break;
+  }
+  return r;
+}
+
+std::vector<double> ExactClusteringCoefficients(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> cc(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nb = graph.neighbors(u);
+    if (nb.size() < 2) continue;
+    uint64_t wedges_closed = 0;
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        if (graph.HasEdge(nb[i], nb[j])) ++wedges_closed;
+      }
+    }
+    const double wedges =
+        static_cast<double>(nb.size()) * (nb.size() - 1) / 2.0;
+    cc[u] = static_cast<double>(wedges_closed) / wedges;
+  }
+  return cc;
+}
+
+}  // namespace pegasus

@@ -1,0 +1,57 @@
+// Exact node-similarity query processors on the input graph.
+//
+// These provide the ground-truth answer vectors x against which the
+// summary-based approximations x̂ are scored (Sec. V-A):
+//   * HOP — length of the shortest path from the query node,
+//   * RWR — random walk with restart scores (restart probability 0.05),
+//   * PHP — penalized hitting probability (c = 0.95),
+// plus PageRank as a general-purpose extra. RWR/PHP/PageRank are computed
+// by power iteration to a fixed tolerance.
+
+#ifndef PEGASUS_QUERY_EXACT_QUERIES_H_
+#define PEGASUS_QUERY_EXACT_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pegasus {
+
+struct IterativeQueryOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-10;  // L1 change between sweeps
+};
+
+// Shortest-path hop counts from q. Unreachable nodes get kUnreachable;
+// use HopVectorForScoring to apply the paper's convention (the largest
+// finite distance) before computing metrics.
+std::vector<uint32_t> ExactHopDistances(const Graph& graph, NodeId q);
+
+// Converts a hop vector to doubles, replacing unreachable entries by the
+// largest finite distance in the vector (the paper's convention for HOP).
+std::vector<double> HopVectorForScoring(const std::vector<uint32_t>& hops);
+
+// RWR scores w.r.t. q: the stationary distribution of a walk that restarts
+// at q with probability `restart_prob` each step.
+std::vector<double> ExactRwrScores(const Graph& graph, NodeId q,
+                                   double restart_prob = 0.05,
+                                   const IterativeQueryOptions& opts = {});
+
+// Penalized hitting probability w.r.t. q with decay c:
+// PHP_q = 1 and PHP_u = c * sum_{v in N(u)} PHP_v / deg(u) otherwise.
+std::vector<double> ExactPhpScores(const Graph& graph, NodeId q,
+                                   double decay = 0.95,
+                                   const IterativeQueryOptions& opts = {});
+
+// Standard PageRank with damping d (uniform teleport).
+std::vector<double> PageRank(const Graph& graph, double damping = 0.85,
+                             const IterativeQueryOptions& opts = {});
+
+// Local clustering coefficient per node: triangles(u) / C(deg(u), 2),
+// 0 for nodes of degree < 2.
+std::vector<double> ExactClusteringCoefficients(const Graph& graph);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_QUERY_EXACT_QUERIES_H_

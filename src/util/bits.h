@@ -1,0 +1,24 @@
+// Small bit-math helpers shared by the size/cost model.
+
+#ifndef PEGASUS_UTIL_BITS_H_
+#define PEGASUS_UTIL_BITS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace pegasus {
+
+// log2(n) as used by the MDL size model (Eqs. 3-4 of the paper). By
+// convention log2 of 0 or 1 is 0: a structure with at most one distinct
+// value needs no bits per reference.
+inline double Log2Bits(uint64_t n) { return n <= 1 ? 0.0 : std::log2(static_cast<double>(n)); }
+
+// Binary entropy H(p) in bits, with H(0) = H(1) = 0.
+inline double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_UTIL_BITS_H_

@@ -1,0 +1,83 @@
+#include "src/util/rng.h"
+
+#include <unordered_set>
+
+namespace pegasus {
+
+namespace {
+constexpr uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four state words through SplitMix64, per the xoshiro authors'
+  // recommendation; guarantees a non-zero state.
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    s = SplitMix64(x);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  // Lemire's multiply-shift rejection method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t bound, uint64_t count) {
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count >= bound) {
+    for (uint64_t i = 0; i < bound; ++i) out.push_back(i);
+    return out;
+  }
+  // Floyd's algorithm: for j in [bound-count, bound), pick t in [0, j]; if
+  // already chosen, take j itself. Each value is selected with equal
+  // probability and the loop does exactly `count` insertions.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(count * 2);
+  for (uint64_t j = bound - count; j < bound; ++j) {
+    uint64_t t = Uniform(j + 1);
+    if (seen.contains(t)) t = j;
+    seen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace pegasus

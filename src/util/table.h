@@ -1,0 +1,42 @@
+// Plain-text table printer used by the benchmark harness to emit the rows
+// and series that the paper's tables and figures report.
+
+#ifndef PEGASUS_UTIL_TABLE_H_
+#define PEGASUS_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pegasus {
+
+// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends one row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` significant decimal places.
+std::string FormatDouble(double v, int digits = 4);
+
+// Formats counts with thousands separators (e.g., 1,049,866).
+std::string FormatCount(uint64_t v);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_UTIL_TABLE_H_

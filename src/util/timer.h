@@ -1,0 +1,28 @@
+// Wall-clock timing utilities for benches and scalability experiments.
+
+#ifndef PEGASUS_UTIL_TIMER_H_
+#define PEGASUS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pegasus {
+
+// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer();
+
+  // Restarts the stopwatch.
+  void Reset();
+
+  // Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const;
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_UTIL_TIMER_H_

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/bfs.h"
+#include "src/graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::CycleGraph;
+using ::pegasus::testing::PathGraph;
+using ::pegasus::testing::StarGraph;
+
+TEST(BfsTest, PathDistances) {
+  Graph g = PathGraph(5);
+  auto d = BfsDistances(g, 0);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(d[u], u);
+}
+
+TEST(BfsTest, CycleDistances) {
+  Graph g = CycleGraph(6);
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[5], 1u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(BfsTest, UnreachableNodes) {
+  Graph g = BuildGraph(4, {{0, 1}});
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(MultiSourceBfsTest, MinimumOverSources) {
+  Graph g = PathGraph(10);
+  auto d = MultiSourceBfsDistances(g, {0, 9});
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[9], 0u);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(d[5], 4u);
+}
+
+TEST(MultiSourceBfsTest, DuplicateSources) {
+  Graph g = PathGraph(4);
+  auto d = MultiSourceBfsDistances(g, {2, 2, 2});
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[0], 2u);
+}
+
+TEST(MultiSourceBfsTest, MatchesMinOfSingleSourceRuns) {
+  Graph g = StarGraph(8);
+  auto multi = MultiSourceBfsDistances(g, {1, 5});
+  auto d1 = BfsDistances(g, 1);
+  auto d5 = BfsDistances(g, 5);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(multi[u], std::min(d1[u], d5[u]));
+  }
+}
+
+TEST(BfsSampleTest, ReturnsRequestedCountInBfsOrder) {
+  Graph g = PathGraph(10);
+  auto sample = BfsSample(g, 3, 4);
+  ASSERT_EQ(sample.size(), 4u);
+  EXPECT_EQ(sample[0], 3u);
+  // The next discovered nodes are 2 and 4 (in neighbor order), then 1.
+  EXPECT_EQ(sample[1], 2u);
+  EXPECT_EQ(sample[2], 4u);
+  EXPECT_EQ(sample[3], 1u);
+}
+
+TEST(BfsSampleTest, CapsAtComponentSize) {
+  Graph g = BuildGraph(5, {{0, 1}, {1, 2}});
+  auto sample = BfsSample(g, 0, 100);
+  EXPECT_EQ(sample.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pegasus

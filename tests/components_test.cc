@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/components.h"
+#include "src/graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::PathGraph;
+
+TEST(ComponentsTest, SingleComponent) {
+  Graph g = PathGraph(10);
+  auto cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 1u);
+  for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(cc.label[u], 0u);
+}
+
+TEST(ComponentsTest, MultipleComponents) {
+  Graph g = BuildGraph(6, {{0, 1}, {2, 3}, {4, 5}});
+  auto cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3u);
+  EXPECT_EQ(cc.label[0], cc.label[1]);
+  EXPECT_NE(cc.label[0], cc.label[2]);
+}
+
+TEST(ComponentsTest, IsolatedNodes) {
+  Graph g = BuildGraph(4, {{0, 1}});
+  auto cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3u);
+}
+
+TEST(LargestComponentTest, ExtractsLargest) {
+  // Component {0,1,2,3} (path) and component {4,5}.
+  Graph g = BuildGraph(6, {{0, 1}, {1, 2}, {2, 3}, {4, 5}});
+  auto lc = LargestComponent(g);
+  EXPECT_EQ(lc.graph.num_nodes(), 4u);
+  EXPECT_EQ(lc.graph.num_edges(), 3u);
+  EXPECT_EQ(lc.original_id.size(), 4u);
+  EXPECT_EQ(lc.original_id[0], 0u);
+  EXPECT_EQ(lc.original_id[3], 3u);
+}
+
+TEST(LargestComponentTest, PreservesEdges) {
+  Graph g = BuildGraph(5, {{1, 2}, {2, 4}, {1, 4}});
+  auto lc = LargestComponent(g);
+  EXPECT_EQ(lc.graph.num_nodes(), 3u);
+  EXPECT_EQ(lc.graph.num_edges(), 3u);
+  // The triangle survives relabeling.
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(lc.graph.degree(u), 2u);
+}
+
+TEST(LargestComponentTest, WholeGraphConnected) {
+  Graph g = PathGraph(7);
+  auto lc = LargestComponent(g);
+  EXPECT_EQ(lc.graph.num_nodes(), 7u);
+  EXPECT_EQ(lc.graph.num_edges(), 6u);
+}
+
+}  // namespace
+}  // namespace pegasus

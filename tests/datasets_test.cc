@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/graph/components.h"
+#include "src/graph/datasets.h"
+
+namespace pegasus {
+namespace {
+
+TEST(DatasetsTest, AllSixPresent) {
+  EXPECT_EQ(AllDatasetIds().size(), 6u);
+}
+
+TEST(DatasetsTest, TinyScaleIsConnectedAndNamed) {
+  for (DatasetId id : AllDatasetIds()) {
+    Dataset ds = MakeDataset(id, DatasetScale::kTiny);
+    EXPECT_GE(ds.graph.num_nodes(), 50u) << ds.name;
+    EXPECT_EQ(ConnectedComponents(ds.graph).num_components, 1u) << ds.name;
+    EXPECT_FALSE(ds.abbrev.empty());
+    EXPECT_FALSE(ds.summary.empty());
+  }
+}
+
+TEST(DatasetsTest, Deterministic) {
+  Dataset a = MakeDataset(DatasetId::kCaida, DatasetScale::kTiny, 7);
+  Dataset b = MakeDataset(DatasetId::kCaida, DatasetScale::kTiny, 7);
+  EXPECT_EQ(a.graph.CanonicalEdges(), b.graph.CanonicalEdges());
+}
+
+TEST(DatasetsTest, ScalesIncreaseSize) {
+  Dataset tiny = MakeDataset(DatasetId::kLastFmAsia, DatasetScale::kTiny);
+  Dataset small = MakeDataset(DatasetId::kLastFmAsia, DatasetScale::kSmall);
+  EXPECT_GT(small.graph.num_nodes(), tiny.graph.num_nodes());
+}
+
+TEST(DatasetsTest, WikipediaAnalogIsDensest) {
+  Dataset wk = MakeDataset(DatasetId::kWikipedia, DatasetScale::kTiny);
+  Dataset ca = MakeDataset(DatasetId::kCaida, DatasetScale::kTiny);
+  EXPECT_GT(wk.graph.MeanDegree(), 3 * ca.graph.MeanDegree());
+}
+
+TEST(DatasetsTest, BenchScaleFromEnv) {
+  unsetenv("PEGASUS_BENCH_SCALE");
+  EXPECT_EQ(BenchScaleFromEnv(), DatasetScale::kDefault);
+  setenv("PEGASUS_BENCH_SCALE", "tiny", 1);
+  EXPECT_EQ(BenchScaleFromEnv(), DatasetScale::kTiny);
+  setenv("PEGASUS_BENCH_SCALE", "paper", 1);
+  EXPECT_EQ(BenchScaleFromEnv(), DatasetScale::kPaper);
+  unsetenv("PEGASUS_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace pegasus

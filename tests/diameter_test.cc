@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/diameter.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::CompleteGraph;
+using ::pegasus::testing::PathGraph;
+using ::pegasus::testing::StarGraph;
+
+TEST(DiameterTest, CompleteGraphIsNearOne) {
+  // All pairs are at exactly 1 hop; the standard interpolation convention
+  // (as in SNAP) places the 90-percentile effective diameter at 0.9.
+  Graph g = CompleteGraph(20);
+  EXPECT_NEAR(EffectiveDiameter(g, 0.9, 20, 1), 0.9, 1e-9);
+}
+
+TEST(DiameterTest, StarIsAboutTwo) {
+  Graph g = StarGraph(50);
+  // Most pairs are leaf-leaf at distance 2.
+  const double d = EffectiveDiameter(g, 0.9, 51, 1);
+  EXPECT_GT(d, 1.5);
+  EXPECT_LE(d, 2.0);
+}
+
+TEST(DiameterTest, PathScalesWithLength) {
+  const double d_short = EffectiveDiameter(PathGraph(20), 0.9, 20, 1);
+  const double d_long = EffectiveDiameter(PathGraph(200), 0.9, 200, 1);
+  EXPECT_GT(d_long, d_short * 5);
+}
+
+TEST(DiameterTest, TinyGraphs) {
+  EXPECT_DOUBLE_EQ(EffectiveDiameter(PathGraph(1)), 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveDiameter(Graph()), 0.0);
+}
+
+TEST(DiameterTest, PercentileMonotone) {
+  Graph g = PathGraph(100);
+  const double d50 = EffectiveDiameter(g, 0.5, 100, 1);
+  const double d90 = EffectiveDiameter(g, 0.9, 100, 1);
+  EXPECT_LT(d50, d90);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "src/distributed/cluster.h"
+#include "src/distributed/experiment.h"
+#include "src/distributed/subgraph_baseline.h"
+#include "src/graph/generators.h"
+#include "src/partition/louvain.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+struct DistributedFixture {
+  DistributedFixture()
+      : graph(GeneratePlantedPartition(240, 8, 8.0, 1.0, 60)),
+        partition(LouvainPartition(graph, 4)) {}
+
+  Graph graph;
+  Partition partition;
+};
+
+TEST(SummaryClusterTest, BuildsOneSummaryPerMachine) {
+  DistributedFixture f;
+  PegasusConfig config;
+  config.max_iterations = 5;
+  auto cluster = SummaryCluster::Build(f.graph, f.partition,
+                                       0.4 * f.graph.SizeInBits(), config);
+  EXPECT_EQ(cluster.num_machines(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_LE(cluster.summary(i).SizeInBits(),
+              0.4 * f.graph.SizeInBits() + 1e-9);
+  }
+}
+
+TEST(SummaryClusterTest, RoutesByPartition) {
+  DistributedFixture f;
+  PegasusConfig config;
+  config.max_iterations = 3;
+  auto cluster = SummaryCluster::Build(f.graph, f.partition,
+                                       0.5 * f.graph.SizeInBits(), config);
+  for (NodeId q : {0u, 50u, 100u, 200u}) {
+    EXPECT_EQ(cluster.MachineOf(q), f.partition.part_of[q]);
+  }
+}
+
+TEST(SummaryClusterTest, AnswersAllQueryTypes) {
+  DistributedFixture f;
+  PegasusConfig config;
+  config.max_iterations = 3;
+  auto cluster = SummaryCluster::Build(f.graph, f.partition,
+                                       0.5 * f.graph.SizeInBits(), config);
+  const NodeId q = 10;
+  auto hop = cluster.AnswerHop(q);
+  auto rwr = cluster.AnswerRwr(q);
+  auto php = cluster.AnswerPhp(q);
+  EXPECT_EQ(hop.size(), f.graph.num_nodes());
+  EXPECT_EQ(rwr.size(), f.graph.num_nodes());
+  EXPECT_EQ(php.size(), f.graph.num_nodes());
+  EXPECT_EQ(hop[q], 0u);
+  EXPECT_DOUBLE_EQ(php[q], 1.0);
+}
+
+TEST(SubgraphClusterTest, RespectsEdgeBudget) {
+  DistributedFixture f;
+  const double budget = 0.3 * f.graph.SizeInBits();
+  auto cluster = SubgraphCluster::Build(f.graph, f.partition, budget);
+  for (uint32_t i = 0; i < cluster.num_machines(); ++i) {
+    EXPECT_LE(cluster.subgraph(i).SizeInBits(), budget + 1e-9);
+  }
+}
+
+TEST(SubgraphClusterTest, KeepsClosestEdges) {
+  DistributedFixture f;
+  auto cluster =
+      SubgraphCluster::Build(f.graph, f.partition, 0.3 * f.graph.SizeInBits());
+  // Every kept edge should touch the shard's BFS ball before a dropped
+  // one; verify the weaker invariant that shard-internal edges of machine
+  // i are preferentially present: rank-0 edges (both endpoints in shard)
+  // appear at least as often as in the full graph scaled by budget.
+  const auto parts = f.partition.Parts();
+  for (uint32_t i = 0; i < cluster.num_machines(); ++i) {
+    const Graph& sub = cluster.subgraph(i);
+    EdgeId internal_kept = 0, internal_total = 0;
+    for (const Edge& e : f.graph.CanonicalEdges()) {
+      const bool internal = f.partition.part_of[e.u] == i &&
+                            f.partition.part_of[e.v] == i;
+      if (!internal) continue;
+      ++internal_total;
+      if (sub.HasEdge(e.u, e.v)) ++internal_kept;
+    }
+    if (internal_total > 0) {
+      EXPECT_GT(static_cast<double>(internal_kept) /
+                    static_cast<double>(internal_total),
+                0.8)
+          << "machine " << i;
+    }
+  }
+}
+
+TEST(SubgraphClusterTest, FullBudgetKeepsWholeGraph) {
+  DistributedFixture f;
+  auto cluster =
+      SubgraphCluster::Build(f.graph, f.partition, f.graph.SizeInBits());
+  for (uint32_t i = 0; i < cluster.num_machines(); ++i) {
+    EXPECT_EQ(cluster.subgraph(i).num_edges(), f.graph.num_edges());
+  }
+}
+
+TEST(MeasureAccuracyTest, PerfectClusterScoresPerfectly) {
+  DistributedFixture f;
+  auto cluster =
+      SubgraphCluster::Build(f.graph, f.partition, f.graph.SizeInBits());
+  std::vector<NodeId> queries{1, 20, 77};
+  for (QueryType type : {QueryType::kRwr, QueryType::kHop, QueryType::kPhp}) {
+    auto acc = MeasureClusterAccuracy(f.graph, cluster, queries, type);
+    EXPECT_NEAR(acc.smape, 0.0, 1e-3);
+    EXPECT_NEAR(acc.spearman, 1.0, 1e-3);
+  }
+}
+
+TEST(MeasureAccuracyTest, SummaryClusterBeatsBlindGuess) {
+  DistributedFixture f;
+  PegasusConfig config;
+  config.max_iterations = 10;
+  auto cluster = SummaryCluster::Build(f.graph, f.partition,
+                                       0.5 * f.graph.SizeInBits(), config);
+  std::vector<NodeId> queries{3, 60, 150, 210};
+  auto acc = MeasureClusterAccuracy(f.graph, cluster, queries,
+                                    QueryType::kHop);
+  EXPECT_LT(acc.smape, 0.5);
+  EXPECT_GT(acc.spearman, 0.3);
+}
+
+}  // namespace
+}  // namespace pegasus

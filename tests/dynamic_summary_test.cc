@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/core/dynamic_summary.h"
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+DynamicSummary MakeDynamic(double rebuild_fraction = 0.5) {
+  DynamicSummary::Options options;
+  options.ratio = 0.6;
+  options.rebuild_fraction = rebuild_fraction;
+  options.config.seed = 9;
+  options.config.max_iterations = 5;
+  return DynamicSummary(GenerateBarabasiAlbert(120, 2, 41), {0, 1},
+                        options);
+}
+
+TEST(DynamicSummaryTest, AddEdgeVisibleImmediately) {
+  auto ds = MakeDynamic();
+  // Find a non-edge.
+  NodeId u = 0, v = 0;
+  for (v = 1; v < ds.num_nodes(); ++v) {
+    if (!ds.HasEdge(0, v)) break;
+  }
+  ASSERT_LT(v, ds.num_nodes());
+  const EdgeId before = ds.num_edges();
+  EXPECT_TRUE(ds.AddEdge(u, v));
+  EXPECT_EQ(ds.num_edges(), before + 1);
+  EXPECT_TRUE(ds.HasEdge(u, v));
+  auto exact = ds.ExactNeighbors(u);
+  EXPECT_TRUE(std::find(exact.begin(), exact.end(), v) != exact.end());
+  auto approx = ds.ApproximateNeighbors(u);
+  EXPECT_TRUE(std::find(approx.begin(), approx.end(), v) != approx.end());
+}
+
+TEST(DynamicSummaryTest, RemoveEdgeHiddenImmediately) {
+  auto ds = MakeDynamic();
+  Graph g = GenerateBarabasiAlbert(120, 2, 41);
+  const Edge e = g.CanonicalEdges()[5];
+  EXPECT_TRUE(ds.RemoveEdge(e.u, e.v));
+  EXPECT_FALSE(ds.HasEdge(e.u, e.v));
+  auto exact = ds.ExactNeighbors(e.u);
+  EXPECT_TRUE(std::find(exact.begin(), exact.end(), e.v) == exact.end());
+  auto approx = ds.ApproximateNeighbors(e.u);
+  EXPECT_TRUE(std::find(approx.begin(), approx.end(), e.v) == approx.end());
+}
+
+TEST(DynamicSummaryTest, DuplicateOperationsAreNoops) {
+  auto ds = MakeDynamic();
+  Graph g = GenerateBarabasiAlbert(120, 2, 41);
+  const Edge e = g.CanonicalEdges()[0];
+  EXPECT_FALSE(ds.AddEdge(e.u, e.v));    // already present
+  EXPECT_TRUE(ds.RemoveEdge(e.u, e.v));  // delete
+  EXPECT_FALSE(ds.RemoveEdge(e.u, e.v)); // double delete
+  EXPECT_TRUE(ds.AddEdge(e.u, e.v));     // un-delete (drains the delta)
+  EXPECT_TRUE(ds.HasEdge(e.u, e.v));
+  EXPECT_FALSE(ds.AddEdge(e.u, e.u));    // self-loop rejected
+}
+
+TEST(DynamicSummaryTest, RebuildTriggersAtThreshold) {
+  auto ds = MakeDynamic(/*rebuild_fraction=*/0.02);
+  EXPECT_EQ(ds.rebuild_count(), 0);
+  Rng rng(3);
+  int applied = 0;
+  while (applied < 10) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(ds.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.Uniform(ds.num_nodes()));
+    if (u != v && !ds.HasEdge(u, v) && ds.AddEdge(u, v)) ++applied;
+  }
+  EXPECT_GE(ds.rebuild_count(), 1);
+  // Delta drained on rebuild.
+  EXPECT_LT(ds.delta_size(), 10u);
+}
+
+TEST(DynamicSummaryTest, RebuildPreservesOverlaySemantics) {
+  auto ds = MakeDynamic();
+  Rng rng(5);
+  std::vector<Edge> added;
+  for (int i = 0; i < 8; ++i) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(ds.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.Uniform(ds.num_nodes()));
+    if (u != v && !ds.HasEdge(u, v)) {
+      ds.AddEdge(u, v);
+      added.push_back(u < v ? Edge{u, v} : Edge{v, u});
+    }
+  }
+  const EdgeId before = ds.num_edges();
+  ds.Rebuild();
+  EXPECT_EQ(ds.num_edges(), before);
+  EXPECT_EQ(ds.delta_size(), 0u);
+  for (const Edge& e : added) EXPECT_TRUE(ds.HasEdge(e.u, e.v));
+}
+
+TEST(DynamicSummaryTest, ExactNeighborsMatchFoldedGraph) {
+  auto ds = MakeDynamic();
+  Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(ds.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.Uniform(ds.num_nodes()));
+    if (u == v) continue;
+    if (rng.Bernoulli(0.5)) {
+      ds.AddEdge(u, v);
+    } else {
+      ds.RemoveEdge(u, v);
+    }
+  }
+  // Fold manually and compare neighbor sets.
+  DynamicSummary copy = ds;
+  copy.Rebuild();
+  for (NodeId u = 0; u < ds.num_nodes(); ++u) {
+    EXPECT_EQ(ds.ExactNeighbors(u), copy.ExactNeighbors(u)) << "node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace pegasus

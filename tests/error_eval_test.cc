@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "src/core/merge_engine.h"
+#include "src/core/personal_weights.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::Fig3Graph;
+using ::pegasus::testing::PathGraph;
+
+// Brute-force Eq. (1) over the full adjacency matrices.
+double BruteError(const Graph& g, const SummaryGraph& s,
+                  const PersonalWeights& w) {
+  Graph r = s.Reconstruct();
+  double total = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (u == v) continue;
+      const int a = g.HasEdge(u, v) ? 1 : 0;
+      const int b = r.HasEdge(u, v) ? 1 : 0;
+      total += w.PairWeight(u, v) * std::abs(a - b);
+    }
+  }
+  return total;
+}
+
+TEST(ErrorEvalTest, IdentitySummaryHasZeroError) {
+  Graph g = Fig3Graph();
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {0}, 1.5);
+  EXPECT_DOUBLE_EQ(PersonalizedError(g, s, w), 0.0);
+  EXPECT_DOUBLE_EQ(ReconstructionError(g, s), 0.0);
+}
+
+TEST(ErrorEvalTest, MatchesBruteForceUniform) {
+  Graph g = GenerateBarabasiAlbert(40, 2, 30);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {}, 1.0);
+  CostModel cm(g, w, s);
+  MergeEngine engine(g, s, cm, MergeScore::kRelative);
+  engine.ApplyMerge(0, 1);
+  engine.ApplyMerge(2, 3);
+  engine.ApplyMerge(s.supernode_of(0), s.supernode_of(4));
+  EXPECT_NEAR(PersonalizedError(g, s, w), BruteError(g, s, w), 1e-6);
+}
+
+TEST(ErrorEvalTest, MatchesBruteForcePersonalized) {
+  Graph g = GenerateBarabasiAlbert(40, 2, 31);
+  auto w = PersonalWeights::Compute(g, {3, 8}, 1.5);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  CostModel cm(g, w, s);
+  MergeEngine engine(g, s, cm, MergeScore::kRelative);
+  engine.ApplyMerge(5, 6);
+  engine.ApplyMerge(10, 11);
+  engine.ApplyMerge(s.supernode_of(5), s.supernode_of(12));
+  EXPECT_NEAR(PersonalizedError(g, s, w), BruteError(g, s, w), 1e-6);
+}
+
+TEST(ErrorEvalTest, MissingEdgesCounted) {
+  Graph g = PathGraph(4);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {}, 1.0);
+  // Remove one superedge: its edge is now missing in Ĝ (2 matrix flips).
+  s.EraseSuperedge(1, 2);
+  EXPECT_DOUBLE_EQ(PersonalizedError(g, s, w), 2.0);
+}
+
+TEST(ErrorEvalTest, SpuriousEdgesCounted) {
+  Graph g = PathGraph(4);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {}, 1.0);
+  s.SetSuperedge(0, 3, 1);  // not a real edge
+  EXPECT_DOUBLE_EQ(PersonalizedError(g, s, w), 2.0);
+}
+
+TEST(ErrorEvalTest, PersonalizedCostCombinesSizeAndError) {
+  Graph g = PathGraph(8);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {}, 1.0);
+  EXPECT_DOUBLE_EQ(PersonalizedCost(g, s, w), s.SizeInBits());
+  s.EraseSuperedge(0, 1);
+  EXPECT_DOUBLE_EQ(PersonalizedCost(g, s, w), s.SizeInBits() + 3.0 * 2.0);
+}
+
+TEST(ErrorEvalTest, CompressionRatio) {
+  Graph g = PathGraph(8);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  // Identity summary is larger than the graph (membership bits).
+  EXPECT_GT(CompressionRatio(g, s), 1.0);
+  // Dropping all superedges: ratio = |V|log2|S| / (2|E|log2|V|).
+  for (NodeId u = 0; u + 1 < 8; ++u) s.EraseSuperedge(u, u + 1);
+  EXPECT_NEAR(CompressionRatio(g, s), (8.0 * 3.0) / (2.0 * 7.0 * 3.0), 1e-12);
+}
+
+TEST(ErrorEvalTest, WeightsEmphasizeTargetErrors) {
+  Graph g = PathGraph(10);
+  auto w = PersonalWeights::Compute(g, {0}, 2.0);
+  // Missing the edge at the target end costs more than at the far end.
+  SummaryGraph near = SummaryGraph::Identity(g);
+  near.EraseSuperedge(0, 1);
+  SummaryGraph far = SummaryGraph::Identity(g);
+  far.EraseSuperedge(8, 9);
+  EXPECT_GT(PersonalizedError(g, near, w), PersonalizedError(g, far, w));
+}
+
+}  // namespace
+}  // namespace pegasus

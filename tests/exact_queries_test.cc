@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/graph/bfs.h"
+#include "src/query/exact_queries.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::CompleteGraph;
+using ::pegasus::testing::CycleGraph;
+using ::pegasus::testing::PathGraph;
+using ::pegasus::testing::StarGraph;
+
+TEST(ExactHopTest, MatchesBfs) {
+  Graph g = PathGraph(7);
+  auto d = ExactHopDistances(g, 3);
+  EXPECT_EQ(d[3], 0u);
+  EXPECT_EQ(d[0], 3u);
+  EXPECT_EQ(d[6], 3u);
+}
+
+TEST(HopVectorForScoringTest, ReplacesUnreachable) {
+  std::vector<uint32_t> hops{0, 1, 2, kUnreachable};
+  auto v = HopVectorForScoring(hops);
+  EXPECT_DOUBLE_EQ(v[3], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
+TEST(ExactRwrTest, SumsToOne) {
+  Graph g = CompleteGraph(10);
+  auto r = ExactRwrScores(g, 0);
+  const double total = std::accumulate(r.begin(), r.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(ExactRwrTest, QueryNodeHasHighestScore) {
+  Graph g = StarGraph(8);
+  auto r = ExactRwrScores(g, 3);  // a leaf
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u != 3 && u != 0) {
+      EXPECT_GT(r[3], r[u]);
+    }
+  }
+}
+
+TEST(ExactRwrTest, SymmetricGraphSymmetricScores) {
+  Graph g = CycleGraph(8);
+  auto r = ExactRwrScores(g, 0);
+  EXPECT_NEAR(r[1], r[7], 1e-9);
+  EXPECT_NEAR(r[2], r[6], 1e-9);
+  EXPECT_NEAR(r[3], r[5], 1e-9);
+}
+
+TEST(ExactRwrTest, ScoresDecayWithDistance) {
+  // On a path from an endpoint, the degree-1 query node funnels all its
+  // mass through node 1 (which therefore scores highest); beyond it the
+  // scores decay monotonically with distance.
+  Graph g = PathGraph(9);
+  auto r = ExactRwrScores(g, 0);
+  for (NodeId u = 1; u + 1 < 9; ++u) {
+    EXPECT_GT(r[u], r[u + 1]) << "at node " << u;
+  }
+  EXPECT_GT(r[0], r[5]);
+}
+
+TEST(ExactRwrTest, RestartProbabilityControlsLocality) {
+  Graph g = PathGraph(10);
+  auto sticky = ExactRwrScores(g, 0, 0.5);
+  auto roaming = ExactRwrScores(g, 0, 0.01);
+  EXPECT_GT(sticky[0], roaming[0]);
+}
+
+TEST(ExactPhpTest, QueryIsOne) {
+  Graph g = CompleteGraph(6);
+  auto p = ExactPhpScores(g, 2);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_LE(p[u], 1.0);
+    EXPECT_GT(p[u], 0.0);
+  }
+}
+
+TEST(ExactPhpTest, SatisfiesFixedPoint) {
+  Graph g = StarGraph(5);
+  const double c = 0.95;
+  auto p = ExactPhpScores(g, 1, c);
+  // Check the defining equation at a non-query node.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == 1) continue;
+    double expect = 0.0;
+    for (NodeId v : g.neighbors(u)) expect += p[v];
+    expect *= c / static_cast<double>(g.degree(u));
+    EXPECT_NEAR(p[u], expect, 1e-6) << "node " << u;
+  }
+}
+
+TEST(ExactPhpTest, DecaysWithDistance) {
+  Graph g = PathGraph(8);
+  auto p = ExactPhpScores(g, 0);
+  for (NodeId u = 1; u + 1 < 8; ++u) EXPECT_GT(p[u], p[u + 1]);
+}
+
+TEST(PageRankTest, SumsToOneAndFavorsHubs) {
+  Graph g = StarGraph(10);
+  auto pr = PageRank(g);
+  const double total = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (NodeId u = 1; u <= 10; ++u) EXPECT_GT(pr[0], pr[u]);
+}
+
+TEST(PageRankTest, UniformOnRegularGraph) {
+  Graph g = CycleGraph(12);
+  auto pr = PageRank(g);
+  for (NodeId u = 0; u < 12; ++u) EXPECT_NEAR(pr[u], 1.0 / 12.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/components.h"
+#include "src/graph/diameter.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+
+namespace pegasus {
+namespace {
+
+TEST(BarabasiAlbertTest, NodeAndEdgeCounts) {
+  Graph g = GenerateBarabasiAlbert(1000, 3, 1);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Seed clique C(4,2)=6 edges + 996 * 3 attachments (deduplication can
+  // only remove a handful).
+  EXPECT_GE(g.num_edges(), 2900u);
+  EXPECT_LE(g.num_edges(), 6 + 996u * 3);
+}
+
+TEST(BarabasiAlbertTest, Connected) {
+  Graph g = GenerateBarabasiAlbert(500, 2, 2);
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(BarabasiAlbertTest, DegreeSkew) {
+  Graph g = GenerateBarabasiAlbert(2000, 2, 3);
+  // Preferential attachment produces hubs far above the mean degree (~4).
+  EXPECT_GE(g.MaxDegree(), 30u);
+}
+
+TEST(BarabasiAlbertTest, DeterministicForSeed) {
+  Graph a = GenerateBarabasiAlbert(300, 2, 7);
+  Graph b = GenerateBarabasiAlbert(300, 2, 7);
+  EXPECT_EQ(a.CanonicalEdges(), b.CanonicalEdges());
+}
+
+TEST(WattsStrogatzTest, LatticeWithoutRewiring) {
+  Graph g = GenerateWattsStrogatz(100, 4, 0.0, 1);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 200u);  // n * k / 2
+  for (NodeId u = 0; u < 100; ++u) EXPECT_EQ(g.degree(u), 4u);
+}
+
+TEST(WattsStrogatzTest, RewiringShrinksDiameter) {
+  Graph lattice = GenerateWattsStrogatz(1000, 10, 0.0, 2);
+  Graph small_world = GenerateWattsStrogatz(1000, 10, 0.1, 2);
+  const double d_lattice = EffectiveDiameter(lattice, 0.9, 64, 3);
+  const double d_small = EffectiveDiameter(small_world, 0.9, 64, 3);
+  EXPECT_LT(d_small, d_lattice * 0.5);
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Graph g = GenerateErdosRenyi(200, 500, 4);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(ErdosRenyiTest, CapsAtCompleteGraph) {
+  Graph g = GenerateErdosRenyi(5, 100, 5);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(PlantedPartitionTest, CommunityStructure) {
+  Graph g = GeneratePlantedPartition(1000, 10, 8.0, 0.5, 6);
+  // Count within-block vs cross-block edges; blocks are contiguous ranges
+  // of 100 nodes.
+  EdgeId within = 0, cross = 0;
+  for (const Edge& e : g.CanonicalEdges()) {
+    if (e.u / 100 == e.v / 100) {
+      ++within;
+    } else {
+      ++cross;
+    }
+  }
+  EXPECT_GT(within, cross * 3);
+}
+
+TEST(GridTest, StructureAndSize) {
+  Graph g = GenerateGrid(10, 10, 0.0, 7);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 180u);  // 2 * 10 * 9
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(GridTest, ShortcutsAddEdges) {
+  Graph plain = GenerateGrid(20, 20, 0.0, 8);
+  Graph with_shortcuts = GenerateGrid(20, 20, 0.5, 8);
+  EXPECT_GT(with_shortcuts.num_edges(), plain.num_edges());
+}
+
+TEST(UnionGraphsTest, UnionsEdgeSets) {
+  Graph a = BuildGraph(4, {{0, 1}, {1, 2}});
+  Graph b = BuildGraph(4, {{1, 2}, {2, 3}});
+  Graph u = UnionGraphs(a, b);
+  EXPECT_EQ(u.num_edges(), 3u);
+  EXPECT_TRUE(u.HasEdge(0, 1));
+  EXPECT_TRUE(u.HasEdge(2, 3));
+}
+
+}  // namespace
+}  // namespace pegasus

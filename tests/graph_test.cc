@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/graph.h"
+#include "src/graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::CompleteGraph;
+using ::pegasus::testing::PathGraph;
+using ::pegasus::testing::StarGraph;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+  EXPECT_DOUBLE_EQ(g.MeanDegree(), 0.0);
+}
+
+TEST(GraphTest, PathGraphBasics) {
+  Graph g = PathGraph(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  GraphBuilder b(5);
+  b.AddEdge(3, 0);
+  b.AddEdge(3, 4);
+  b.AddEdge(3, 1);
+  Graph g = std::move(b).Build();
+  auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 4u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 2);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphTest, CanonicalEdges) {
+  Graph g = PathGraph(4);
+  auto edges = g.CanonicalEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{1, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 3}));
+}
+
+TEST(GraphTest, SizeInBitsMatchesEq4) {
+  Graph g = CompleteGraph(8);  // |V|=8, |E|=28, log2|V|=3
+  EXPECT_DOUBLE_EQ(g.SizeInBits(), 2.0 * 28 * 3.0);
+}
+
+TEST(GraphTest, SizeInBitsSingleNode) {
+  Graph g = PathGraph(1);
+  EXPECT_DOUBLE_EQ(g.SizeInBits(), 0.0);
+}
+
+TEST(GraphTest, DegreeStatistics) {
+  Graph g = StarGraph(6);  // center degree 6, leaves 1
+  EXPECT_EQ(g.MaxDegree(), 6u);
+  EXPECT_NEAR(g.MeanDegree(), 12.0 / 7.0, 1e-12);
+}
+
+TEST(GraphTest, BuildGraphConvenience) {
+  Graph g = BuildGraph(4, {{0, 1}, {2, 3}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(GraphTest, CompleteGraphDegrees) {
+  Graph g = CompleteGraph(6);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 5u);
+  EXPECT_EQ(g.num_edges(), 15u);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "src/core/hierarchy.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/generators.h"
+#include "src/query/summary_queries.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+SummaryHierarchy MakeHierarchy(const Graph& g) {
+  PegasusConfig config;
+  config.seed = 17;
+  config.max_iterations = 8;
+  return SummaryHierarchy::Build(g, {0, 1}, {0.8, 0.5, 0.3, 0.15}, config);
+}
+
+TEST(HierarchyTest, AllLevelsMeetTheirBudgets) {
+  Graph g = GenerateBarabasiAlbertTails(300, 3, 0.5, 61);
+  auto h = MakeHierarchy(g);
+  ASSERT_EQ(h.num_levels(), 4u);
+  const double ratios[] = {0.8, 0.5, 0.3, 0.15};
+  for (size_t i = 0; i < h.num_levels(); ++i) {
+    EXPECT_LE(h.level(i).SizeInBits(), ratios[i] * g.SizeInBits() + 1e-9)
+        << "level " << i;
+  }
+}
+
+TEST(HierarchyTest, RefinementInvariantHolds) {
+  Graph g = GenerateBarabasiAlbertTails(250, 3, 0.5, 62);
+  auto h = MakeHierarchy(g);
+  EXPECT_TRUE(h.IsMonotone());
+}
+
+TEST(HierarchyTest, CoarserLevelsHaveFewerSupernodes) {
+  Graph g = GenerateBarabasiAlbertTails(300, 3, 0.5, 63);
+  auto h = MakeHierarchy(g);
+  for (size_t i = 0; i + 1 < h.num_levels(); ++i) {
+    EXPECT_GE(h.level(i).num_supernodes(),
+              h.level(i + 1).num_supernodes());
+  }
+}
+
+TEST(HierarchyTest, ErrorGrowsDownTheHierarchy) {
+  Graph g = GenerateBarabasiAlbertTails(300, 3, 0.5, 64);
+  auto h = MakeHierarchy(g);
+  double prev = -1.0;
+  for (size_t i = 0; i < h.num_levels(); ++i) {
+    const double err = ReconstructionError(g, h.level(i));
+    EXPECT_GE(err, prev) << "level " << i;
+    prev = err;
+  }
+}
+
+TEST(HierarchyTest, FinestWithinPicksCorrectLevel) {
+  Graph g = GenerateBarabasiAlbertTails(300, 3, 0.5, 65);
+  auto h = MakeHierarchy(g);
+  // A budget between level sizes must select the finest level that fits.
+  const double big = h.level(0).SizeInBits() + 1.0;
+  EXPECT_EQ(&h.FinestWithin(big), &h.level(0));
+  const double mid = h.level(2).SizeInBits() + 1.0;
+  const SummaryGraph& chosen = h.FinestWithin(mid);
+  EXPECT_LE(chosen.SizeInBits(), mid);
+  EXPECT_GE(&chosen - &h.level(0), 1);  // not the finest
+  // An impossible budget falls back to the coarsest.
+  EXPECT_EQ(&h.FinestWithin(0.0), &h.level(3));
+}
+
+TEST(HierarchyTest, EveryLevelAnswersQueries) {
+  Graph g = GenerateBarabasiAlbertTails(200, 3, 0.5, 66);
+  auto h = MakeHierarchy(g);
+  for (size_t i = 0; i < h.num_levels(); ++i) {
+    auto rwr = SummaryRwrScores(h.level(i), 0);
+    EXPECT_EQ(rwr.size(), g.num_nodes());
+    auto hops = FastSummaryHopDistances(h.level(i), 0);
+    EXPECT_EQ(hops[0], 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,70 @@
+// Edge cases for file I/O and bench plumbing not covered elsewhere.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/core/summary_io.h"
+#include "src/graph/io.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::PathGraph;
+
+TEST(IoEdgeCasesTest, SaveEdgeListToBadPathFails) {
+  EXPECT_FALSE(SaveEdgeList(PathGraph(3), "/no/such/dir/graph.txt"));
+}
+
+TEST(IoEdgeCasesTest, SaveSummaryToBadPathFails) {
+  Graph g = PathGraph(3);
+  EXPECT_FALSE(SaveSummary(SummaryGraph::Identity(g), "/no/such/dir/x"));
+}
+
+TEST(IoEdgeCasesTest, LoadEdgeListIgnoresMalformedLines) {
+  const std::string path = ::testing::TempDir() + "/malformed.txt";
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+    out << "not an edge\n";
+    out << "2 3\n";
+  }
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoEdgeCasesTest, SummaryWithSingleSupernodeRoundTrips) {
+  Graph g = PathGraph(4);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto active = s.ActiveSupernodes();
+  while (active.size() > 1) {
+    s.MergeSupernodes(active[0], active[1]);
+    active = s.ActiveSupernodes();
+  }
+  s.SetSuperedge(active[0], active[0], 3);
+  const std::string path = ::testing::TempDir() + "/single.summary";
+  ASSERT_TRUE(SaveSummary(s, path));
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_supernodes(), 1u);
+  EXPECT_EQ(loaded->SuperedgeWeight(0, 0), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(IoEdgeCasesTest, SummaryTruncatedFileRejected) {
+  const std::string path = ::testing::TempDir() + "/truncated.summary";
+  {
+    std::ofstream out(path);
+    out << "PEGASUS-SUMMARY v1\n";
+    out << "nodes 4 supernodes 2 superedges 1\n";
+    out << "0 0 1\n";  // membership cut short (only 3 of 4 labels)
+  }
+  EXPECT_FALSE(LoadSummary(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/graph/io.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::PathGraph;
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(IoTest, RoundTrip) {
+  Graph g = PathGraph(6);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path));
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 6u);
+  EXPECT_EQ(loaded->num_edges(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, SkipsCommentsAndRemapsIds) {
+  const std::string path = TempPath("snap_style.txt");
+  {
+    std::ofstream out(path);
+    out << "# SNAP-style comment\n";
+    out << "% KONECT-style comment\n";
+    out << "100 200\n200 300\n100 300\n";
+  }
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, NormalizesDuplicatesAndSelfLoops) {
+  const std::string path = TempPath("dirty.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2\n2 1\n1 1\n2 3\n";
+  }
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/really/not/here.txt").has_value());
+}
+
+TEST_F(IoTest, EmptyFileReturnsNullopt) {
+  const std::string path = TempPath("empty.txt");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(LoadEdgeList(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/partition/label_propagation.h"
+#include "src/partition/random_partition.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+TEST(BlpTest, ValidAndBalanced) {
+  Graph g = GeneratePlantedPartition(400, 8, 8.0, 1.0, 40);
+  Partition p = BlpPartition(g, 8);
+  EXPECT_TRUE(p.Valid(g.num_nodes()));
+  // Matched swaps preserve the initial balance exactly.
+  EXPECT_LE(BalanceFactor(p, g.num_nodes()), 1.05);
+}
+
+TEST(BlpTest, ImprovesCutOverRandom) {
+  Graph g = GeneratePlantedPartition(400, 8, 10.0, 0.5, 41);
+  BlpConfig config;
+  config.seed = 2;
+  Partition blp = BlpPartition(g, 8, config);
+  Partition random = RandomPartition(g.num_nodes(), 8, 2);
+  EXPECT_LT(CutEdges(g, blp), CutEdges(g, random));
+}
+
+TEST(BlpTest, DeterministicForSeed) {
+  Graph g = GeneratePlantedPartition(200, 4, 8.0, 1.0, 42);
+  BlpConfig config;
+  config.seed = 7;
+  Partition a = BlpPartition(g, 4, config);
+  Partition b = BlpPartition(g, 4, config);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(BlpTest, SinglePartIsTrivial) {
+  Graph g = ::pegasus::testing::PathGraph(10);
+  Partition p = BlpPartition(g, 1);
+  EXPECT_TRUE(p.Valid(10));
+  EXPECT_EQ(CutEdges(g, p), 0u);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/core/lossless.h"
+#include "src/graph/datasets.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+TEST(LosslessTest, RestoreIsAlwaysExact) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = GenerateBarabasiAlbertTails(200, 3, 0.6, seed);
+    auto result = LosslessSummarize(g, {.seed = seed});
+    Graph restored = RestoreGraph(result.summary, result.corrections);
+    EXPECT_EQ(restored.CanonicalEdges(), g.CanonicalEdges())
+        << "seed " << seed;
+  }
+}
+
+TEST(LosslessTest, CompressesTwinRichGraph) {
+  // An internet-like analog with many degree-1 leaf twins compresses
+  // losslessly below the plain edge-list encoding.
+  Dataset ds = MakeDataset(DatasetId::kCaida, DatasetScale::kTiny, 5);
+  auto result = LosslessSummarize(ds.graph);
+  EXPECT_LT(result.compression_ratio, 1.0);
+  EXPECT_EQ(
+      RestoreGraph(result.summary, result.corrections).CanonicalEdges(),
+      ds.graph.CanonicalEdges());
+}
+
+TEST(LosslessTest, PerfectTwinsCompressHeavily) {
+  // A star of k leaves is one twin family: the summary needs 2 supernodes
+  // and 1 superedge regardless of k.
+  Graph g = ::pegasus::testing::StarGraph(64);
+  auto result = LosslessSummarize(g);
+  EXPECT_LE(result.summary.num_supernodes(), 4u);
+  EXPECT_TRUE(result.corrections.positive.empty());
+  EXPECT_TRUE(result.corrections.negative.empty());
+  EXPECT_LT(result.compression_ratio, 0.5);
+}
+
+TEST(LosslessTest, IncompressibleGraphStaysNearIdentity) {
+  // An Erdos-Renyi graph has no structure to exploit; the encoding should
+  // stay in the same ballpark as the input (identity summary overhead is
+  // the membership term).
+  Graph g = GenerateErdosRenyi(150, 600, 9);
+  auto result = LosslessSummarize(g);
+  EXPECT_EQ(
+      RestoreGraph(result.summary, result.corrections).CanonicalEdges(),
+      g.CanonicalEdges());
+  EXPECT_LT(result.compression_ratio, 1.6);
+}
+
+TEST(LosslessTest, CliqueCompressesToSelfLoop) {
+  Graph g = ::pegasus::testing::CompleteGraph(32);
+  auto result = LosslessSummarize(g);
+  EXPECT_LE(result.summary.num_supernodes(), 2u);
+  EXPECT_TRUE(result.corrections.positive.empty());
+  EXPECT_TRUE(result.corrections.negative.empty());
+  EXPECT_LT(result.compression_ratio, 0.1);
+}
+
+TEST(LosslessTest, Deterministic) {
+  Graph g = GenerateBarabasiAlbertTails(150, 3, 0.5, 11);
+  auto a = LosslessSummarize(g, {.seed = 4});
+  auto b = LosslessSummarize(g, {.seed = 4});
+  EXPECT_DOUBLE_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.summary.num_supernodes(), b.summary.num_supernodes());
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/generators.h"
+#include "src/partition/louvain.h"
+#include "src/partition/random_partition.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::TwoCliquesGraph;
+
+TEST(LouvainTest, SeparatesTwoCliques) {
+  Graph g = TwoCliquesGraph(8);
+  auto communities = LouvainCommunities(g);
+  // All of clique 1 shares one label, all of clique 2 another.
+  for (NodeId u = 1; u < 8; ++u) EXPECT_EQ(communities[u], communities[0]);
+  for (NodeId u = 9; u < 16; ++u) EXPECT_EQ(communities[u], communities[8]);
+  EXPECT_NE(communities[0], communities[8]);
+}
+
+TEST(LouvainTest, FindsPlantedBlocks) {
+  Graph g = GeneratePlantedPartition(400, 8, 10.0, 0.5, 33);
+  auto communities = LouvainCommunities(g);
+  Partition p;
+  p.part_of = communities;
+  uint32_t max_label = 0;
+  for (uint32_t l : communities) max_label = std::max(max_label, l);
+  p.num_parts = max_label + 1;
+  // Modularity should be clearly positive and beat a random partition.
+  Partition random = RandomPartition(g.num_nodes(), p.num_parts, 1);
+  EXPECT_GT(Modularity(g, p), 0.3);
+  EXPECT_GT(Modularity(g, p), Modularity(g, random) + 0.2);
+}
+
+TEST(LouvainTest, PartitionHasRequestedParts) {
+  Graph g = GeneratePlantedPartition(300, 12, 8.0, 0.5, 34);
+  Partition p = LouvainPartition(g, 4);
+  EXPECT_EQ(p.num_parts, 4u);
+  EXPECT_TRUE(p.Valid(g.num_nodes()));
+}
+
+TEST(LouvainTest, PartitionReasonablyBalanced) {
+  Graph g = GeneratePlantedPartition(600, 24, 8.0, 1.0, 35);
+  Partition p = LouvainPartition(g, 8);
+  EXPECT_LT(BalanceFactor(p, g.num_nodes()), 2.5);
+}
+
+TEST(LouvainTest, SingleCommunityForClique) {
+  Graph g = ::pegasus::testing::CompleteGraph(12);
+  auto communities = LouvainCommunities(g);
+  std::set<uint32_t> labels(communities.begin(), communities.end());
+  EXPECT_EQ(labels.size(), 1u);
+}
+
+TEST(LouvainTest, DeterministicForSeed) {
+  Graph g = GeneratePlantedPartition(200, 8, 8.0, 0.5, 36);
+  LouvainConfig config;
+  config.seed = 4;
+  auto a = LouvainCommunities(g, config);
+  auto b = LouvainCommunities(g, config);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pegasus

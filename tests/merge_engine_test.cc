@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/merge_engine.h"
+#include "src/core/personal_weights.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::Fig3Graph;
+using ::pegasus::testing::TwoCliquesGraph;
+
+struct Fixture {
+  explicit Fixture(Graph graph, std::vector<NodeId> targets = {},
+                   double alpha = 1.0)
+      : g(std::move(graph)),
+        s(SummaryGraph::Identity(g)),
+        w(PersonalWeights::Compute(g, targets, alpha)),
+        cm(g, w, s),
+        engine(g, s, cm, MergeScore::kRelative) {}
+
+  Graph g;
+  SummaryGraph s;
+  PersonalWeights w;
+  CostModel cm;
+  MergeEngine engine;
+};
+
+TEST(MergeEngineTest, TwinMergeKeepsExactReconstruction) {
+  // Fig. 3(a): merging the twins {0,1} (identical neighborhoods) yields a
+  // summary that reconstructs the input exactly.
+  Fixture f(Fig3Graph());
+  f.engine.ApplyMerge(0, 1);
+  EXPECT_DOUBLE_EQ(ReconstructionError(f.g, f.s), 0.0);
+  Graph r = f.s.Reconstruct();
+  EXPECT_EQ(r.CanonicalEdges(), f.g.CanonicalEdges());
+}
+
+TEST(MergeEngineTest, MdlDropsUnprofitableBridge) {
+  // After also merging {2,3}, the bridge edge c-e spans a 2-pair block
+  // with 1 real edge; under the MDL cost a superedge there costs more
+  // than the 2log2|V| error bits, so it is (correctly) dropped and the
+  // reconstruction misses exactly that one edge (2 flipped entries).
+  Fixture f(Fig3Graph());
+  f.engine.ApplyMerge(0, 1);
+  f.engine.ApplyMerge(2, 3);
+  EXPECT_DOUBLE_EQ(ReconstructionError(f.g, f.s), 2.0);
+}
+
+TEST(MergeEngineTest, CliqueCollapseGetsSelfLoop) {
+  Fixture f(::pegasus::testing::CompleteGraph(5));
+  SupernodeId m = f.engine.ApplyMerge(0, 1);
+  m = f.engine.ApplyMerge(m, 2);
+  EXPECT_TRUE(f.s.HasSuperedge(m, m)) << "dense block should self-loop";
+  EXPECT_DOUBLE_EQ(ReconstructionError(f.g, f.s), 0.0);
+}
+
+TEST(MergeEngineTest, SuperedgeWeightsAreEdgeCounts) {
+  Fixture f(TwoCliquesGraph(3));
+  SupernodeId left = f.engine.ApplyMerge(0, 1);
+  left = f.engine.ApplyMerge(left, 2);
+  SupernodeId right = f.engine.ApplyMerge(3, 4);
+  right = f.engine.ApplyMerge(right, 5);
+  // Left clique internal: 3 edges; right: 3; bridge: 1.
+  EXPECT_EQ(f.s.SuperedgeWeight(left, left), 3u);
+  EXPECT_EQ(f.s.SuperedgeWeight(right, right), 3u);
+  // The bridge is 1 edge out of 9 cross pairs: not beneficial, so no
+  // cross superedge should exist.
+  EXPECT_FALSE(f.s.HasSuperedge(left, right));
+}
+
+TEST(MergeEngineTest, MergeCountsTracked) {
+  Fixture f(Fig3Graph());
+  EXPECT_EQ(f.engine.stats().merges, 0u);
+  f.engine.ApplyMerge(0, 1);
+  f.engine.ApplyMerge(2, 3);
+  EXPECT_EQ(f.engine.stats().merges, 2u);
+}
+
+TEST(MergeEngineTest, ProcessGroupMergesTwins) {
+  // With theta low, a group holding the twin pairs should merge them.
+  Fixture f(Fig3Graph());
+  ThresholdPolicy threshold(ThresholdRule::kAdaptive, 0.1, 20);
+  Rng rng(5);
+  std::vector<SupernodeId> group{0, 1, 2, 3, 4};
+  f.engine.ProcessGroup(group, threshold, rng);
+  // At least one merge must have happened: twins save > 50% of cost.
+  EXPECT_GE(f.engine.stats().merges, 1u);
+  // All group entries remain alive supernodes.
+  for (SupernodeId a : group) EXPECT_TRUE(f.s.alive(a));
+}
+
+TEST(MergeEngineTest, ProcessGroupRespectsHighThreshold) {
+  // theta = 1.01 can never be reached (relative reduction <= 1), so no
+  // merges should happen and failures should be recorded.
+  Graph g = GenerateBarabasiAlbert(50, 2, 3);
+  Fixture f(std::move(g));
+  ThresholdPolicy threshold(ThresholdRule::kAdaptive, 0.1, 20);
+  // Force theta to stay above 1: record a failure of 1.01 and roll over.
+  threshold.RecordFailure(1.01);
+  threshold.EndIteration(2);
+  ASSERT_GT(threshold.theta(), 1.0);
+  Rng rng(6);
+  std::vector<SupernodeId> group = f.s.ActiveSupernodes();
+  f.engine.ProcessGroup(group, threshold, rng);
+  EXPECT_EQ(f.engine.stats().merges, 0u);
+  EXPECT_GT(f.engine.stats().failures, 0u);
+  EXPECT_GT(threshold.num_recorded(), 0u);
+}
+
+TEST(MergeEngineTest, ProcessGroupStopsAfterLogFailures) {
+  Graph g = GenerateBarabasiAlbert(40, 2, 4);
+  Fixture f(std::move(g));
+  ThresholdPolicy threshold(ThresholdRule::kAdaptive, 0.1, 20);
+  threshold.RecordFailure(2.0);
+  threshold.EndIteration(2);  // theta = 2: unreachable
+  Rng rng(7);
+  std::vector<SupernodeId> group = f.s.ActiveSupernodes();
+  const size_t group_size = group.size();
+  f.engine.ProcessGroup(group, threshold, rng);
+  // #fails allowed is log2(group size) + 1 attempts.
+  EXPECT_LE(f.engine.stats().failures,
+            static_cast<uint64_t>(std::log2(group_size)) + 1);
+}
+
+TEST(MergeEngineTest, ReselectSuperedgesIdempotent) {
+  Fixture f(TwoCliquesGraph(4), {0}, 1.5);
+  SupernodeId m = f.engine.ApplyMerge(0, 1);
+  f.engine.ReselectSuperedges(m);
+  const uint64_t count1 = f.s.num_superedges();
+  const double size1 = f.s.SizeInBits();
+  f.engine.ReselectSuperedges(m);
+  EXPECT_EQ(f.s.num_superedges(), count1);
+  EXPECT_DOUBLE_EQ(f.s.SizeInBits(), size1);
+}
+
+TEST(MergeEngineTest, PersonalizedMergePrefersTargetFidelity) {
+  // Personalized weights around node 0 make errors near 0 expensive:
+  // merging far-away nodes scores higher than merging 0's neighbors with
+  // dissimilar far nodes.
+  Graph g = ::pegasus::testing::PathGraph(12);
+  Fixture f(std::move(g), {0}, 2.0);
+  MergeEval near = f.cm.EvaluateMerge(1, 2);
+  MergeEval far = f.cm.EvaluateMerge(9, 10);
+  // Both merges are structurally identical path segments. Far from the
+  // target the error weights are tiny, so the superedge-bit savings
+  // dominate and the *relative* reduction is larger — exactly the effect
+  // Sec. III-B describes for Eq. (11) vs Eq. (10).
+  EXPECT_GT(far.relative, near.relative);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/partition/multilevel.h"
+#include "src/partition/random_partition.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+TEST(MultilevelTest, ValidPartition) {
+  Graph g = GeneratePlantedPartition(500, 10, 8.0, 1.0, 70);
+  Partition p = MultilevelPartition(g, 8);
+  EXPECT_TRUE(p.Valid(g.num_nodes()));
+}
+
+TEST(MultilevelTest, RespectsBalanceSlack) {
+  Graph g = GeneratePlantedPartition(600, 12, 8.0, 1.0, 71);
+  MultilevelConfig config;
+  config.balance_slack = 1.1;
+  Partition p = MultilevelPartition(g, 6, config);
+  EXPECT_LE(BalanceFactor(p, g.num_nodes()), 1.35);
+}
+
+TEST(MultilevelTest, BeatsRandomCut) {
+  Graph g = GeneratePlantedPartition(600, 12, 10.0, 0.5, 72);
+  Partition ml = MultilevelPartition(g, 8);
+  Partition random = RandomPartition(g.num_nodes(), 8, 5);
+  EXPECT_LT(CutEdges(g, ml), CutEdges(g, random) / 2);
+}
+
+TEST(MultilevelTest, SeparatesTwoCliques) {
+  Graph g = ::pegasus::testing::TwoCliquesGraph(20);
+  Partition p = MultilevelPartition(g, 2);
+  EXPECT_TRUE(p.Valid(g.num_nodes()));
+  EXPECT_LE(CutEdges(g, p), 3u);  // near the 1-edge optimum
+}
+
+TEST(MultilevelTest, CommunityRingLocality) {
+  Graph g = GenerateCommunityRing(8, 60, 3, 6, 73, 0.5);
+  Partition p = MultilevelPartition(g, 8);
+  // The cut should be in the vicinity of the inter-community budget
+  // (8 community borders x 6 inter edges), far below a random cut.
+  Partition random = RandomPartition(g.num_nodes(), 8, 7);
+  EXPECT_LT(CutEdges(g, p), CutEdges(g, random) / 3);
+}
+
+TEST(MultilevelTest, DeterministicForSeed) {
+  Graph g = GeneratePlantedPartition(300, 6, 8.0, 1.0, 74);
+  MultilevelConfig config;
+  config.seed = 21;
+  Partition a = MultilevelPartition(g, 4, config);
+  Partition b = MultilevelPartition(g, 4, config);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(MultilevelTest, SinglePartTrivial) {
+  Graph g = ::pegasus::testing::PathGraph(20);
+  Partition p = MultilevelPartition(g, 1);
+  EXPECT_TRUE(p.Valid(20));
+  EXPECT_EQ(CutEdges(g, p), 0u);
+}
+
+TEST(MultilevelTest, MorePartsThanStructure) {
+  Graph g = ::pegasus::testing::PathGraph(32);
+  Partition p = MultilevelPartition(g, 8);
+  EXPECT_TRUE(p.Valid(32));
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "src/partition/partition.h"
+#include "src/partition/random_partition.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::PathGraph;
+using ::pegasus::testing::TwoCliquesGraph;
+
+TEST(PartitionTest, PartsAndSizes) {
+  Partition p;
+  p.num_parts = 2;
+  p.part_of = {0, 1, 0, 1, 0};
+  auto parts = p.Parts();
+  EXPECT_EQ(parts[0], (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_EQ(parts[1], (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(p.Sizes(), (std::vector<NodeId>{3, 2}));
+}
+
+TEST(PartitionTest, Validity) {
+  Partition p;
+  p.num_parts = 2;
+  p.part_of = {0, 1, 0};
+  EXPECT_TRUE(p.Valid(3));
+  EXPECT_FALSE(p.Valid(4));  // wrong size
+  p.part_of = {0, 0, 0};
+  EXPECT_FALSE(p.Valid(3));  // part 1 empty
+  p.part_of = {0, 2, 1};
+  EXPECT_FALSE(p.Valid(3));  // out-of-range id
+}
+
+TEST(PartitionTest, CutEdges) {
+  Graph g = PathGraph(4);
+  Partition p;
+  p.num_parts = 2;
+  p.part_of = {0, 0, 1, 1};
+  EXPECT_EQ(CutEdges(g, p), 1u);
+  p.part_of = {0, 1, 0, 1};
+  EXPECT_EQ(CutEdges(g, p), 3u);
+}
+
+TEST(PartitionTest, ModularityFavorsCommunityAlignment) {
+  Graph g = TwoCliquesGraph(5);
+  Partition aligned;
+  aligned.num_parts = 2;
+  aligned.part_of.assign(10, 0);
+  for (NodeId u = 5; u < 10; ++u) aligned.part_of[u] = 1;
+  Partition random;
+  random.num_parts = 2;
+  random.part_of = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_GT(Modularity(g, aligned), Modularity(g, random));
+}
+
+TEST(PartitionTest, BalanceFactor) {
+  Partition p;
+  p.num_parts = 2;
+  p.part_of = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(BalanceFactor(p, 4), 1.0);
+  p.part_of = {0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(BalanceFactor(p, 4), 1.5);
+}
+
+TEST(PackIntoPartsTest, BalancesCommunities) {
+  // Four communities of sizes 4, 3, 2, 1 into 2 parts: best split is
+  // {4,1} vs {3,2} or similar; max load must be 5.
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 4; ++i) labels.push_back(0);
+  for (int i = 0; i < 3; ++i) labels.push_back(1);
+  for (int i = 0; i < 2; ++i) labels.push_back(2);
+  labels.push_back(3);
+  Partition p = PackIntoParts(labels, 2);
+  EXPECT_TRUE(p.Valid(10));
+  auto sizes = p.Sizes();
+  EXPECT_EQ(std::max(sizes[0], sizes[1]), 5u);
+}
+
+TEST(PackIntoPartsTest, KeepsCommunitiesIntact) {
+  std::vector<uint32_t> labels{0, 0, 0, 1, 1, 1};
+  Partition p = PackIntoParts(labels, 2);
+  EXPECT_EQ(p.part_of[0], p.part_of[1]);
+  EXPECT_EQ(p.part_of[0], p.part_of[2]);
+  EXPECT_EQ(p.part_of[3], p.part_of[4]);
+}
+
+TEST(PackIntoPartsTest, FillsEmptyParts) {
+  // One giant community into 3 parts: two parts would be empty without the
+  // repair step.
+  std::vector<uint32_t> labels(9, 0);
+  Partition p = PackIntoParts(labels, 3);
+  EXPECT_TRUE(p.Valid(9));
+}
+
+TEST(RandomPartitionTest, BalancedAndValid) {
+  Partition p = RandomPartition(100, 8, 1);
+  EXPECT_TRUE(p.Valid(100));
+  auto sizes = p.Sizes();
+  for (NodeId s : sizes) {
+    EXPECT_GE(s, 12u);
+    EXPECT_LE(s, 13u);
+  }
+}
+
+TEST(RandomPartitionTest, DeterministicForSeed) {
+  Partition a = RandomPartition(50, 4, 9);
+  Partition b = RandomPartition(50, 4, 9);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+}  // namespace
+}  // namespace pegasus

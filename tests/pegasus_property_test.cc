@@ -1,0 +1,168 @@
+// Parameterized property sweeps for the full PeGaSus pipeline across graph
+// families and budgets: budget compliance, partition validity, superedge
+// sanity, determinism, and cost monotonicity must hold for every
+// combination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/core/pegasus.h"
+#include "src/core/personal_weights.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/generators.h"
+
+namespace pegasus {
+namespace {
+
+enum class Family { kBa, kBaTails, kWs, kEr, kPlanted, kRing, kGrid };
+
+Graph MakeFamilyGraph(Family family, uint64_t seed) {
+  switch (family) {
+    case Family::kBa:
+      return GenerateBarabasiAlbert(300, 3, seed);
+    case Family::kBaTails:
+      return GenerateBarabasiAlbertTails(300, 4, 0.6, seed);
+    case Family::kWs:
+      return GenerateWattsStrogatz(300, 8, 0.05, seed);
+    case Family::kEr:
+      return GenerateErdosRenyi(300, 900, seed);
+    case Family::kPlanted:
+      return GeneratePlantedPartition(300, 10, 6.0, 1.0, seed);
+    case Family::kRing:
+      return GenerateCommunityRing(6, 50, 3, 6, seed, 0.5);
+    case Family::kGrid:
+      return GenerateCommunityGrid(3, 3, 34, 3, 6, seed, 0.5);
+  }
+  return {};
+}
+
+const char* FamilyName(Family family) {
+  switch (family) {
+    case Family::kBa:
+      return "BA";
+    case Family::kBaTails:
+      return "BATails";
+    case Family::kWs:
+      return "WS";
+    case Family::kEr:
+      return "ER";
+    case Family::kPlanted:
+      return "Planted";
+    case Family::kRing:
+      return "Ring";
+    case Family::kGrid:
+      return "Grid";
+  }
+  return "?";
+}
+
+class PipelineSweepTest
+    : public ::testing::TestWithParam<std::tuple<Family, double>> {};
+
+TEST_P(PipelineSweepTest, BudgetPartitionAndDeterminism) {
+  const auto [family, ratio] = GetParam();
+  Graph g = MakeFamilyGraph(family, 77);
+  PegasusConfig config;
+  config.seed = 13;
+  config.max_iterations = 10;
+  auto r1 = SummarizeGraphToRatio(g, {0, 1}, ratio, config);
+  auto r2 = SummarizeGraphToRatio(g, {0, 1}, ratio, config);
+
+  // Budget compliance.
+  EXPECT_LE(r1.final_size_bits, ratio * g.SizeInBits() + 1e-9);
+  // Partition validity.
+  std::vector<uint32_t> seen(g.num_nodes(), 0);
+  for (SupernodeId a : r1.summary.ActiveSupernodes()) {
+    EXPECT_FALSE(r1.summary.members(a).empty());
+    for (NodeId u : r1.summary.members(a)) {
+      EXPECT_EQ(r1.summary.supernode_of(u), a);
+      ++seen[u];
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ASSERT_EQ(seen[u], 1u);
+  // Superedges only join alive supernodes and carry positive weights.
+  for (SupernodeId a : r1.summary.ActiveSupernodes()) {
+    for (const auto& [b, w] : r1.summary.superedges(a)) {
+      EXPECT_TRUE(r1.summary.alive(b));
+      EXPECT_GE(w, 1u);
+      // Symmetric storage.
+      EXPECT_EQ(r1.summary.SuperedgeWeight(b, a), w);
+    }
+  }
+  // Determinism.
+  EXPECT_DOUBLE_EQ(r1.final_size_bits, r2.final_size_bits);
+  EXPECT_EQ(r1.summary.num_supernodes(), r2.summary.num_supernodes());
+  EXPECT_EQ(r1.summary.num_superedges(), r2.summary.num_superedges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PipelineSweepTest,
+    ::testing::Combine(::testing::Values(Family::kBa, Family::kBaTails,
+                                         Family::kWs, Family::kEr,
+                                         Family::kPlanted, Family::kRing,
+                                         Family::kGrid),
+                       ::testing::Values(0.15, 0.45, 0.85)),
+    [](const auto& info) {
+      return std::string(FamilyName(std::get<0>(info.param))) + "_r" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// Size-accounting invariant: Eq. (3) recomputed from scratch matches the
+// incrementally maintained SizeInBits after a full summarization run.
+class SizeInvariantTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(SizeInvariantTest, IncrementalSizeMatchesRecount) {
+  Graph g = MakeFamilyGraph(GetParam(), 99);
+  auto result = SummarizeGraphToRatio(g, {2}, 0.4);
+  const SummaryGraph& s = result.summary;
+  uint64_t superedges = 0;
+  uint32_t supernodes = 0;
+  for (SupernodeId a : s.ActiveSupernodes()) {
+    ++supernodes;
+    for (const auto& [b, w] : s.superedges(a)) {
+      (void)w;
+      if (b >= a) ++superedges;
+    }
+  }
+  EXPECT_EQ(supernodes, s.num_supernodes());
+  EXPECT_EQ(superedges, s.num_superedges());
+  const double bits = supernodes <= 1 ? 0.0 : std::log2(supernodes);
+  EXPECT_NEAR(s.SizeInBits(),
+              2.0 * superedges * bits + g.num_nodes() * bits, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SizeInvariantTest,
+                         ::testing::Values(Family::kBa, Family::kWs,
+                                           Family::kRing),
+                         [](const auto& info) {
+                           return FamilyName(info.param);
+                         });
+
+// Forced-coarsening endgame: even absurdly tight budgets are met whenever
+// they exceed zero supernode-membership bits (i.e., any budget is met once
+// |S| can shrink to 1, whose size is 0).
+TEST(PipelinePropertyTest, ExtremeBudgetsAlwaysMet) {
+  Graph g = GenerateBarabasiAlbert(200, 3, 55);
+  for (double ratio : {0.02, 0.05, 0.1}) {
+    auto result = SummarizeGraphToRatio(g, {0}, ratio);
+    EXPECT_LE(result.final_size_bits, ratio * g.SizeInBits() + 1e-9)
+        << "ratio " << ratio;
+  }
+}
+
+// Personalized error never beats the exhaustive information limit: a
+// summary of fewer bits cannot have negative error, and the error at full
+// budget stays 0-bounded.
+TEST(PipelinePropertyTest, ErrorsNonNegativeAcrossBudgets) {
+  Graph g = GenerateCommunityRing(5, 40, 3, 6, 7, 0.5);
+  auto w = PersonalWeights::Compute(g, {0}, 1.5);
+  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto result = SummarizeGraphToRatio(g, {0}, ratio);
+    EXPECT_GE(PersonalizedError(g, result.summary, w), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pegasus

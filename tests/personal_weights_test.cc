@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/personal_weights.h"
+#include "src/graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::PathGraph;
+using ::pegasus::testing::StarGraph;
+
+TEST(PersonalWeightsTest, AlphaOneIsUniform) {
+  Graph g = PathGraph(6);
+  auto w = PersonalWeights::Compute(g, {0}, 1.0);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_DOUBLE_EQ(w.pi(u), 1.0);
+  EXPECT_DOUBLE_EQ(w.Z(), 1.0);
+  EXPECT_DOUBLE_EQ(w.PairWeight(0, 5), 1.0);
+}
+
+TEST(PersonalWeightsTest, EmptyTargetsIsNonPersonalized) {
+  Graph g = PathGraph(6);
+  auto w = PersonalWeights::Compute(g, {}, 2.0);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_DOUBLE_EQ(w.pi(u), 1.0);
+  EXPECT_DOUBLE_EQ(w.Z(), 1.0);
+}
+
+TEST(PersonalWeightsTest, PiFollowsDistances) {
+  Graph g = PathGraph(5);
+  const double alpha = 2.0;
+  auto w = PersonalWeights::Compute(g, {0}, alpha);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_NEAR(w.pi(u), std::pow(alpha, -static_cast<double>(u)), 1e-12);
+  }
+}
+
+TEST(PersonalWeightsTest, MeanOrderedPairWeightIsOne) {
+  Graph g = StarGraph(9);
+  auto w = PersonalWeights::Compute(g, {3}, 1.5);
+  const NodeId n = g.num_nodes();
+  double total = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) total += w.PairWeight(u, v);
+    }
+  }
+  EXPECT_NEAR(total / (n * (n - 1.0)), 1.0, 1e-9);
+}
+
+TEST(PersonalWeightsTest, WeightsDecreaseWithDistance) {
+  Graph g = PathGraph(8);
+  auto w = PersonalWeights::Compute(g, {0}, 1.5);
+  EXPECT_GT(w.PairWeight(0, 1), w.PairWeight(1, 2));
+  EXPECT_GT(w.PairWeight(1, 2), w.PairWeight(6, 7));
+}
+
+TEST(PersonalWeightsTest, MultipleTargetsUseNearest) {
+  Graph g = PathGraph(9);
+  auto w = PersonalWeights::Compute(g, {0, 8}, 2.0);
+  EXPECT_DOUBLE_EQ(w.distances()[0], 0u);
+  EXPECT_DOUBLE_EQ(w.distances()[8], 0u);
+  EXPECT_EQ(w.distances()[4], 4u);
+  EXPECT_NEAR(w.pi(1), w.pi(7), 1e-12);
+}
+
+TEST(PersonalWeightsTest, UnreachableNodesGetMaxPlusOne) {
+  Graph g = BuildGraph(5, {{0, 1}, {1, 2}});
+  auto w = PersonalWeights::Compute(g, {0}, 1.5);
+  // Nodes 3, 4 are unreachable; max finite distance is 2.
+  EXPECT_EQ(w.distances()[3], 3u);
+  EXPECT_EQ(w.distances()[4], 3u);
+}
+
+TEST(PersonalWeightsTest, LargerAlphaConcentratesWeight) {
+  Graph g = PathGraph(10);
+  auto w_low = PersonalWeights::Compute(g, {0}, 1.25);
+  auto w_high = PersonalWeights::Compute(g, {0}, 2.0);
+  // Ratio of near to far weight grows with alpha.
+  const double ratio_low = w_low.PairWeight(0, 1) / w_low.PairWeight(8, 9);
+  const double ratio_high = w_high.PairWeight(0, 1) / w_high.PairWeight(8, 9);
+  EXPECT_GT(ratio_high, ratio_low);
+}
+
+TEST(PersonalWeightsTest, TotalsMatchPi) {
+  Graph g = PathGraph(7);
+  auto w = PersonalWeights::Compute(g, {2}, 1.5);
+  double sum = 0.0, sum2 = 0.0;
+  for (NodeId u = 0; u < 7; ++u) {
+    sum += w.pi(u);
+    sum2 += w.pi(u) * w.pi(u);
+  }
+  EXPECT_NEAR(w.TotalPi(), sum, 1e-12);
+  EXPECT_NEAR(w.TotalPiSquared(), sum2, 1e-12);
+}
+
+}  // namespace
+}  // namespace pegasus

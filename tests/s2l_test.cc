@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/s2l.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+TEST(S2lTest, ProducesRequestedClusterCountAtMost) {
+  Graph g = GenerateBarabasiAlbert(150, 2, 15);
+  auto result = S2lSummarize(g, 30);
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_LE(result.summary.num_supernodes(), 30u);
+  EXPECT_GE(result.summary.num_supernodes(), 2u);
+}
+
+TEST(S2lTest, ValidPartition) {
+  Graph g = GenerateBarabasiAlbert(120, 2, 16);
+  auto result = S2lSummarize(g, 20);
+  ASSERT_FALSE(result.timed_out);
+  std::vector<uint32_t> seen(g.num_nodes(), 0);
+  for (SupernodeId a : result.summary.ActiveSupernodes()) {
+    for (NodeId u : result.summary.members(a)) ++seen[u];
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(seen[u], 1u);
+}
+
+TEST(S2lTest, ClustersIdenticalRowsTogether) {
+  // In Fig. 3, rows of 0 and 1 are identical and rows of 2 and 3 are
+  // identical; with k = 3, k-median must co-cluster at least one twin pair
+  // (zero distance to its twin seed).
+  Graph g = ::pegasus::testing::Fig3Graph();
+  auto result = S2lSummarize(g, 3, {.seed = 4});
+  ASSERT_FALSE(result.timed_out);
+  const SummaryGraph& s = result.summary;
+  const bool twins01 = s.supernode_of(0) == s.supernode_of(1);
+  const bool twins23 = s.supernode_of(2) == s.supernode_of(3);
+  EXPECT_TRUE(twins01 || twins23);
+}
+
+TEST(S2lTest, DenseCoverage) {
+  Graph g = ::pegasus::testing::TwoCliquesGraph(4);
+  auto result = S2lSummarize(g, 3);
+  ASSERT_FALSE(result.timed_out);
+  const SummaryGraph& s = result.summary;
+  for (const Edge& e : g.CanonicalEdges()) {
+    EXPECT_TRUE(s.HasSuperedge(s.supernode_of(e.u), s.supernode_of(e.v)));
+  }
+}
+
+TEST(S2lTest, OversizedProblemReportsTimeout) {
+  // n * k above the guard must report o.o.t./o.o.m. like the paper.
+  Graph g = GenerateBarabasiAlbert(70000, 2, 17);
+  auto result = S2lSummarize(g, 10000);
+  EXPECT_TRUE(result.timed_out);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/saags.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+TEST(SaagsTest, ReachesTargetSupernodeCount) {
+  Graph g = GenerateBarabasiAlbert(200, 2, 11);
+  auto result = SaagsSummarize(g, 50);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.summary.num_supernodes(), 50u);
+}
+
+TEST(SaagsTest, ValidPartition) {
+  Graph g = GenerateBarabasiAlbert(150, 3, 12);
+  auto result = SaagsSummarize(g, 30);
+  std::vector<uint32_t> seen(g.num_nodes(), 0);
+  for (SupernodeId a : result.summary.ActiveSupernodes()) {
+    for (NodeId u : result.summary.members(a)) ++seen[u];
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(seen[u], 1u);
+}
+
+TEST(SaagsTest, DenseCoverage) {
+  Graph g = ::pegasus::testing::TwoCliquesGraph(5);
+  auto result = SaagsSummarize(g, 4);
+  const SummaryGraph& s = result.summary;
+  for (const Edge& e : g.CanonicalEdges()) {
+    EXPECT_TRUE(s.HasSuperedge(s.supernode_of(e.u), s.supernode_of(e.v)));
+  }
+}
+
+TEST(SaagsTest, DeterministicForSeed) {
+  Graph g = GenerateBarabasiAlbert(100, 2, 13);
+  SaagsConfig config;
+  config.seed = 5;
+  auto a = SaagsSummarize(g, 20, config);
+  auto b = SaagsSummarize(g, 20, config);
+  EXPECT_EQ(a.summary.num_superedges(), b.summary.num_superedges());
+}
+
+TEST(SaagsTest, TimeLimitReported) {
+  Graph g = GenerateBarabasiAlbert(3000, 3, 14);
+  SaagsConfig config;
+  config.time_limit_seconds = 1e-6;
+  auto result = SaagsSummarize(g, 10, config);
+  EXPECT_TRUE(result.timed_out);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/sampling.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::CompleteGraph;
+using ::pegasus::testing::PathGraph;
+
+TEST(InducedSubgraphTest, KeepsInternalEdges) {
+  Graph g = PathGraph(6);
+  Graph sub = InducedSubgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 1-2 and 2-3 survive
+}
+
+TEST(InducedSubgraphTest, DropsCrossEdges) {
+  Graph g = PathGraph(6);
+  Graph sub = InducedSubgraph(g, {0, 2, 4});
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+TEST(InducedSubgraphTest, RelabelsDensely) {
+  Graph g = CompleteGraph(5);
+  Graph sub = InducedSubgraph(g, {1, 3, 4});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // still a triangle
+}
+
+TEST(SampleInducedSubgraphTest, FractionControlsSize) {
+  Graph g = CompleteGraph(40);
+  Graph half = SampleInducedSubgraph(g, 0.5, 1);
+  EXPECT_EQ(half.num_nodes(), 20u);
+  EXPECT_EQ(half.num_edges(), 190u);  // induced complete graph
+}
+
+TEST(SampleInducedSubgraphTest, FullFractionIsWholeGraph) {
+  Graph g = PathGraph(15);
+  Graph all = SampleInducedSubgraph(g, 1.0, 2);
+  EXPECT_EQ(all.num_nodes(), 15u);
+  EXPECT_EQ(all.num_edges(), 14u);
+}
+
+TEST(SampleInducedSubgraphTest, DeterministicForSeed) {
+  Graph g = CompleteGraph(30);
+  Graph a = SampleInducedSubgraph(g, 0.4, 9);
+  Graph b = SampleInducedSubgraph(g, 0.4, 9);
+  EXPECT_EQ(a.CanonicalEdges(), b.CanonicalEdges());
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/partition/random_partition.h"
+#include "src/partition/social_hash.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+class ShpVariantTest : public ::testing::TestWithParam<ShpVariant> {};
+
+TEST_P(ShpVariantTest, ValidPartition) {
+  Graph g = GeneratePlantedPartition(300, 6, 8.0, 1.0, 50);
+  Partition p = ShpPartition(g, 6, GetParam());
+  EXPECT_TRUE(p.Valid(g.num_nodes()));
+}
+
+TEST_P(ShpVariantTest, PreservesBalance) {
+  Graph g = GeneratePlantedPartition(320, 8, 8.0, 1.0, 51);
+  Partition p = ShpPartition(g, 8, GetParam());
+  EXPECT_LE(BalanceFactor(p, g.num_nodes()), 1.1);
+}
+
+TEST_P(ShpVariantTest, ImprovesCutOverRandom) {
+  Graph g = GeneratePlantedPartition(400, 8, 10.0, 0.5, 52);
+  ShpConfig config;
+  config.seed = 3;
+  Partition refined = ShpPartition(g, 8, GetParam(), config);
+  Partition random = RandomPartition(g.num_nodes(), 8, 3);
+  EXPECT_LT(CutEdges(g, refined), CutEdges(g, random));
+}
+
+TEST_P(ShpVariantTest, DeterministicForSeed) {
+  Graph g = GeneratePlantedPartition(200, 4, 8.0, 1.0, 53);
+  ShpConfig config;
+  config.seed = 11;
+  Partition a = ShpPartition(g, 4, GetParam(), config);
+  Partition b = ShpPartition(g, 4, GetParam(), config);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ShpVariantTest,
+                         ::testing::Values(ShpVariant::kI, ShpVariant::kII,
+                                           ShpVariant::kKL),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ShpVariant::kI:
+                               return "SHPI";
+                             case ShpVariant::kII:
+                               return "SHPII";
+                             case ShpVariant::kKL:
+                               return "SHPKL";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace pegasus

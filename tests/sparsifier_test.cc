@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/core/merge_engine.h"
+#include "src/core/personal_weights.h"
+#include "src/core/sparsifier.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+TEST(SparsifierTest, NoopWhenWithinBudget) {
+  Graph g = ::pegasus::testing::PathGraph(8);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {}, 1.0);
+  CostModel cm(g, w, s);
+  const uint64_t dropped = SparsifyToBudget(
+      g, cm, s, s.SizeInBits() + 1.0, SparsifyPolicy::kPaperCostAscending);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(SparsifierTest, MeetsBudget) {
+  Graph g = GenerateBarabasiAlbert(100, 3, 2);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {0}, 1.25);
+  CostModel cm(g, w, s);
+  const double budget = s.SizeInBits() * 0.6;
+  SparsifyToBudget(g, cm, s, budget, SparsifyPolicy::kPaperCostAscending);
+  EXPECT_LE(s.SizeInBits(), budget);
+}
+
+TEST(SparsifierTest, DropsCheapestSuperedgesFirstUnderMinDamage) {
+  // Star: center 0 with leaves. Merge two leaves so one superedge covers 2
+  // edges; singleton superedges cover 1 edge each. Min-damage must drop a
+  // singleton superedge before the weight-2 one.
+  Graph g = ::pegasus::testing::StarGraph(5);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {}, 1.0);
+  CostModel cm(g, w, s);
+  MergeEngine engine(g, s, cm, MergeScore::kRelative);
+  SupernodeId pair = engine.ApplyMerge(1, 2);
+  ASSERT_TRUE(s.HasSuperedge(0, pair));
+  // Budget that forces dropping exactly one superedge.
+  const double budget = s.SizeInBits() - 0.5;
+  SparsifyToBudget(g, cm, s, budget, SparsifyPolicy::kMinDamage);
+  EXPECT_TRUE(s.HasSuperedge(0, pair))
+      << "the 2-edge superedge should be kept";
+}
+
+TEST(SparsifierTest, BothPoliciesMeetSameBudget) {
+  Graph g = GenerateBarabasiAlbert(150, 3, 5);
+  auto w = PersonalWeights::Compute(g, {1}, 1.5);
+  for (SparsifyPolicy policy :
+       {SparsifyPolicy::kPaperCostAscending, SparsifyPolicy::kMinDamage}) {
+    SummaryGraph s = SummaryGraph::Identity(g);
+    CostModel cm(g, w, s);
+    const double budget = s.SizeInBits() * 0.5;
+    SparsifyToBudget(g, cm, s, budget, policy);
+    EXPECT_LE(s.SizeInBits(), budget);
+  }
+}
+
+TEST(SparsifierTest, DroppingIncreasesError) {
+  Graph g = GenerateBarabasiAlbert(80, 2, 7);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {}, 1.0);
+  CostModel cm(g, w, s);
+  const double before = ReconstructionError(g, s);
+  SparsifyToBudget(g, cm, s, s.SizeInBits() * 0.5,
+                   SparsifyPolicy::kPaperCostAscending);
+  EXPECT_GT(ReconstructionError(g, s), before);
+}
+
+TEST(SparsifierTest, CanDropEverySuperedge) {
+  Graph g = ::pegasus::testing::PathGraph(16);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto w = PersonalWeights::Compute(g, {}, 1.0);
+  CostModel cm(g, w, s);
+  // Budget below the membership bits: every superedge goes.
+  SparsifyToBudget(g, cm, s, 0.0, SparsifyPolicy::kMinDamage);
+  EXPECT_EQ(s.num_superedges(), 0u);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/ssumm.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+TEST(SsummTest, MeetsBudget) {
+  Graph g = GenerateBarabasiAlbert(300, 3, 4);
+  for (double ratio : {0.3, 0.6}) {
+    auto result = SsummSummarizeToRatio(g, ratio);
+    EXPECT_LE(result.final_size_bits, ratio * g.SizeInBits() + 1e-9);
+  }
+}
+
+TEST(SsummTest, ProducesValidPartition) {
+  Graph g = GenerateBarabasiAlbert(200, 2, 5);
+  auto result = SsummSummarizeToRatio(g, 0.5);
+  std::vector<uint32_t> seen(g.num_nodes(), 0);
+  for (SupernodeId a : result.summary.ActiveSupernodes()) {
+    for (NodeId u : result.summary.members(a)) ++seen[u];
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(seen[u], 1u);
+}
+
+TEST(SsummTest, ErrorGrowsAsBudgetShrinks) {
+  Graph g = GenerateBarabasiAlbert(300, 3, 6);
+  SsummConfig config;
+  config.seed = 3;
+  auto tight = SsummSummarizeToRatio(g, 0.2, config);
+  auto loose = SsummSummarizeToRatio(g, 0.8, config);
+  EXPECT_GE(ReconstructionError(g, tight.summary),
+            ReconstructionError(g, loose.summary));
+}
+
+TEST(SsummTest, DeterministicForSeed) {
+  Graph g = GenerateBarabasiAlbert(150, 2, 7);
+  SsummConfig config;
+  config.seed = 21;
+  auto a = SsummSummarizeToRatio(g, 0.5, config);
+  auto b = SsummSummarizeToRatio(g, 0.5, config);
+  EXPECT_EQ(a.summary.num_supernodes(), b.summary.num_supernodes());
+  EXPECT_DOUBLE_EQ(a.final_size_bits, b.final_size_bits);
+}
+
+TEST(SsummTest, CollapsesTwinsExactly) {
+  Graph g = ::pegasus::testing::Fig3Graph();
+  // Generous budget: SSumM should find the lossless twin merges.
+  auto result = SsummSummarize(g, g.SizeInBits());
+  EXPECT_LE(ReconstructionError(g, result.summary), 4.0);
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/summary_graph.h"
+#include "src/util/bits.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+using ::pegasus::testing::CompleteGraph;
+using ::pegasus::testing::PathGraph;
+using ::pegasus::testing::TwoCliquesGraph;
+
+TEST(SummaryGraphTest, IdentityStructure) {
+  Graph g = PathGraph(5);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  EXPECT_EQ(s.num_nodes(), 5u);
+  EXPECT_EQ(s.num_supernodes(), 5u);
+  EXPECT_EQ(s.num_superedges(), 4u);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(s.supernode_of(u), u);
+    EXPECT_EQ(s.members(u).size(), 1u);
+  }
+  EXPECT_TRUE(s.HasSuperedge(0, 1));
+  EXPECT_FALSE(s.HasSuperedge(0, 2));
+}
+
+TEST(SummaryGraphTest, IdentityReconstructsExactly) {
+  Graph g = TwoCliquesGraph(3);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  Graph r = s.Reconstruct();
+  EXPECT_EQ(r.CanonicalEdges(), g.CanonicalEdges());
+}
+
+TEST(SummaryGraphTest, MergeUnionsMembers) {
+  Graph g = PathGraph(4);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  SupernodeId w = s.MergeSupernodes(1, 2);
+  EXPECT_EQ(s.num_supernodes(), 3u);
+  EXPECT_EQ(s.members(w).size(), 2u);
+  EXPECT_EQ(s.supernode_of(1), w);
+  EXPECT_EQ(s.supernode_of(2), w);
+  EXPECT_TRUE(s.alive(w));
+  EXPECT_FALSE(s.alive(w == 1 ? 2 : 1));
+}
+
+TEST(SummaryGraphTest, MergeErasesIncidentSuperedges) {
+  Graph g = PathGraph(4);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  // Before: superedges {0,1}, {1,2}, {2,3}.
+  s.MergeSupernodes(1, 2);
+  EXPECT_EQ(s.num_superedges(), 0u);  // all three touched supernode 1 or 2
+}
+
+TEST(SummaryGraphTest, MergeKeepsNonIncidentSuperedges) {
+  Graph g = PathGraph(6);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  s.MergeSupernodes(0, 1);
+  // Superedges {2,3}, {3,4}, {4,5} survive.
+  EXPECT_EQ(s.num_superedges(), 3u);
+  EXPECT_TRUE(s.HasSuperedge(3, 4));
+}
+
+TEST(SummaryGraphTest, SelfLoopSemantics) {
+  Graph g = CompleteGraph(4);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  SupernodeId w = s.MergeSupernodes(0, 1);
+  s.SetSuperedge(w, w, 1);
+  EXPECT_TRUE(s.HasSuperedge(w, w));
+  Graph r = s.Reconstruct();
+  EXPECT_TRUE(r.HasEdge(0, 1));  // self-loop connects co-members
+}
+
+TEST(SummaryGraphTest, SetAndEraseSuperedge) {
+  Graph g = PathGraph(4);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  const uint64_t before = s.num_superedges();
+  s.SetSuperedge(0, 2, 5);
+  EXPECT_EQ(s.num_superedges(), before + 1);
+  EXPECT_EQ(s.SuperedgeWeight(0, 2), 5u);
+  EXPECT_EQ(s.SuperedgeWeight(2, 0), 5u);
+  // Updating the weight does not change the count.
+  s.SetSuperedge(0, 2, 7);
+  EXPECT_EQ(s.num_superedges(), before + 1);
+  EXPECT_TRUE(s.EraseSuperedge(2, 0));
+  EXPECT_EQ(s.num_superedges(), before);
+  EXPECT_FALSE(s.EraseSuperedge(2, 0));
+}
+
+TEST(SummaryGraphTest, SizeInBitsMatchesEq3) {
+  Graph g = PathGraph(8);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  // |S| = 8, |P| = 7, |V| = 8: 2*7*3 + 8*3 = 66.
+  EXPECT_DOUBLE_EQ(s.SizeInBits(), 66.0);
+}
+
+TEST(SummaryGraphTest, SizeShrinksWithMerges) {
+  Graph g = CompleteGraph(8);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  const double before = s.SizeInBits();
+  SupernodeId w = s.MergeSupernodes(0, 1);
+  s.SetSuperedge(w, w, 1);
+  EXPECT_LT(s.SizeInBits(), before);
+}
+
+TEST(SummaryGraphTest, WeightedSizeUsesMaxWeight) {
+  Graph g = PathGraph(4);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  // All weights 1: weighted size equals unweighted (log2 1 = 0).
+  EXPECT_DOUBLE_EQ(s.SizeInBitsWeighted(), s.SizeInBits());
+  s.SetSuperedge(0, 2, 4);
+  EXPECT_DOUBLE_EQ(
+      s.SizeInBitsWeighted(),
+      static_cast<double>(s.num_superedges()) * (2.0 * Log2Bits(4) + 2.0) +
+          4.0 * Log2Bits(4));
+}
+
+TEST(SummaryGraphTest, ActiveSupernodesTracksMerges) {
+  Graph g = PathGraph(5);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  s.MergeSupernodes(0, 1);
+  s.MergeSupernodes(3, 4);
+  auto active = s.ActiveSupernodes();
+  EXPECT_EQ(active.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(active.begin(), active.end()));
+}
+
+TEST(SummaryGraphTest, FromPartitionGroupsNodes) {
+  Graph g = PathGraph(6);
+  SummaryGraph s = SummaryGraph::FromPartition(g, {0, 0, 0, 7, 7, 7});
+  EXPECT_EQ(s.num_supernodes(), 2u);
+  EXPECT_EQ(s.members(s.supernode_of(0)).size(), 3u);
+  EXPECT_EQ(s.supernode_of(3), s.supernode_of(5));
+  EXPECT_NE(s.supernode_of(0), s.supernode_of(3));
+  EXPECT_EQ(s.num_superedges(), 0u);
+}
+
+TEST(SummaryGraphTest, RepeatedMergesCollapseToOne) {
+  Graph g = PathGraph(6);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  auto active = s.ActiveSupernodes();
+  while (active.size() > 1) {
+    s.MergeSupernodes(active[0], active[1]);
+    active = s.ActiveSupernodes();
+  }
+  EXPECT_EQ(s.num_supernodes(), 1u);
+  EXPECT_EQ(s.members(active[0]).size(), 6u);
+  EXPECT_DOUBLE_EQ(s.SizeInBits(), 0.0);  // log2(1) = 0
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/pegasus.h"
+#include "src/core/summary_io.h"
+#include "src/graph/generators.h"
+#include "src/query/summary_queries.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SummaryIoTest, RoundTripIdentity) {
+  Graph g = ::pegasus::testing::PathGraph(6);
+  SummaryGraph s = SummaryGraph::Identity(g);
+  const std::string path = TempPath("identity.summary");
+  ASSERT_TRUE(SaveSummary(s, path));
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), s.num_nodes());
+  EXPECT_EQ(loaded->num_supernodes(), s.num_supernodes());
+  EXPECT_EQ(loaded->num_superedges(), s.num_superedges());
+  std::remove(path.c_str());
+}
+
+TEST(SummaryIoTest, RoundTripPreservesQueries) {
+  Graph g = GenerateBarabasiAlbert(150, 3, 90);
+  auto result = SummarizeGraphToRatio(g, {0, 1}, 0.5);
+  const std::string path = TempPath("summary.summary");
+  ASSERT_TRUE(SaveSummary(result.summary, path));
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  // Same partition (up to relabeling): co-membership must match.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      EXPECT_EQ(result.summary.supernode_of(u) ==
+                    result.summary.supernode_of(v),
+                loaded->supernode_of(u) == loaded->supernode_of(v));
+    }
+  }
+  // Queries answer identically.
+  for (NodeId q : {0u, 17u, 149u}) {
+    EXPECT_EQ(FastSummaryHopDistances(result.summary, q),
+              FastSummaryHopDistances(*loaded, q));
+    auto r1 = SummaryRwrScores(result.summary, q);
+    auto r2 = SummaryRwrScores(*loaded, q);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      ASSERT_NEAR(r1[u], r2[u], 1e-12);
+    }
+  }
+  // Size accounting survives the round trip.
+  EXPECT_DOUBLE_EQ(result.summary.SizeInBits(), loaded->SizeInBits());
+  std::remove(path.c_str());
+}
+
+TEST(SummaryIoTest, RejectsMissingFile) {
+  EXPECT_FALSE(LoadSummary("/no/such/file.summary").has_value());
+}
+
+TEST(SummaryIoTest, RejectsCorruptHeader) {
+  const std::string path = TempPath("corrupt.summary");
+  {
+    std::ofstream out(path);
+    out << "NOT-A-SUMMARY v9\n";
+  }
+  EXPECT_FALSE(LoadSummary(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SummaryIoTest, RejectsOutOfRangeSuperedge) {
+  const std::string path = TempPath("badedge.summary");
+  {
+    std::ofstream out(path);
+    out << "PEGASUS-SUMMARY v1\n";
+    out << "nodes 2 supernodes 2 superedges 1\n";
+    out << "0 1\n";
+    out << "0 7 1\n";  // supernode 7 does not exist
+  }
+  EXPECT_FALSE(LoadSummary(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SummaryIoTest, RejectsBadMembershipLabel) {
+  const std::string path = TempPath("badlabel.summary");
+  {
+    std::ofstream out(path);
+    out << "PEGASUS-SUMMARY v1\n";
+    out << "nodes 2 supernodes 1 superedges 0\n";
+    out << "0 3\n";  // label 3 >= 1 supernode
+  }
+  EXPECT_FALSE(LoadSummary(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -1,0 +1,71 @@
+// Shared helpers for the test suite.
+
+#ifndef PEGASUS_TESTS_TEST_UTIL_H_
+#define PEGASUS_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/graph_builder.h"
+
+namespace pegasus::testing {
+
+// A path graph 0-1-2-...-(n-1).
+inline Graph PathGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) b.AddEdge(u, u + 1);
+  return std::move(b).Build();
+}
+
+// A cycle graph.
+inline Graph CycleGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) b.AddEdge(u, (u + 1) % n);
+  return std::move(b).Build();
+}
+
+// A complete graph K_n.
+inline Graph CompleteGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+// A star with `leaves` leaves; node 0 is the center.
+inline Graph StarGraph(NodeId leaves) {
+  GraphBuilder b(leaves + 1);
+  for (NodeId u = 1; u <= leaves; ++u) b.AddEdge(0, u);
+  return std::move(b).Build();
+}
+
+// Two cliques of size `k` joined by a single bridge edge (0 -- k).
+inline Graph TwoCliquesGraph(NodeId k) {
+  GraphBuilder b(2 * k);
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) {
+      b.AddEdge(u, v);
+      b.AddEdge(k + u, k + v);
+    }
+  }
+  b.AddEdge(0, k);
+  return std::move(b).Build();
+}
+
+// The paper's Fig. 3 example: a = 0, b = 1, c = 2, d = 3, e = 4, with
+// a, b adjacent to c, d and e adjacent to c, d... exact edges:
+// a-c, a-d, b-c, b-d, c-e (the "exact reconstruction" variant).
+inline Graph Fig3Graph() {
+  GraphBuilder b(5);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 4);
+  return std::move(b).Build();
+}
+
+}  // namespace pegasus::testing
+
+#endif  // PEGASUS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "src/core/threshold.h"
+
+namespace pegasus {
+namespace {
+
+TEST(ThresholdTest, InitialThetaIsHalf) {
+  ThresholdPolicy adaptive(ThresholdRule::kAdaptive, 0.1, 20);
+  EXPECT_DOUBLE_EQ(adaptive.theta(), 0.5);
+  ThresholdPolicy harmonic(ThresholdRule::kHarmonic, 0.1, 20);
+  EXPECT_DOUBLE_EQ(harmonic.theta(), 0.5);
+}
+
+TEST(ThresholdTest, HarmonicSchedule) {
+  ThresholdPolicy p(ThresholdRule::kHarmonic, 0.1, 5);
+  p.EndIteration(2);
+  EXPECT_DOUBLE_EQ(p.theta(), 1.0 / 3.0);
+  p.EndIteration(3);
+  EXPECT_DOUBLE_EQ(p.theta(), 0.25);
+  p.EndIteration(5);  // t >= tmax: 0
+  EXPECT_DOUBLE_EQ(p.theta(), 0.0);
+}
+
+TEST(ThresholdTest, AdaptivePicksKthLargest) {
+  ThresholdPolicy p(ThresholdRule::kAdaptive, 0.5, 20);
+  for (double v : {0.1, 0.2, 0.3, 0.4}) p.RecordFailure(v);
+  p.EndIteration(2);
+  // floor(0.5 * 4) = 2nd largest = 0.3.
+  EXPECT_DOUBLE_EQ(p.theta(), 0.3);
+}
+
+TEST(ThresholdTest, AdaptiveBetaNearZeroPicksLargest) {
+  ThresholdPolicy p(ThresholdRule::kAdaptive, 0.0, 20);
+  for (double v : {0.05, 0.45, 0.25}) p.RecordFailure(v);
+  p.EndIteration(2);
+  EXPECT_DOUBLE_EQ(p.theta(), 0.45);
+}
+
+TEST(ThresholdTest, AdaptiveBetaOnePicksSmallest) {
+  ThresholdPolicy p(ThresholdRule::kAdaptive, 1.0, 20);
+  for (double v : {0.05, 0.45, 0.25}) p.RecordFailure(v);
+  p.EndIteration(2);
+  EXPECT_DOUBLE_EQ(p.theta(), 0.05);
+}
+
+TEST(ThresholdTest, EmptyListLeavesThetaUnchanged) {
+  ThresholdPolicy p(ThresholdRule::kAdaptive, 0.1, 20);
+  p.EndIteration(2);
+  EXPECT_DOUBLE_EQ(p.theta(), 0.5);
+}
+
+TEST(ThresholdTest, ListClearedBetweenIterations) {
+  ThresholdPolicy p(ThresholdRule::kAdaptive, 0.1, 20);
+  p.RecordFailure(0.4);
+  p.EndIteration(2);
+  EXPECT_EQ(p.num_recorded(), 0u);
+  p.RecordFailure(0.2);
+  p.EndIteration(3);
+  EXPECT_DOUBLE_EQ(p.theta(), 0.2);
+}
+
+TEST(ThresholdTest, AdaptiveDecreasesOverIterations) {
+  // Failures are by construction below the current theta, so theta is
+  // non-increasing under the adaptive rule.
+  ThresholdPolicy p(ThresholdRule::kAdaptive, 0.3, 20);
+  double prev = p.theta();
+  for (int t = 2; t <= 6; ++t) {
+    p.RecordFailure(prev * 0.9);
+    p.RecordFailure(prev * 0.5);
+    p.RecordFailure(prev * 0.2);
+    p.EndIteration(t);
+    EXPECT_LE(p.theta(), prev);
+    prev = p.theta();
+  }
+}
+
+}  // namespace
+}  // namespace pegasus

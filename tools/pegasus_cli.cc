@@ -1,0 +1,320 @@
+// pegasus — command-line interface to the library.
+//
+//   pegasus stats      <edgelist>
+//   pegasus generate   <kind> <out.txt> [--nodes N] [--seed S]
+//   pegasus summarize  <edgelist> <out.summary> [--ratio R] [--alpha A]
+//                      [--beta B] [--tmax T] [--seed S] [--targets a,b,c]
+//   pegasus query      <summary> <hop|rwr|php|pagerank> <node> [--top K]
+//   pegasus evaluate   <edgelist> <summary> [--alpha A] [--targets a,b,c]
+//
+// `generate` kinds: ba, ws, er, grid, community-ring.
+// Exit code 0 on success, 1 on usage errors, 2 on I/O errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/corrections.h"
+#include "src/core/lossless.h"
+#include "src/core/pegasus.h"
+#include "src/core/personal_weights.h"
+#include "src/core/summary_io.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/diameter.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/query/summary_queries.h"
+
+namespace pegasus::cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal flag parsing: positional args plus "--key value" pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  std::optional<std::string> Flag(const std::string& key) const {
+    for (const auto& [k, v] : flags) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  double FlagDouble(const std::string& key, double fallback) const {
+    auto v = Flag(key);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+  int64_t FlagInt(const std::string& key, int64_t fallback) const {
+    auto v = Flag(key);
+    return v ? std::atoll(v->c_str()) : fallback;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags.emplace_back(a.substr(2), argv[++i]);
+    } else {
+      args.positional.push_back(std::move(a));
+    }
+  }
+  return args;
+}
+
+std::vector<NodeId> ParseTargets(const std::string& csv) {
+  std::vector<NodeId> out;
+  size_t begin = 0;
+  while (begin < csv.size()) {
+    size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    out.push_back(static_cast<NodeId>(
+        std::strtoul(csv.substr(begin, end - begin).c_str(), nullptr, 10)));
+    begin = end + 1;
+  }
+  return out;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pegasus stats     <edgelist>\n"
+      "  pegasus generate  <ba|ws|er|grid|community-ring> <out.txt>"
+      " [--nodes N] [--seed S]\n"
+      "  pegasus summarize <edgelist> <out.summary> [--ratio R]"
+      " [--alpha A] [--beta B] [--tmax T] [--seed S] [--targets a,b,c]\n"
+      "  pegasus query     <summary> <hop|rwr|php|pagerank> <node>"
+      " [--top K]\n"
+      "  pegasus evaluate  <edgelist> <summary> [--alpha A]"
+      " [--targets a,b,c]\n"
+      "  pegasus compress  <edgelist> <out.summary> [--tmax T] [--seed S]\n");
+  return 1;
+}
+
+// Lossless compression: summary + corrections, restorable exactly.
+int CmdCompress(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  auto graph = LoadEdgeList(args.positional[0]);
+  if (!graph) {
+    std::fprintf(stderr, "error: cannot load %s\n",
+                 args.positional[0].c_str());
+    return 2;
+  }
+  LosslessConfig config;
+  config.max_iterations = static_cast<int>(args.FlagInt("tmax", 20));
+  config.seed = static_cast<uint64_t>(args.FlagInt("seed", 0));
+  auto result = LosslessSummarize(*graph, config);
+  if (!SaveSummary(result.summary, args.positional[1])) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.positional[1].c_str());
+    return 2;
+  }
+  std::printf("lossless: %u supernodes, %llu superedges, "
+              "%zu corrections\n",
+              result.summary.num_supernodes(),
+              static_cast<unsigned long long>(
+                  result.summary.num_superedges()),
+              result.corrections.TotalCount());
+  std::printf("encoding: %.0f bits = %.1f%% of the input "
+              "(restorable exactly)\n",
+              result.total_bits, 100.0 * result.compression_ratio);
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  auto graph = LoadEdgeList(args.positional[0]);
+  if (!graph) {
+    std::fprintf(stderr, "error: cannot load %s\n",
+                 args.positional[0].c_str());
+    return 2;
+  }
+  std::printf("nodes         %u\n", graph->num_nodes());
+  std::printf("edges         %llu\n",
+              static_cast<unsigned long long>(graph->num_edges()));
+  std::printf("mean degree   %.2f\n", graph->MeanDegree());
+  std::printf("max degree    %llu\n",
+              static_cast<unsigned long long>(graph->MaxDegree()));
+  std::printf("size (bits)   %.0f\n", graph->SizeInBits());
+  std::printf("eff. diameter %.2f\n", EffectiveDiameter(*graph));
+  return 0;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const std::string& kind = args.positional[0];
+  const NodeId n = static_cast<NodeId>(args.FlagInt("nodes", 10000));
+  const uint64_t seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
+  Graph g;
+  if (kind == "ba") {
+    g = GenerateBarabasiAlbert(n, 3, seed);
+  } else if (kind == "ws") {
+    g = GenerateWattsStrogatz(n, 10, 0.01, seed);
+  } else if (kind == "er") {
+    g = GenerateErdosRenyi(n, static_cast<EdgeId>(n) * 5, seed);
+  } else if (kind == "grid") {
+    NodeId side = 1;
+    while (side * side < n) ++side;
+    g = GenerateGrid(side, side, 0.1, seed);
+  } else if (kind == "community-ring") {
+    g = GenerateCommunityRing(16, std::max<NodeId>(n / 16, 8), 3, 12, seed,
+                              0.5);
+  } else {
+    return Usage();
+  }
+  if (!SaveEdgeList(g, args.positional[1])) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.positional[1].c_str());
+    return 2;
+  }
+  std::printf("wrote %u nodes, %llu edges to %s\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()),
+              args.positional[1].c_str());
+  return 0;
+}
+
+int CmdSummarize(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  auto graph = LoadEdgeList(args.positional[0]);
+  if (!graph) {
+    std::fprintf(stderr, "error: cannot load %s\n",
+                 args.positional[0].c_str());
+    return 2;
+  }
+  PegasusConfig config;
+  config.alpha = args.FlagDouble("alpha", 1.25);
+  config.beta = args.FlagDouble("beta", 0.1);
+  config.max_iterations = static_cast<int>(args.FlagInt("tmax", 20));
+  config.seed = static_cast<uint64_t>(args.FlagInt("seed", 0));
+  const double ratio = args.FlagDouble("ratio", 0.5);
+  std::vector<NodeId> targets;
+  if (auto t = args.Flag("targets")) targets = ParseTargets(*t);
+
+  auto result = SummarizeGraphToRatio(*graph, targets, ratio, config);
+  if (!SaveSummary(result.summary, args.positional[1])) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.positional[1].c_str());
+    return 2;
+  }
+  std::printf("summarized in %.2fs: %u supernodes, %llu superedges\n",
+              result.elapsed_seconds, result.summary.num_supernodes(),
+              static_cast<unsigned long long>(
+                  result.summary.num_superedges()));
+  std::printf("size: %.0f bits (%.1f%% of input)\n", result.final_size_bits,
+              100.0 * CompressionRatio(*graph, result.summary));
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  if (args.positional.size() != 3) return Usage();
+  auto summary = LoadSummary(args.positional[0]);
+  if (!summary) {
+    std::fprintf(stderr, "error: cannot load %s\n",
+                 args.positional[0].c_str());
+    return 2;
+  }
+  const std::string& type = args.positional[1];
+  const NodeId q = static_cast<NodeId>(
+      std::strtoul(args.positional[2].c_str(), nullptr, 10));
+  if (q >= summary->num_nodes()) {
+    std::fprintf(stderr, "error: node %u out of range\n", q);
+    return 1;
+  }
+  const size_t top = static_cast<size_t>(args.FlagInt("top", 10));
+
+  std::vector<double> scores;
+  if (type == "hop") {
+    auto hops = FastSummaryHopDistances(*summary, q);
+    scores.reserve(hops.size());
+    for (uint32_t h : hops) {
+      scores.push_back(h == UINT32_MAX ? -1.0 : -static_cast<double>(h));
+    }
+  } else if (type == "rwr") {
+    scores = SummaryRwrScores(*summary, q);
+  } else if (type == "php") {
+    scores = SummaryPhpScores(*summary, q);
+  } else if (type == "pagerank") {
+    scores = SummaryPageRank(*summary);
+  } else {
+    return Usage();
+  }
+
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(
+                                        std::min(top, order.size())),
+                    order.end(), [&](NodeId a, NodeId b) {
+                      return scores[a] > scores[b];
+                    });
+  std::printf("top %zu nodes for %s(%u):\n", std::min(top, order.size()),
+              type.c_str(), q);
+  for (size_t i = 0; i < std::min(top, order.size()); ++i) {
+    if (type == "hop") {
+      std::printf("  %u  (%.0f hops)\n", order[i], -scores[order[i]]);
+    } else {
+      std::printf("  %u  (%.6g)\n", order[i], scores[order[i]]);
+    }
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  auto graph = LoadEdgeList(args.positional[0]);
+  auto summary = LoadSummary(args.positional[1]);
+  if (!graph || !summary) {
+    std::fprintf(stderr, "error: cannot load inputs\n");
+    return 2;
+  }
+  if (summary->num_nodes() != graph->num_nodes()) {
+    std::fprintf(stderr, "error: summary has %u nodes, graph has %u\n",
+                 summary->num_nodes(), graph->num_nodes());
+    return 1;
+  }
+  const double alpha = args.FlagDouble("alpha", 1.25);
+  std::vector<NodeId> targets;
+  if (auto t = args.Flag("targets")) targets = ParseTargets(*t);
+
+  auto weights = PersonalWeights::Compute(*graph, targets, alpha);
+  std::printf("compression ratio      %.4f\n",
+              CompressionRatio(*graph, *summary));
+  std::printf("reconstruction error   %.1f\n",
+              ReconstructionError(*graph, *summary));
+  std::printf("personalized error     %.1f (alpha=%.2f, |T|=%zu)\n",
+              PersonalizedError(*graph, *summary, weights), alpha,
+              targets.size());
+  auto corrections = ComputeCorrections(*graph, *summary);
+  std::printf("lossless encoding      %.0f bits (%.1f%% of input; "
+              "%zu corrections)\n",
+              LosslessSizeInBits(*summary, corrections),
+              100.0 * LosslessSizeInBits(*summary, corrections) /
+                  graph->SizeInBits(),
+              corrections.TotalCount());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv);
+  if (command == "stats") return CmdStats(args);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "summarize") return CmdSummarize(args);
+  if (command == "query") return CmdQuery(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "compress") return CmdCompress(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace pegasus::cli
+
+int main(int argc, char** argv) { return pegasus::cli::Main(argc, argv); }
