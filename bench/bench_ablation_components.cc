@@ -87,7 +87,7 @@ void Run() {
                     FormatDouble(result.elapsed_seconds, 3)});
     }
   }
-  table.Print();
+  Finish(table);
 }
 
 }  // namespace

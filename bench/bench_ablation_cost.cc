@@ -50,7 +50,7 @@ void Run() {
       }
     }
   }
-  table.Print();
+  Finish(table);
   std::printf("\nExpected shape: 'relative' rows dominate 'absolute' rows.\n");
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_results.h"
 #include "src/graph/datasets.h"
 #include "src/graph/graph.h"
 #include "src/util/rng.h"
@@ -19,12 +20,26 @@
 
 namespace pegasus::bench {
 
-// Prints the standard bench banner.
+// Prints the standard bench banner and records the bench's identity so
+// Finish() can name its BENCH_<name>.json artifact.
 inline void Banner(const std::string& name, const std::string& paper_ref) {
   std::printf("=== %s ===\n", name.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   const char* scale = std::getenv("PEGASUS_BENCH_SCALE");
   std::printf("Scale: %s\n\n", scale ? scale : "default");
+  CurrentBench() = {name, paper_ref, scale ? scale : "default"};
+}
+
+// Emits one result table: prints it and folds it into the bench's
+// machine-readable BENCH_<name>.json (see bench_results.h). Benches that
+// loop over datasets/ratios call this once per iteration with a label
+// naming the slice; the artifact accumulates every table of the run.
+inline void Finish(const Table& table, const std::string& label = "") {
+  table.Print();
+  BenchContext& ctx = CurrentBench();
+  ctx.tables.emplace_back(label, table);
+  const std::string path = WriteBenchJson(ctx);
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
 }
 
 // Uniform random query/target nodes.

@@ -66,7 +66,7 @@ void Run() {
                   FormatDouble(best_alpha[1], 2),
                   FormatDouble(best_alpha[2], 2)});
   }
-  table.Print();
+  Finish(table);
   std::printf("\nExpected shape: best alpha decreases as the effective "
               "diameter increases.\n");
 }

@@ -116,7 +116,7 @@ void Run() {
                       FormatDouble(hop.spearman, 3)});
       }
     }
-    table.Print();
+    Finish(table, ds.abbrev);
     std::printf("\n");
   }
 }

@@ -93,7 +93,7 @@ void Run() {
     }
     std::printf("--- %s (%s): ratio %.1f, relative to T=V summary ---\n",
                 ds.name.c_str(), ds.abbrev.c_str(), ratio);
-    table.Print();
+    Finish(table, ds.abbrev + " ratio " + FormatDouble(ratio, 1));
     std::printf("\n");
   }
 }

@@ -57,7 +57,7 @@ void RunOnGraph(const std::string& name, const Graph& full,
     log_e.push_back(std::log2(static_cast<double>(g.num_edges())));
     log_t.push_back(std::log2(secs));
   }
-  table.Print();
+  Finish(table, name + (half_targets ? ", |T|=|V|/2" : ", |T|=100"));
   std::printf("log-log slope: %.3f (linear scalability => ~1.0)\n\n",
               Slope(log_e, log_t));
 }

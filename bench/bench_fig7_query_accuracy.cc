@@ -125,7 +125,7 @@ void Run() {
       table.AddRow({"SAAGs/k-GraSS/S2L", "-", "o.o.t (skipped, cf. paper)",
                     "", "", "", "", ""});
     }
-    table.Print();
+    Finish(table, ds.abbrev);
     std::printf("\n");
   }
 }

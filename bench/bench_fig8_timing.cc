@@ -161,7 +161,7 @@ void Run() {
                     FormatCount(g.num_edges())});
     }
   }
-  table.Print();
+  Finish(table);
 }
 
 }  // namespace

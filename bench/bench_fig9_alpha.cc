@@ -78,7 +78,7 @@ void Run() {
                     FormatDouble(sums[2].smape, 3),
                     FormatDouble(sums[2].spearman, 3)});
     }
-    table.Print();
+    Finish(table, "ratio " + FormatDouble(ratio, 1));
     std::printf("\n");
   }
 }

@@ -33,7 +33,7 @@ void Run() {
                   FormatDouble(result.compression_ratio, 3),
                   exact ? "exact" : "MISMATCH", FormatDouble(secs, 2)});
   }
-  table.Print();
+  Finish(table);
   std::printf("\nratio < 1 means the lossless encoding beats the plain "
               "edge list (Eq. 4).\n");
 }

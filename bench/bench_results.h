@@ -1,0 +1,213 @@
+// Machine-readable benchmark results.
+//
+// Banner() (bench_common.h) records which bench is running; Finish()
+// prints the paper-style table and serializes it here to
+// BENCH_<name>.json, so perf-trajectory tooling can diff runs without
+// scraping stdout. Output directory: $PEGASUS_BENCH_OUT, default cwd.
+//
+// Schema (benches that loop over datasets/ratios emit one labeled table
+// per iteration; the file always holds the full run):
+//   {
+//     "bench": "bench_fig8_timing",
+//     "reproduces": "Fig. 8 (...)",
+//     "scale": "tiny",
+//     "tables": [
+//       {"label": "", "columns": ["dataset", ...],
+//        "rows": [{"dataset": "CW", "summarize_s": 0.123, ...}, ...]}
+//     ]
+//   }
+// Cells that parse as numbers (thousands separators stripped) are emitted
+// as JSON numbers; empty cells as null; everything else as strings.
+
+#ifndef PEGASUS_BENCH_BENCH_RESULTS_H_
+#define PEGASUS_BENCH_BENCH_RESULTS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/table.h"
+
+namespace pegasus::bench {
+
+// Identity and accumulated results of the currently running bench.
+// Banner() resets it; each Finish() appends a table snapshot and rewrites
+// the JSON artifact, so the file is complete even if a later section of
+// the bench dies.
+struct BenchContext {
+  std::string name;       // e.g. "bench_fig8_timing"
+  std::string paper_ref;  // e.g. "Fig. 8 (summarization time; ...)"
+  std::string scale;      // resolved PEGASUS_BENCH_SCALE
+  std::vector<std::pair<std::string, Table>> tables;  // label -> snapshot
+};
+
+inline BenchContext& CurrentBench() {
+  static BenchContext ctx;
+  return ctx;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Strict JSON number: -?int[.frac][(e|E)[+-]exp], no leading zeros on a
+// multi-digit integer part. Anything strtod would accept beyond this
+// (hex, "+5", ".5", "inf", "nan") must stay a quoted string — JSON
+// parsers reject those tokens.
+inline bool IsJsonNumber(const std::string& s) {
+  size_t i = 0;
+  if (i < s.size() && s[i] == '-') ++i;
+  const size_t int_start = i;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  const size_t int_digits = i - int_start;
+  if (int_digits == 0) return false;
+  if (int_digits > 1 && s[int_start] == '0') return false;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    const size_t frac_start = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == frac_start) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    const size_t exp_start = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == exp_start) return false;
+  }
+  return i == s.size();
+}
+
+// FormatCount's output shape: 1-3 digits, then comma-separated groups of
+// exactly 3 ("1,049,866"). Only such cells have their separators
+// stripped; an arbitrary comma-bearing cell ("1,2") stays a string.
+inline bool IsGroupedCount(const std::string& s) {
+  if (s.empty() || s[0] == '0') return false;  // grouped counts are >= 1,000
+  size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  if (i < 1 || i > 3 || i == s.size()) return false;
+  while (i < s.size()) {
+    if (s[i] != ',') return false;
+    ++i;
+    for (int k = 0; k < 3; ++k, ++i) {
+      if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    }
+  }
+  return true;
+}
+
+// One table cell as a JSON value: null if empty, number if it has a
+// strict numeric shape, else string.
+inline std::string CellToJson(const std::string& cell) {
+  if (cell.empty()) return "null";
+  if (IsJsonNumber(cell)) return cell;
+  if (IsGroupedCount(cell)) {
+    std::string stripped;
+    stripped.reserve(cell.size());
+    for (char c : cell) {
+      if (c != ',') stripped += c;
+    }
+    return stripped;
+  }
+  return "\"" + JsonEscape(cell) + "\"";
+}
+
+inline std::string TableToJson(const std::string& label, const Table& table,
+                               const std::string& indent) {
+  std::string out = indent + "{\"label\": \"" + JsonEscape(label) + "\",\n";
+  out += indent + " \"columns\": [";
+  const auto& header = table.header();
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + JsonEscape(header[i]) + "\"";
+  }
+  out += "],\n" + indent + " \"rows\": [\n";
+  const auto& rows = table.rows();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    out += indent + "  {";
+    for (size_t c = 0; c < header.size() && c < rows[r].size(); ++c) {
+      if (c) out += ", ";
+      out += "\"" + JsonEscape(header[c]) + "\": " + CellToJson(rows[r][c]);
+    }
+    out += r + 1 < rows.size() ? "},\n" : "}\n";
+  }
+  out += indent + " ]}";
+  return out;
+}
+
+inline std::string ContextToJson(const BenchContext& ctx) {
+  std::string out = "{\n";
+  out += "  \"bench\": \"" + JsonEscape(ctx.name) + "\",\n";
+  out += "  \"reproduces\": \"" + JsonEscape(ctx.paper_ref) + "\",\n";
+  out += "  \"scale\": \"" + JsonEscape(ctx.scale) + "\",\n";
+  out += "  \"tables\": [\n";
+  for (size_t t = 0; t < ctx.tables.size(); ++t) {
+    out += TableToJson(ctx.tables[t].first, ctx.tables[t].second, "    ");
+    out += t + 1 < ctx.tables.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+// $PEGASUS_BENCH_OUT/BENCH_<name>.json, with any "bench_" prefix dropped
+// from the name (bench_fig8_timing -> BENCH_fig8_timing.json).
+inline std::string BenchJsonPath(const std::string& bench_name) {
+  std::string stem = bench_name;
+  if (stem.rfind("bench_", 0) == 0) stem = stem.substr(6);
+  const char* dir = std::getenv("PEGASUS_BENCH_OUT");
+  std::string prefix = (dir && *dir) ? std::string(dir) + "/" : std::string();
+  return prefix + "BENCH_" + stem + ".json";
+}
+
+// Rewrites the JSON artifact from everything accumulated so far; returns
+// its path, or "" on I/O failure (reported on stderr — a bench still
+// succeeds if only the artifact cannot be written).
+inline std::string WriteBenchJson(const BenchContext& ctx) {
+  const std::string path = BenchJsonPath(ctx.name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  const std::string json = ContextToJson(ctx);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  const bool ok = written == json.size() && closed;
+  if (!ok) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+}  // namespace pegasus::bench
+
+#endif  // PEGASUS_BENCH_BENCH_RESULTS_H_

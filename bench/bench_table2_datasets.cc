@@ -49,7 +49,7 @@ void Run() {
                   FormatDouble(EffectiveDiameter(ds.graph, 0.9, 64, 1), 2),
                   paper.nodes, paper.edges});
   }
-  table.Print();
+  Finish(table);
   std::printf(
       "\nNote: analogs (*) are synthetic stand-ins with matching density\n"
       "and degree-skew regimes; see DESIGN.md 'Substitutions'.\n");

@@ -12,6 +12,21 @@
 #include <span>
 #include <vector>
 
+// The library relies on C++20 (operator<=> below, std::span here, and
+// designated initializers throughout); older standards fail with
+// misleading parse errors long after this header, so fail fast instead.
+// MSVC keeps __cplusplus at 199711L without /Zc:__cplusplus; _MSVC_LANG
+// always holds the real standard there.
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "PeGaSus requires C++20: build with /std:c++20 or through the "
+              "provided CMake tree (which pins the standard).");
+#else
+static_assert(__cplusplus >= 202002L,
+              "PeGaSus requires C++20: build with -std=c++20 or through the "
+              "provided CMake tree (which pins the standard).");
+#endif
+
 namespace pegasus {
 
 using NodeId = uint32_t;

@@ -26,6 +26,10 @@ class Table {
 
   size_t num_rows() const { return rows_.size(); }
 
+  // Read access for serializers (e.g. the benchmark JSON emitter).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Runs the benchmark harness and collects machine-readable perf artifacts.
+#
+# Usage:
+#   tools/run_benchmarks.sh [BUILD_DIR] [OUT_DIR]
+#
+#   BUILD_DIR  CMake build tree holding bench/ binaries (default: build)
+#   OUT_DIR    where BENCH_<name>.json + per-bench logs land
+#              (default: bench_results)
+#
+# Environment:
+#   PEGASUS_BENCH_SCALE  tiny|small|default|paper (default here: tiny, so a
+#                        full sweep stays CI-friendly; use "paper" to
+#                        approach the paper's dataset sizes)
+#   PEGASUS_BENCHES      space-separated subset of bench names to run
+#                        (default: every bench_* binary in BUILD_DIR/bench)
+#
+# Each table bench writes BENCH_<name>.json via bench_results.h;
+# bench_micro (google-benchmark) writes BENCH_micro.json through
+# --benchmark_out. The script fails if a bench exits nonzero or if no
+# artifact was produced.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+export PEGASUS_BENCH_SCALE="${PEGASUS_BENCH_SCALE:-tiny}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+# Drop artifacts from earlier runs so the final "no BENCH_*.json" guard
+# can't be satisfied by stale files.
+rm -f "$OUT_DIR"/BENCH_*.json
+export PEGASUS_BENCH_OUT="$OUT_DIR"
+
+if [ -n "${PEGASUS_BENCHES:-}" ]; then
+  benches=$PEGASUS_BENCHES
+else
+  benches=""
+  for bin in "$BUILD_DIR"/bench/bench_*; do
+    [ -f "$bin" ] && [ -x "$bin" ] && benches="$benches ${bin##*/}"
+  done
+fi
+
+echo "scale=$PEGASUS_BENCH_SCALE out=$OUT_DIR"
+failed=0
+for bench in $benches; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "error: no such bench binary: $bin" >&2
+    failed=1
+    continue
+  fi
+  log="$OUT_DIR/$bench.log"
+  printf '%-28s ' "$bench"
+  start=$(date +%s)
+  if [ "$bench" = bench_micro ]; then
+    extra_args=(--benchmark_out="$OUT_DIR/BENCH_micro.json"
+                --benchmark_out_format=json)
+  else
+    extra_args=()
+  fi
+  if "$bin" "${extra_args[@]}" >"$log" 2>&1; then
+    # A bench that ran but could not write its artifact (bench_results.h
+    # only warns) must still fail the collection.
+    artifact="$OUT_DIR/BENCH_${bench#bench_}.json"
+    if [ -s "$artifact" ]; then
+      echo "ok ($(( $(date +%s) - start ))s)"
+    else
+      echo "NO ARTIFACT ($artifact missing) — see $log"
+      failed=1
+    fi
+  else
+    echo "FAILED — see $log"
+    failed=1
+  fi
+done
+
+count=$(find "$OUT_DIR" -maxdepth 1 -name 'BENCH_*.json' | wc -l)
+echo "artifacts: $count BENCH_*.json in $OUT_DIR"
+if [ "$count" -eq 0 ]; then
+  echo "error: no BENCH_*.json artifacts were written" >&2
+  exit 1
+fi
+exit $failed
