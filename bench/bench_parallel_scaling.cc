@@ -1,0 +1,76 @@
+// Parallel-engine scaling (tentpole of ISSUE 2).
+//
+// Sweeps the summarization engine over num_threads = 1/2/4/8 on the
+// largest synthetic dataset used in bench_fig6_scalability (the full
+// Barabasi-Albert graph at the current scale, |T| = 100, ratio 0.5) and
+// reports wall time and speedup vs the 1-thread run. num_threads = 1 is
+// the historical serial schedule; >= 2 is the staged parallel engine, so
+// the 2-vs-4-vs-8 ratios isolate pure scheduling scalability while the
+// 1-vs-N ratios are the end-to-end speedup a caller sees. The parallel
+// rows also double-check the determinism contract: every worker count
+// must report the identical summary size.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
+#include "src/util/parallel.h"
+
+namespace pegasus::bench {
+namespace {
+
+void Run() {
+  Banner("bench_parallel_scaling",
+         "parallel summarization engine speedup (1/2/4/8 threads)");
+  const DatasetScale scale = BenchScaleFromEnv();
+  NodeId synth_nodes = 0;
+  switch (scale) {  // same mapping as bench_fig6_scalability
+    case DatasetScale::kTiny:
+      synth_nodes = 4000;
+      break;
+    case DatasetScale::kSmall:
+      synth_nodes = 30000;
+      break;
+    case DatasetScale::kDefault:
+      synth_nodes = 150000;
+      break;
+    case DatasetScale::kPaper:
+      synth_nodes = 1000000;
+      break;
+  }
+  Graph synth = GenerateBarabasiAlbert(synth_nodes, 8, 3);
+  std::vector<NodeId> targets = SampleNodes(synth, 100, 7);
+  std::printf("graph: BA, %u nodes, %llu edges; hardware threads: %d\n\n",
+              synth.num_nodes(),
+              static_cast<unsigned long long>(synth.num_edges()),
+              ResolveThreadCount(0));
+
+  Table table({"threads", "time_s", "speedup_vs_1t", "supernodes",
+               "size_bits", "merges"});
+  double serial_secs = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    PegasusConfig config;
+    config.seed = 5;
+    config.num_threads = threads;
+    Timer timer;
+    auto result = SummarizeGraphToRatio(synth, targets, 0.5, config);
+    const double secs = timer.ElapsedSeconds();
+    if (threads == 1) serial_secs = secs;
+    table.AddRow({FormatCount(static_cast<uint64_t>(threads)),
+                  FormatDouble(secs, 3),
+                  FormatDouble(serial_secs > 0 ? serial_secs / secs : 0.0, 2),
+                  FormatCount(result.summary.num_supernodes()),
+                  FormatDouble(result.final_size_bits, 0),
+                  FormatCount(result.merge_stats.merges)});
+  }
+  Finish(table, "BA largest (fig6), |T|=100, ratio 0.5");
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() {
+  pegasus::bench::Run();
+  return 0;
+}

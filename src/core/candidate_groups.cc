@@ -11,6 +11,35 @@ inline uint64_t HashNode(NodeId v, uint64_t hash_seed) {
   return SplitMix64(hash_seed ^ (0x9e3779b97f4a7c15ULL + v));
 }
 
+// Scans a sorted shingle-keyed group for equal-key runs: runs of >= 2 ids
+// go to `done` when they fit max_group_size and to `oversized` otherwise
+// (in scan order); singleton runs are dropped as no merge is possible.
+// Shared by the serial and parallel generators so the grouping rule can
+// never drift between them.
+void EmitShingleRuns(
+    const std::vector<std::pair<uint64_t, SupernodeId>>& keyed,
+    size_t max_group_size, std::vector<std::vector<SupernodeId>>& done,
+    std::vector<std::vector<SupernodeId>>& oversized) {
+  size_t begin = 0;
+  while (begin < keyed.size()) {
+    size_t end = begin;
+    while (end < keyed.size() && keyed[end].first == keyed[begin].first) {
+      ++end;
+    }
+    if (end - begin >= 2) {
+      std::vector<SupernodeId> sub;
+      sub.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) sub.push_back(keyed[i].second);
+      if (sub.size() <= max_group_size) {
+        done.push_back(std::move(sub));
+      } else {
+        oversized.push_back(std::move(sub));
+      }
+    }
+    begin = end;
+  }
+}
+
 }  // namespace
 
 uint64_t NodeShingle(const Graph& graph, NodeId u, uint64_t hash_seed) {
@@ -68,25 +97,78 @@ std::vector<std::vector<SupernodeId>> GenerateCandidateGroups(
       keyed.emplace_back(SupernodeShingle(graph, summary, a, hash_seed), a);
     }
     std::sort(keyed.begin(), keyed.end());
-    size_t begin = 0;
-    while (begin < keyed.size()) {
-      size_t end = begin;
-      while (end < keyed.size() && keyed[end].first == keyed[begin].first) {
-        ++end;
+    // Oversized subgroups are re-split with a fresh hash; depth strictly
+    // increases, so the recursion terminates via random chunking.
+    std::vector<std::vector<SupernodeId>> oversized;
+    EmitShingleRuns(keyed, options.max_group_size, done, oversized);
+    for (std::vector<SupernodeId>& sub : oversized) {
+      pending.emplace_back(std::move(sub), depth + 1);
+    }
+  }
+  return done;
+}
+
+std::vector<std::vector<SupernodeId>> GenerateCandidateGroupsParallel(
+    const Graph& graph, const SummaryGraph& summary, uint64_t iteration_seed,
+    const CandidateGroupsOptions& options, ThreadPool& pool) {
+  std::vector<std::vector<SupernodeId>> done;
+  // Level-synchronous splitting: `level` holds the groups still to split
+  // at the current depth. All of them share one hash seed (as in the
+  // serial version, where the seed depends only on depth), so each
+  // level's shingles are computed in one parallel sweep over a flat
+  // concatenation of the level's supernodes.
+  std::vector<std::vector<SupernodeId>> level;
+  level.push_back(summary.ActiveSupernodes());
+  if (level.back().size() < 2) return done;
+
+  std::vector<uint64_t> keys;
+  std::vector<std::pair<uint64_t, SupernodeId>> keyed;
+  for (int depth = 0; depth < options.max_split_rounds && !level.empty();
+       ++depth) {
+    // Flatten the level; group boundaries are [offsets[g], offsets[g+1]).
+    std::vector<SupernodeId> flat;
+    std::vector<size_t> offsets{0};
+    for (const auto& group : level) {
+      flat.insert(flat.end(), group.begin(), group.end());
+      offsets.push_back(flat.size());
+    }
+    const uint64_t hash_seed =
+        SplitMix64(iteration_seed + 0x517cc1b727220a95ULL * (depth + 1));
+    keys.resize(flat.size());
+    pool.ParallelFor(flat.size(), /*grain=*/64,
+                     [&](int, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         keys[i] = SupernodeShingle(graph, summary, flat[i],
+                                                    hash_seed);
+                       }
+                     });
+
+    std::vector<std::vector<SupernodeId>> next_level;
+    for (size_t g = 0; g + 1 < offsets.size(); ++g) {
+      keyed.clear();
+      for (size_t i = offsets[g]; i < offsets[g + 1]; ++i) {
+        keyed.emplace_back(keys[i], flat[i]);
       }
+      std::sort(keyed.begin(), keyed.end());
+      EmitShingleRuns(keyed, options.max_group_size, done, next_level);
+    }
+    level = std::move(next_level);
+  }
+
+  // Depth exhausted: chunk the still-oversized groups at random, each with
+  // its own deterministically derived Rng.
+  for (std::vector<SupernodeId>& group : level) {
+    const SupernodeId min_id = *std::min_element(group.begin(), group.end());
+    Rng rng(SplitMix64(iteration_seed ^
+                       SplitMix64(0x2545f4914f6cdd1dULL + min_id)));
+    rng.Shuffle(group);
+    for (size_t begin = 0; begin < group.size();
+         begin += options.max_group_size) {
+      size_t end = std::min(begin + options.max_group_size, group.size());
       if (end - begin >= 2) {
-        std::vector<SupernodeId> sub;
-        sub.reserve(end - begin);
-        for (size_t i = begin; i < end; ++i) sub.push_back(keyed[i].second);
-        if (sub.size() <= options.max_group_size) {
-          done.push_back(std::move(sub));
-        } else {
-          // Oversized subgroup: re-split with a fresh hash. Depth strictly
-          // increases, so the recursion terminates via random chunking.
-          pending.emplace_back(std::move(sub), depth + 1);
-        }
+        done.emplace_back(group.begin() + static_cast<ptrdiff_t>(begin),
+                          group.begin() + static_cast<ptrdiff_t>(end));
       }
-      begin = end;
     }
   }
   return done;

@@ -18,6 +18,7 @@
 
 #include "src/core/summary_graph.h"
 #include "src/graph/graph.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 namespace pegasus {
@@ -32,6 +33,21 @@ struct CandidateGroupsOptions {
 std::vector<std::vector<SupernodeId>> GenerateCandidateGroups(
     const Graph& graph, const SummaryGraph& summary, uint64_t iteration_seed,
     const CandidateGroupsOptions& options, Rng& rng);
+
+// Parallel, deterministic variant used by the parallel engine. Shingles
+// are computed with a ParallelFor over supernodes (they are pure hashes),
+// and the group-by is a sort over (shingle, id) keys, so both the group
+// contents and their order are a function of (summary, iteration_seed)
+// alone — independent of the pool's worker count and scheduling. The
+// terminal random chunking of never-split oversized groups draws from a
+// per-group Rng derived from iteration_seed and the group's minimum id
+// (the serial version draws from the caller's shared Rng, whose state
+// depends on processing order). Group contents match the serial version
+// wherever no random chunking occurs; group order differs
+// (level-synchronous instead of depth-first).
+std::vector<std::vector<SupernodeId>> GenerateCandidateGroupsParallel(
+    const Graph& graph, const SummaryGraph& summary, uint64_t iteration_seed,
+    const CandidateGroupsOptions& options, ThreadPool& pool);
 
 // One-hop min-hash of a single node under hash seed `hash_seed`:
 // min over v in N(u) ∪ {u} of f(v). Exposed for tests.

@@ -28,9 +28,36 @@ CostModel::CostModel(const Graph& graph, const PersonalWeights& weights,
     pi_sum_[a] += p;
     pi2_sum_[a] += p * p;
   }
-  scratch_stamp_.assign(bound, 0);
-  scratch_weight_.assign(bound, 0.0);
-  scratch_count_.assign(bound, 0);
+  scratch_.Resize(bound);
+}
+
+void CollectIncidentPairs(const Graph& graph, const SummaryGraph& summary,
+                          const PersonalWeights& weights, SupernodeId a,
+                          IncidentScratch& scratch,
+                          std::vector<IncidentPair>& out) {
+  out.clear();
+  scratch.NextEpoch();
+  const double z = weights.Z();
+  for (NodeId u : summary.members(a)) {
+    const double pu = weights.pi(u);
+    for (NodeId v : graph.neighbors(u)) {
+      scratch.Add(summary.supernode_of(v), pu * weights.pi(v) / z, 1);
+    }
+  }
+  out.reserve(scratch.touched.size());
+  for (SupernodeId c : scratch.touched) {
+    IncidentPair p;
+    p.neighbor = c;
+    if (c == a) {
+      // Internal edges were seen from both endpoints.
+      p.edge_weight = scratch.weight[c] / 2.0;
+      p.edge_count = scratch.count[c] / 2;
+    } else {
+      p.edge_weight = scratch.weight[c];
+      p.edge_count = scratch.count[c];
+    }
+    out.push_back(p);
+  }
 }
 
 double CostModel::PairPotential(SupernodeId a, SupernodeId b) const {
@@ -71,40 +98,7 @@ bool CostModel::SuperedgeBeneficial(double potential, double edge_weight,
 
 void CostModel::CollectIncident(SupernodeId a,
                                 std::vector<IncidentPair>& out) {
-  out.clear();
-  ++stamp_;
-  scratch_touched_.clear();
-  const double z = weights_.Z();
-  (void)z;
-  for (NodeId u : summary_.members(a)) {
-    const double pu = weights_.pi(u);
-    for (NodeId v : graph_.neighbors(u)) {
-      const SupernodeId c = summary_.supernode_of(v);
-      const double w = pu * weights_.pi(v) / weights_.Z();
-      if (scratch_stamp_[c] != stamp_) {
-        scratch_stamp_[c] = stamp_;
-        scratch_weight_[c] = 0.0;
-        scratch_count_[c] = 0;
-        scratch_touched_.push_back(c);
-      }
-      scratch_weight_[c] += w;
-      ++scratch_count_[c];
-    }
-  }
-  out.reserve(scratch_touched_.size());
-  for (SupernodeId c : scratch_touched_) {
-    IncidentPair p;
-    p.neighbor = c;
-    if (c == a) {
-      // Internal edges were seen from both endpoints.
-      p.edge_weight = scratch_weight_[c] / 2.0;
-      p.edge_count = scratch_count_[c] / 2;
-    } else {
-      p.edge_weight = scratch_weight_[c];
-      p.edge_count = scratch_count_[c];
-    }
-    out.push_back(p);
-  }
+  CollectIncidentPairs(graph_, summary_, weights_, a, scratch_, out);
 }
 
 double CostModel::PairListCost(const std::vector<IncidentPair>& pairs,
@@ -154,8 +148,7 @@ MergeEval CostModel::EvaluateMerge(SupernodeId a, SupernodeId b) {
   // Aggregates of the hypothetical merged supernode. We reuse `a` as the
   // sentinel id for "the merged supernode" in buf_m_.
   buf_m_.clear();
-  ++stamp_;
-  scratch_touched_.clear();
+  scratch_.NextEpoch();
   double self_weight = 0.0;
   uint32_t self_count = 0;
   auto fold = [&](const std::vector<IncidentPair>& buf, bool from_a) {
@@ -168,21 +161,13 @@ MergeEval CostModel::EvaluateMerge(SupernodeId a, SupernodeId b) {
         self_count += p.edge_count;
         continue;
       }
-      const SupernodeId c = p.neighbor;
-      if (scratch_stamp_[c] != stamp_) {
-        scratch_stamp_[c] = stamp_;
-        scratch_weight_[c] = 0.0;
-        scratch_count_[c] = 0;
-        scratch_touched_.push_back(c);
-      }
-      scratch_weight_[c] += p.edge_weight;
-      scratch_count_[c] += p.edge_count;
+      scratch_.Add(p.neighbor, p.edge_weight, p.edge_count);
     }
   };
   fold(buf_a_, /*from_a=*/true);
   fold(buf_b_, /*from_a=*/false);
-  for (SupernodeId c : scratch_touched_) {
-    buf_m_.push_back({c, scratch_weight_[c], scratch_count_[c]});
+  for (SupernodeId c : scratch_.touched) {
+    buf_m_.push_back({c, scratch_.weight[c], scratch_.count[c]});
   }
   if (self_count > 0 || self_weight > kEps) {
     buf_m_.push_back({a, self_weight, self_count});

@@ -52,6 +52,53 @@ struct IncidentPair {
   uint32_t edge_count = 0;   // number of real edges
 };
 
+// Timestamped dense scratch for aggregating values per supernode id
+// without hashing. The cost model owns one; each of the parallel engine's
+// per-worker planners owns its own, which is why it is externalized —
+// CollectIncidentPairs() must be callable concurrently with thread-local
+// scratch against a frozen summary.
+struct IncidentScratch {
+  void Resize(SupernodeId id_bound) {
+    stamp.assign(id_bound, 0);
+    weight.assign(id_bound, 0.0);
+    count.assign(id_bound, 0);
+  }
+  // Begins a new aggregation epoch and clears `touched`.
+  void NextEpoch() {
+    ++current;
+    touched.clear();
+  }
+  // Adds (w, c) to the accumulator of id, registering it if first seen.
+  void Add(SupernodeId id, double w, uint32_t c) {
+    if (stamp[id] != current) {
+      stamp[id] = current;
+      weight[id] = 0.0;
+      count[id] = 0;
+      touched.push_back(id);
+    }
+    weight[id] += w;
+    count[id] += c;
+  }
+
+  std::vector<uint32_t> stamp;
+  std::vector<double> weight;
+  std::vector<uint32_t> count;
+  std::vector<SupernodeId> touched;  // first-seen order (deterministic)
+  uint32_t current = 0;
+};
+
+// Collects the incident pairs of supernode a: every supernode (possibly a
+// itself) sharing at least one input edge with a, with E and edge counts
+// aggregated; the self pair, if present, has its double counting already
+// corrected. O(sum of member degrees). This is the single implementation
+// of the aggregation rule — the serial cost model and the parallel
+// engine's planners/reselection all call it, so a change here keeps both
+// engines in lockstep.
+void CollectIncidentPairs(const Graph& graph, const SummaryGraph& summary,
+                          const PersonalWeights& weights, SupernodeId a,
+                          IncidentScratch& scratch,
+                          std::vector<IncidentPair>& out);
+
 // Result of evaluating a hypothetical merge.
 struct MergeEval {
   double absolute = 0.0;  // Eq. (10)
@@ -88,10 +135,7 @@ class CostModel {
   bool SuperedgeBeneficial(double potential, double edge_weight,
                            uint32_t num_supernodes) const;
 
-  // Collects the incident pairs of supernode a: every supernode (possibly a
-  // itself) sharing at least one input edge with a, with E and edge counts
-  // aggregated. O(sum of member degrees). The self pair, if present, has
-  // its double counting already corrected.
+  // CollectIncidentPairs() against the model's own scratch.
   void CollectIncident(SupernodeId a, std::vector<IncidentPair>& out);
 
   // Cost of supernode a (Eq. 9) under the optimal per-pair encoding.
@@ -125,12 +169,7 @@ class CostModel {
   std::vector<double> pi_sum_;   // Pi_A per supernode id
   std::vector<double> pi2_sum_;  // sum of pi^2 per supernode id
 
-  // Timestamped dense scratch for CollectIncident (avoids hashing).
-  std::vector<uint32_t> scratch_stamp_;
-  std::vector<double> scratch_weight_;
-  std::vector<uint32_t> scratch_count_;
-  std::vector<SupernodeId> scratch_touched_;
-  uint32_t stamp_ = 0;
+  IncidentScratch scratch_;
 
   // Reusable buffers for EvaluateMerge.
   std::vector<IncidentPair> buf_a_;

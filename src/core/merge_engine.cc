@@ -56,11 +56,22 @@ void MergeEngine::ProcessGroup(std::vector<SupernodeId>& group,
 }
 
 SupernodeId MergeEngine::ApplyMerge(SupernodeId a, SupernodeId b) {
+  SupernodeId winner = ApplyMergeDeferred(a, b);
+  ReselectSuperedges(winner);
+  return winner;
+}
+
+SupernodeId MergeEngine::ApplyMergeDeferred(SupernodeId a, SupernodeId b) {
   SupernodeId winner = summary_.MergeSupernodes(a, b);
   cost_.OnMerge(a, b, winner);
-  ReselectSuperedges(winner);
   ++stats_.merges;
   return winner;
+}
+
+void MergeEngine::ApplySuperedgeSelection(
+    SupernodeId a, std::span<const std::pair<SupernodeId, uint32_t>> kept) {
+  summary_.ClearSuperedgesOf(a);
+  for (const auto& [c, weight] : kept) summary_.SetSuperedge(a, c, weight);
 }
 
 void MergeEngine::ReselectSuperedges(SupernodeId a) {
@@ -71,13 +82,7 @@ void MergeEngine::ReselectSuperedges(SupernodeId a) {
   // MergeSupernodes already erased the incident superedges when called from
   // ApplyMerge, but this method is also used standalone, so erase again
   // defensively (cheap if empty).
-  std::vector<SupernodeId> old_neighbors;
-  old_neighbors.reserve(summary_.superedges(a).size());
-  for (const auto& [c, w] : summary_.superedges(a)) {
-    (void)w;
-    old_neighbors.push_back(c);
-  }
-  for (SupernodeId c : old_neighbors) summary_.EraseSuperedge(a, c);
+  summary_.ClearSuperedgesOf(a);
 
   cost_.CollectIncident(a, incident_buf_);
   const uint32_t s = summary_.num_supernodes();

@@ -13,6 +13,8 @@
 #define PEGASUS_CORE_MERGE_ENGINE_H_
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "src/core/cost_model.h"
@@ -28,6 +30,13 @@ struct MergeStats {
   uint64_t merges = 0;
   uint64_t evaluations = 0;
   uint64_t failures = 0;
+
+  MergeStats& operator+=(const MergeStats& o) {
+    merges += o.merges;
+    evaluations += o.evaluations;
+    failures += o.failures;
+    return *this;
+  }
 };
 
 class MergeEngine {
@@ -48,6 +57,24 @@ class MergeEngine {
   // Re-chooses the superedges incident to `a` so that Cost_a is minimized
   // given the current partition (used after external partition changes).
   void ReselectSuperedges(SupernodeId a);
+
+  // Like ApplyMerge but with superedge reselection deferred: the summary's
+  // superedges incident to {a, b} are erased (by MergeSupernodes) and NOT
+  // re-added. The caller must re-select the merged supernode's superedges
+  // (ReselectSuperedges or ApplySuperedgeSelection) before the summary's
+  // size or adjacency is next read. Used by the parallel engine's staged
+  // apply phase (parallel_engine.h).
+  SupernodeId ApplyMergeDeferred(SupernodeId a, SupernodeId b);
+
+  // Installs a precomputed superedge selection for `a`: erases the current
+  // superedges of `a` and sets superedge {a, c} with the given weight for
+  // each (c, weight) in `kept`.
+  void ApplySuperedgeSelection(
+      SupernodeId a, std::span<const std::pair<SupernodeId, uint32_t>> kept);
+
+  // Folds externally accumulated statistics (the parallel engine counts
+  // evaluations and failures in per-worker planners) into stats().
+  void AccumulateStats(const MergeStats& s) { stats_ += s; }
 
   const MergeStats& stats() const { return stats_; }
 

@@ -1,0 +1,193 @@
+// Shared-memory parallel summarization engine.
+//
+// Parallelizes one PeGaSus round (candidate generation + merging &
+// addition, Sec. III-C/III-D) across a thread pool while keeping the
+// output a deterministic function of the seed alone: the same
+// (graph, T, k, seed) produces the identical summary on any worker count
+// and any scheduling. One round runs in four phases:
+//
+//   1. Candidate generation (parallel): shingles via ParallelFor, group-by
+//      via sort — see GenerateCandidateGroupsParallel.
+//   2. Merge planning (parallel): candidate groups are disjoint supernode
+//      sets, so each is planned independently by a per-worker
+//      GroupMergePlanner running Alg. 2 against the FROZEN iteration-start
+//      snapshot of the summary and cost aggregates, plus a group-local
+//      overlay for its own merges. Each group draws from its own Rng
+//      stream derived as round_seed ^ SplitMix64(group_min_id), so its
+//      plan is independent of which worker runs it and in what order.
+//      The planner's |S| view is the snapshot count minus its own merges.
+//   3. Apply (serial barrier): planned merges are applied group-by-group
+//      in candidate order (MergeEngine::ApplyMergeDeferred), per-group
+//      failure logs are folded into the ThresholdPolicy, and per-worker
+//      MergeStats are reduced — all in deterministic order.
+//   4. Superedge reselection (parallel compute, serial apply): superedge
+//      reselection on a merged supernode reads the partition assignment
+//      of neighbors owned by other groups, so it cannot run during phase
+//      2/3 mutation. DESIGN CHOICE: instead of guarding SummaryGraph with
+//      striped locks over supernode ids (which would make the outcome
+//      depend on interleaving and is poison for determinism), merges are
+//      staged per-group and reselection runs as a second sweep: the kept
+//      superedge set of every merged supernode is computed in parallel
+//      against the now-quiescent post-merge partition (read-only), then
+//      installed serially in ascending supernode order so the adjacency
+//      maps end up in an implementation-deterministic state.
+//
+// Differences from the serial schedule (num_threads == 1), which is kept
+// byte-identical to its historical behavior: the serial engine consumes
+// one shared Rng stream across groups, evaluates merges against the live
+// |S| and partition (including earlier groups' merges of the same
+// iteration), checks the budget after every group, and reselects
+// superedges immediately after each merge. The parallel engine freezes
+// all cross-group state at the round barrier, so its (equally valid)
+// summaries differ from the serial ones for the same seed — but never
+// across worker counts.
+
+#ifndef PEGASUS_CORE_PARALLEL_ENGINE_H_
+#define PEGASUS_CORE_PARALLEL_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/core/candidate_groups.h"
+#include "src/core/cost_model.h"
+#include "src/core/merge_engine.h"
+#include "src/core/summary_graph.h"
+#include "src/core/threshold.h"
+#include "src/graph/graph.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace pegasus {
+
+// The outcome of planning one candidate group: the accepted merges in
+// decision order (pairs of supernode ids that are alive when the plan is
+// replayed in order), the rejected best scores for adaptive thresholding,
+// and the evaluation count.
+struct GroupPlan {
+  std::vector<std::pair<SupernodeId, SupernodeId>> merges;
+  std::vector<double> failures;
+  uint64_t evaluations = 0;
+};
+
+// Per-worker planner. Runs Alg. 2 on one candidate group against the
+// frozen summary/cost snapshot; its own merges live in a group-local
+// overlay (union-find over the group's supernodes plus folded incident
+// lists), so concurrent planners never write shared state. Scratch is
+// O(id_bound) and reused across groups, which is why instances are
+// per-worker rather than per-group.
+class GroupMergePlanner {
+ public:
+  GroupMergePlanner(const Graph& graph, const SummaryGraph& summary,
+                    const CostModel& cost, MergeScore score);
+
+  // Plans merges for `group` with the frozen threshold `theta` and the
+  // iteration-start supernode count `snapshot_supernodes`. Deterministic
+  // in (summary snapshot, group, theta, snapshot_supernodes, group_seed).
+  GroupPlan PlanGroup(std::span<const SupernodeId> group, double theta,
+                      uint32_t snapshot_supernodes, uint64_t group_seed);
+
+  // Phase-4 helper: computes the superedges to keep for supernode `a`
+  // against the live (post-merge, quiescent) summary — the Alg. 2 line 9
+  // decision rule with the current |S|. Read-only on shared state.
+  void ComputeReselection(SupernodeId a,
+                          std::vector<std::pair<SupernodeId, uint32_t>>& kept);
+
+ private:
+  // One group supernode: its current representative id, local aggregates,
+  // and its incident pairs. `ext` keys are supernode ids that may have
+  // retired locally since the entry was written; BuildCanonical() re-maps
+  // them through the local union-find on use. Remote ids are frozen for
+  // the whole planning phase, so they are always current.
+  struct Local {
+    SupernodeId orig = 0;
+    uint32_t parent = 0;  // local union-find; parent == own index => root
+    bool alive = true;
+    double pi = 0.0;
+    double pi2 = 0.0;
+    size_t num_members = 0;  // drives the MergeSupernodes winner rule
+    double self_weight = 0.0;
+    uint32_t self_count = 0;
+    std::vector<IncidentPair> ext;
+  };
+
+  // Canonical view of one (possibly hypothetical) local supernode: the
+  // self pair plus externally keyed pairs with current representative ids.
+  struct CanonicalView {
+    double self_weight = 0.0;
+    uint32_t self_count = 0;
+    std::vector<IncidentPair> ext;
+  };
+
+  uint32_t FindRoot(uint32_t i);
+  // Local slot of supernode id, or UINT32_MAX if not in the current group.
+  uint32_t LocalSlot(SupernodeId id) const;
+  double PiOf(SupernodeId canonical_id) const;
+
+  void CollectFrozen(SupernodeId a, Local& out);
+  void BuildCanonical(uint32_t root, CanonicalView& out);
+  double ViewCost(const CanonicalView& view, double self_pi, double self_pi2,
+                  uint32_t num_supernodes) const;
+  MergeEval EvaluateLocal(uint32_t ra, uint32_t rb, uint32_t num_supernodes,
+                          CanonicalView& va, CanonicalView& vb,
+                          CanonicalView& vm);
+  // Stores the merged state (vm + summed aggregates) on the winner root
+  // and retires the loser. Returns the winner root.
+  uint32_t MergeLocal(uint32_t ra, uint32_t rb, CanonicalView& vm);
+
+  const Graph& graph_;
+  const SummaryGraph& summary_;
+  const CostModel& cost_;
+  MergeScore score_;
+
+  std::vector<Local> locals_;
+
+  // Stamped dense map over supernode ids:
+  // group_slot_: id -> local slot for the current group.
+  std::vector<uint32_t> group_slot_;
+  std::vector<uint32_t> group_slot_stamp_;
+  uint32_t group_stamp_ = 0;
+  // This worker's own incident-aggregation scratch (the shared summary is
+  // frozen while planners run, so aggregation must not touch the cost
+  // model's scratch).
+  IncidentScratch scratch_;
+
+  // Reusable buffers for CollectFrozen/ComputeReselection/EvaluateLocal.
+  std::vector<IncidentPair> collect_buf_;
+  CanonicalView view_a_;
+  CanonicalView view_b_;
+  CanonicalView view_m_;
+};
+
+// Drives phases 1-4 over a shared summary/cost model. Construct once per
+// summarization run; RunRound() is one outer-loop iteration (or one
+// forced-coarsening round) at barrier semantics — the budget is checked
+// by the caller between rounds, not between groups.
+class ParallelEngine {
+ public:
+  ParallelEngine(const Graph& graph, SummaryGraph& summary, CostModel& cost,
+                 MergeScore score, const CandidateGroupsOptions& groups,
+                 ThreadPool& pool);
+
+  // Runs one candidate->plan->apply->reselect round. `round_seed` derives
+  // the candidate hashes and the per-group Rng streams; rejected scores
+  // are folded into `threshold` (the caller still calls EndIteration).
+  // Returns the number of merges applied.
+  uint64_t RunRound(uint64_t round_seed, ThresholdPolicy& threshold);
+
+  const MergeStats& stats() const { return engine_.stats(); }
+
+ private:
+  const Graph& graph_;
+  SummaryGraph& summary_;
+  CostModel& cost_;
+  CandidateGroupsOptions group_options_;
+  ThreadPool& pool_;
+  MergeEngine engine_;
+  std::vector<GroupMergePlanner> planners_;  // one per pool worker
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_PARALLEL_ENGINE_H_

@@ -1,53 +1,32 @@
 #include "src/core/pegasus.h"
 
+#include "src/core/parallel_engine.h"
 #include "src/core/personal_weights.h"
 #include "src/util/bits.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
 namespace pegasus {
 
-SummarizationResult SummarizeGraph(const Graph& graph,
-                                   const std::vector<NodeId>& targets,
-                                   double budget_bits,
-                                   const PegasusConfig& config) {
-  return SummarizeGraphFrom(graph, targets, budget_bits,
-                            SummaryGraph::Identity(graph), config);
-}
+namespace {
 
-SummarizationResult SummarizeGraphFrom(const Graph& graph,
-                                       const std::vector<NodeId>& targets,
-                                       double budget_bits,
-                                       SummaryGraph initial,
-                                       const PegasusConfig& config) {
-  Timer timer;
-  SummarizationResult result;
-  result.summary = std::move(initial);
-  SummaryGraph& summary = result.summary;
-
-  const PersonalWeights weights =
-      PersonalWeights::Compute(graph, targets, config.alpha);
-  CostModel cost(graph, weights, summary, config.encoding);
-  MergeEngine engine(graph, summary, cost, config.merge_score);
+// Driver skeleton shared by the serial and parallel engines (Alg. 1 plus
+// the endgame); the engines differ only in how one candidate+merge round
+// runs, injected as `run_round(round_seed, policy)`. Keeping the budget
+// policy in one place guarantees the two engines can never drift apart on
+// iteration accounting, sparsification, or forced coarsening.
+template <typename RoundFn>
+void DriveToBudget(const Graph& graph, double budget_bits,
+                   const PegasusConfig& config, CostModel& cost,
+                   SummaryGraph& summary, SummarizationResult& result,
+                   RoundFn&& run_round) {
   ThresholdPolicy threshold(config.threshold_rule, config.beta,
                             config.max_iterations);
-  Rng rng(SplitMix64(config.seed ^ 0xc2b2ae3d27d4eb4fULL));
 
   int t = 1;
   while (t <= config.max_iterations && summary.SizeInBits() > budget_bits) {
-    const uint64_t iteration_seed =
-        SplitMix64(config.seed + 0x9e3779b97f4a7c15ULL * t);
-    std::vector<std::vector<SupernodeId>> groups = GenerateCandidateGroups(
-        graph, summary, iteration_seed, config.groups, rng);
-    for (std::vector<SupernodeId>& group : groups) {
-      engine.ProcessGroup(group, threshold, rng);
-      // Alg. 1 checks the budget per iteration; checking per group has the
-      // same semantics but stops precisely at the budget instead of
-      // overshooting by up to a whole iteration's worth of merges, which
-      // keeps realized sizes comparable across runs (Sec. V compares
-      // summaries "of similar size").
-      if (summary.SizeInBits() <= budget_bits) break;
-    }
+    run_round(SplitMix64(config.seed + 0x9e3779b97f4a7c15ULL * t), threshold);
     ++t;
     threshold.EndIteration(t);
     result.iterations_run = t - 1;
@@ -77,14 +56,8 @@ SummarizationResult SummarizeGraphFrom(const Graph& graph,
     ThresholdPolicy forced(config.threshold_rule, config.beta,
                            config.max_iterations);
     forced.ForceTheta(forced_theta);
-    const uint64_t round_seed =
-        SplitMix64(config.seed + 0xa0761d6478bd642fULL * (round + 1));
-    std::vector<std::vector<SupernodeId>> groups = GenerateCandidateGroups(
-        graph, summary, round_seed, config.groups, rng);
-    for (std::vector<SupernodeId>& group : groups) {
-      engine.ProcessGroup(group, forced, rng);
-      if (summary.SizeInBits() <= budget_bits) break;
-    }
+    run_round(SplitMix64(config.seed + 0xa0761d6478bd642fULL * (round + 1)),
+              forced);
     forced_theta *= 2.0;
     ++round;
   }
@@ -93,8 +66,69 @@ SummarizationResult SummarizeGraphFrom(const Graph& graph,
     result.superedges_dropped += SparsifyToBudget(
         graph, cost, summary, budget_bits, config.sparsify_policy);
   }
+}
 
-  result.merge_stats = engine.stats();
+}  // namespace
+
+SummarizationResult SummarizeGraph(const Graph& graph,
+                                   const std::vector<NodeId>& targets,
+                                   double budget_bits,
+                                   const PegasusConfig& config) {
+  return SummarizeGraphFrom(graph, targets, budget_bits,
+                            SummaryGraph::Identity(graph), config);
+}
+
+SummarizationResult SummarizeGraphFrom(const Graph& graph,
+                                       const std::vector<NodeId>& targets,
+                                       double budget_bits,
+                                       SummaryGraph initial,
+                                       const PegasusConfig& config) {
+  Timer timer;
+  SummarizationResult result;
+  result.summary = std::move(initial);
+  SummaryGraph& summary = result.summary;
+
+  const PersonalWeights weights =
+      PersonalWeights::Compute(graph, targets, config.alpha);
+  CostModel cost(graph, weights, summary, config.encoding);
+
+  // num_threads == 0 always routes to the parallel engine (even on a
+  // single-core machine) so that "auto" results are machine-independent;
+  // 1 (or a nonsensical negative) keeps the historical serial schedule.
+  if (config.num_threads == 0 || config.num_threads > 1) {
+    ThreadPool pool(config.num_threads);
+    ParallelEngine engine(graph, summary, cost, config.merge_score,
+                          config.groups, pool);
+    DriveToBudget(graph, budget_bits, config, cost, summary, result,
+                  [&](uint64_t round_seed, ThresholdPolicy& policy) {
+                    engine.RunRound(round_seed, policy);
+                  });
+    result.merge_stats = engine.stats();
+  } else {
+    MergeEngine engine(graph, summary, cost, config.merge_score);
+    Rng rng(SplitMix64(config.seed ^ 0xc2b2ae3d27d4eb4fULL));
+    DriveToBudget(
+        graph, budget_bits, config, cost, summary, result,
+        [&](uint64_t round_seed, ThresholdPolicy& policy) {
+          std::vector<std::vector<SupernodeId>> groups =
+              GenerateCandidateGroups(graph, summary, round_seed,
+                                      config.groups, rng);
+          for (std::vector<SupernodeId>& group : groups) {
+            engine.ProcessGroup(group, policy, rng);
+            // Alg. 1 checks the budget per iteration; checking per group
+            // has the same semantics but stops precisely at the budget
+            // instead of overshooting by up to a whole iteration's worth
+            // of merges, which keeps realized sizes comparable across
+            // runs (Sec. V compares summaries "of similar size"). The
+            // parallel engine cannot check mid-round (merges apply at
+            // barriers), which is the one budget-policy difference
+            // between the engines — see parallel_engine.h.
+            if (summary.SizeInBits() <= budget_bits) break;
+          }
+        });
+    result.merge_stats = engine.stats();
+  }
+
   result.final_size_bits = summary.SizeInBits();
   result.elapsed_seconds = timer.ElapsedSeconds();
   return result;

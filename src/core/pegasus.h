@@ -56,6 +56,18 @@ struct PegasusConfig {
   // bits exceed the budget after tmax iterations (each round doubles the
   // leniency of the merge threshold).
   int max_forced_rounds = 64;
+  // Worker threads for the summarization engine.
+  //   1 (default): the serial engine — the exact historical schedule,
+  //     byte-identical to the pre-parallel implementation.
+  //   0: the parallel engine with all hardware threads.
+  //   N >= 2: the parallel engine with N workers.
+  // The parallel engine's output is a deterministic function of the seed
+  // alone: every worker count (including 0 on any machine) produces the
+  // identical summary. Its schedule differs from the serial engine's,
+  // though, so num_threads = 1 and num_threads >= 2 give different
+  // (equally valid) summaries for the same seed. See parallel_engine.h
+  // for the phase design and the exact semantic differences.
+  int num_threads = 1;
 };
 
 // Outcome of a summarization run.

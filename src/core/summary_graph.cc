@@ -110,6 +110,17 @@ void SummaryGraph::SetSuperedge(SupernodeId a, SupernodeId b,
   if (inserted) ++num_superedges_;
 }
 
+uint64_t SummaryGraph::ClearSuperedgesOf(SupernodeId a) {
+  const uint64_t removed = adjacency_[a].size();
+  for (const auto& [c, w] : adjacency_[a]) {
+    (void)w;
+    if (c != a) adjacency_[c].erase(a);
+  }
+  adjacency_[a].clear();
+  num_superedges_ -= removed;
+  return removed;
+}
+
 bool SummaryGraph::EraseSuperedge(SupernodeId a, SupernodeId b) {
   if (adjacency_[a].erase(b) == 0) return false;
   if (a != b) adjacency_[b].erase(a);

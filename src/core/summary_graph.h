@@ -14,6 +14,13 @@
 // Size accounting follows Eq. (3): Size(G̅) = 2|P| log2|S| + |V| log2|S|,
 // with the weighted variant |P| (2 log2|S| + log2 w_max) + |V| log2|S|
 // used when weights are retained (Sec. V-A).
+//
+// Thread-safety: const accessors may be called concurrently from any
+// number of threads as long as no thread mutates the summary. Mutation
+// (MergeSupernodes, Set/Erase/ClearSuperedges) is single-threaded by
+// contract — the parallel engine (src/core/parallel_engine.h) stages all
+// decisions against a frozen summary and funnels every mutation through
+// one thread at phase barriers, rather than locking here.
 
 #ifndef PEGASUS_CORE_SUMMARY_GRAPH_H_
 #define PEGASUS_CORE_SUMMARY_GRAPH_H_
@@ -90,6 +97,10 @@ class SummaryGraph {
 
   // Removes superedge {a, b} if present. Returns true if removed.
   bool EraseSuperedge(SupernodeId a, SupernodeId b);
+
+  // Removes every superedge incident to `a` (including its self-loop).
+  // Returns the number removed. Used by superedge reselection.
+  uint64_t ClearSuperedgesOf(SupernodeId a);
 
   // Largest superedge weight (1 if there are no superedges).
   uint32_t MaxSuperedgeWeight() const;

@@ -31,6 +31,15 @@ class ThresholdPolicy {
   // under the adaptive rule; harmless otherwise.
   void RecordFailure(double score) { failures_.push_back(score); }
 
+  // Bulk variant used by the parallel engine to merge per-worker failure
+  // logs at iteration barriers. The adaptive theta depends only on the
+  // multiset of logged values (EndIteration takes an order statistic), so
+  // the schedule stays well-defined no matter how the per-group logs are
+  // interleaved.
+  void RecordFailures(const std::vector<double>& scores) {
+    failures_.insert(failures_.end(), scores.begin(), scores.end());
+  }
+
   // Advances to iteration `next_t` (1-based) and updates theta. Under the
   // adaptive rule theta is clamped at 0: a merge with negative relative
   // reduction *increases* the personalized cost, so accepting it is never

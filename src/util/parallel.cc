@@ -1,0 +1,82 @@
+#include "src/util/parallel.h"
+
+#include <algorithm>
+
+namespace pegasus {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (requested < 0) return 1;  // negatives mean serial, as in PegasusConfig
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_workers_(std::max(1, ResolveThreadCount(num_threads))) {
+  threads_.reserve(static_cast<size_t>(num_workers_ - 1));
+  for (int id = 1; id < num_workers_; ++id) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunChunks(int worker_id) {
+  const size_t n = job_n_;
+  const size_t grain = job_grain_;
+  const auto& fn = *job_fn_;
+  for (size_t begin = next_.fetch_add(grain, std::memory_order_relaxed);
+       begin < n; begin = next_.fetch_add(grain, std::memory_order_relaxed)) {
+    fn(worker_id, begin, std::min(begin + grain, n));
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || job_generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = job_generation_;
+    lock.unlock();
+    RunChunks(worker_id);
+    lock.lock();
+    if (--workers_running_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t grain,
+    const std::function<void(int, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (num_workers_ == 1 || n <= grain) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_grain_ = grain;
+    next_.store(0, std::memory_order_relaxed);
+    workers_running_ = num_workers_ - 1;
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(/*worker_id=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  job_fn_ = nullptr;
+}
+
+}  // namespace pegasus

@@ -1,0 +1,83 @@
+// Shared-memory parallelism primitives.
+//
+// A small fixed-size thread pool exposing one operation: a blocking
+// ParallelFor over an index range, with dynamic chunk self-scheduling.
+// This is the substrate of the parallel summarization engine
+// (src/core/parallel_engine.h); it deliberately has no task graph, no
+// futures, and no nesting — every use in this library is a data-parallel
+// sweep between two sequential barriers.
+//
+// Determinism contract: ParallelFor itself guarantees nothing about which
+// worker runs which chunk. Callers that need scheduling-independent
+// results (all of src/core does) must write chunk outputs to
+// index-addressed slots and do any cross-chunk reduction after the call
+// returns, in index order.
+
+#ifndef PEGASUS_UTIL_PARALLEL_H_
+#define PEGASUS_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pegasus {
+
+// Resolves a PegasusConfig::num_threads-style knob: 0 means "all hardware
+// threads" (at least 1), positive values are taken literally, and
+// negatives clamp to 1 (the serial convention of PegasusConfig).
+int ResolveThreadCount(int requested);
+
+class ThreadPool {
+ public:
+  // A pool with `num_threads` total workers (0 = hardware concurrency).
+  // The thread calling ParallelFor participates as worker 0, so only
+  // num_threads - 1 OS threads are spawned; a pool of 1 spawns none and
+  // runs everything inline.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total worker count, including the calling thread.
+  int num_workers() const { return num_workers_; }
+
+  // Runs fn(worker_id, begin, end) over disjoint chunks covering [0, n),
+  // each at most `grain` long, and returns when every index has been
+  // processed. worker_id is in [0, num_workers()) and is stable for the
+  // duration of one call — per-worker scratch indexed by it is safe.
+  // fn must not throw and must not call back into the pool (no nesting).
+  // Only one thread may call ParallelFor at a time.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(int, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop(int worker_id);
+  void RunChunks(int worker_id);
+
+  const int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new job generation
+  std::condition_variable done_cv_;   // signals workers_running_ == 0
+  uint64_t job_generation_ = 0;       // bumped once per ParallelFor
+  int workers_running_ = 0;
+  bool shutdown_ = false;
+
+  // Current job; written under mu_ before the generation bump, read by
+  // workers after they observe the bump (release/acquire via mu_).
+  const std::function<void(int, size_t, size_t)>* job_fn_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_grain_ = 1;
+  std::atomic<size_t> next_{0};
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_UTIL_PARALLEL_H_

@@ -1,0 +1,145 @@
+// Determinism suite for the threading model (ISSUE 2):
+//
+//  1. num_threads = 1 must reproduce the pre-parallel-engine serial
+//     output bit-for-bit — pinned here against golden fixtures captured
+//     from the implementation before the parallel engine landed.
+//  2. The same (graph, T, k, seed) must yield an identical summary at
+//     every thread count of the parallel engine (num_threads in {2, 8}
+//     here; the broader sweep lives in parallel_engine_test.cc), and each
+//     setting must be run-to-run deterministic.
+//
+// The golden numbers pin the serial merge *schedule*, which consumes one
+// shared Rng stream — any accidental reordering of draws or evaluations
+// shows up as a changed supernode count long before it shows up in
+// quality metrics. They were captured on glibc/x86-64; a libm that rounds
+// log2 differently in the last ulp could in principle flip a
+// near-tie merge decision, so if this test ever fails on an exotic
+// platform while pegasus_test passes, re-pin the constants rather than
+// suspecting the engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
+
+namespace pegasus {
+namespace {
+
+struct GoldenCase {
+  NodeId nodes;
+  int attach;          // Barabasi-Albert edges per new node
+  uint64_t graph_seed;
+  uint64_t run_seed;
+  double alpha;
+  int max_iterations;
+  double ratio;
+  std::vector<NodeId> targets;
+  // Expected pre-PR serial output.
+  uint32_t supernodes;
+  uint64_t superedges;
+  double size_bits;
+  uint64_t merges;
+  uint64_t evaluations;
+  uint64_t failures;
+  int iterations;
+  uint64_t dropped;
+};
+
+SummarizationResult RunCase(const GoldenCase& c, int num_threads) {
+  Graph g = GenerateBarabasiAlbert(c.nodes, c.attach, c.graph_seed);
+  PegasusConfig config;
+  config.seed = c.run_seed;
+  config.alpha = c.alpha;
+  config.max_iterations = c.max_iterations;
+  config.num_threads = num_threads;
+  return SummarizeGraphToRatio(g, c.targets, c.ratio, config);
+}
+
+// Captured from the serial implementation at the commit introducing the
+// parallel engine (identical to the pre-PR implementation on these
+// fixtures; verified by building both).
+const GoldenCase kGoldenA{400, 3, 3, 77, 1.25, 20, 0.5, {1, 2},
+                          248, 448, 10308.638418, 152, 9216, 1604, 9, 0};
+const GoldenCase kGoldenB{250, 4, 9, 12345, 1.5, 8, 0.3, {0, 5, 9},
+                          175, 192, 4724.067845, 75, 6682, 874, 8, 265};
+
+void ExpectMatchesGolden(const GoldenCase& c) {
+  const SummarizationResult r = RunCase(c, /*num_threads=*/1);
+  EXPECT_EQ(r.summary.num_supernodes(), c.supernodes);
+  EXPECT_EQ(r.summary.num_superedges(), c.superedges);
+  EXPECT_NEAR(r.final_size_bits, c.size_bits, 1e-4);
+  EXPECT_EQ(r.merge_stats.merges, c.merges);
+  EXPECT_EQ(r.merge_stats.evaluations, c.evaluations);
+  EXPECT_EQ(r.merge_stats.failures, c.failures);
+  EXPECT_EQ(r.iterations_run, c.iterations);
+  EXPECT_EQ(r.superedges_dropped, c.dropped);
+}
+
+TEST(DeterminismTest, SerialPathReproducesPrePrOutputFixtureA) {
+  ExpectMatchesGolden(kGoldenA);
+}
+
+TEST(DeterminismTest, SerialPathReproducesPrePrOutputFixtureB) {
+  ExpectMatchesGolden(kGoldenB);
+}
+
+// Full structural equality of two summaries.
+void ExpectSameSummary(const SummaryGraph& x, const SummaryGraph& y) {
+  ASSERT_EQ(x.num_nodes(), y.num_nodes());
+  EXPECT_EQ(x.num_supernodes(), y.num_supernodes());
+  ASSERT_EQ(x.num_superedges(), y.num_superedges());
+  for (NodeId u = 0; u < x.num_nodes(); ++u) {
+    ASSERT_EQ(x.supernode_of(u), y.supernode_of(u)) << "node " << u;
+  }
+  using E = std::tuple<SupernodeId, SupernodeId, uint32_t>;
+  auto edges = [](const SummaryGraph& s) {
+    std::vector<E> out;
+    for (SupernodeId a : s.ActiveSupernodes()) {
+      for (const auto& [b, w] : s.superedges(a)) {
+        if (b >= a) out.emplace_back(a, b, w);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(edges(x), edges(y));
+}
+
+TEST(DeterminismTest, EachThreadCountIsRunToRunDeterministic) {
+  for (int threads : {1, 2, 8}) {
+    const SummarizationResult r1 = RunCase(kGoldenA, threads);
+    const SummarizationResult r2 = RunCase(kGoldenA, threads);
+    SCOPED_TRACE(threads);
+    ExpectSameSummary(r1.summary, r2.summary);
+    EXPECT_DOUBLE_EQ(r1.final_size_bits, r2.final_size_bits);
+    EXPECT_EQ(r1.merge_stats.merges, r2.merge_stats.merges);
+  }
+}
+
+TEST(DeterminismTest, SummaryCostIdenticalAcrossParallelThreadCounts) {
+  // The parallel engine's summary (and therefore its cost) is a function
+  // of the seed alone: 2 and 8 workers must agree exactly.
+  const SummarizationResult r2 = RunCase(kGoldenA, 2);
+  const SummarizationResult r8 = RunCase(kGoldenA, 8);
+  ExpectSameSummary(r2.summary, r8.summary);
+  EXPECT_DOUBLE_EQ(r2.final_size_bits, r8.final_size_bits);
+}
+
+TEST(DeterminismTest, SerialScheduleIsPinnedIndependentlyOfParallel) {
+  // Guard against the serial path accidentally routing through the
+  // parallel engine: their schedules differ, so for this fixture the two
+  // engines should not produce identical evaluation counts. (If they ever
+  // legitimately converge, this documents a surprising coincidence worth
+  // investigating.)
+  const SummarizationResult serial = RunCase(kGoldenA, 1);
+  const SummarizationResult parallel = RunCase(kGoldenA, 2);
+  EXPECT_NE(serial.merge_stats.evaluations,
+            parallel.merge_stats.evaluations);
+}
+
+}  // namespace
+}  // namespace pegasus

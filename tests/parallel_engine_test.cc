@@ -1,0 +1,202 @@
+// Tests for the staged parallel summarization engine
+// (src/core/parallel_engine.h): output validity, budget compliance, and
+// the determinism contract — the summary is a function of the seed alone,
+// never of the worker count. This suite also runs under ThreadSanitizer
+// in CI (the tsan-parallel job).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "src/core/pegasus.h"
+#include "src/eval/error_eval.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+Graph TestGraph(uint64_t seed = 3) {
+  return GenerateBarabasiAlbert(400, 3, seed);
+}
+
+// Canonical structural snapshot of a summary: the partition plus the
+// sorted weighted superedge list. Two summaries compare equal iff they
+// are the same summary graph.
+struct Snapshot {
+  std::vector<SupernodeId> partition;
+  std::vector<std::tuple<SupernodeId, SupernodeId, uint32_t>> superedges;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+Snapshot Snap(const SummaryGraph& s) {
+  Snapshot snap;
+  snap.partition.reserve(s.num_nodes());
+  for (NodeId u = 0; u < s.num_nodes(); ++u) {
+    snap.partition.push_back(s.supernode_of(u));
+  }
+  for (SupernodeId a : s.ActiveSupernodes()) {
+    for (const auto& [b, w] : s.superedges(a)) {
+      if (b >= a) snap.superedges.emplace_back(a, b, w);
+    }
+  }
+  std::sort(snap.superedges.begin(), snap.superedges.end());
+  return snap;
+}
+
+SummarizationResult RunAt(const Graph& g, int threads, uint64_t seed = 77,
+                          double ratio = 0.5) {
+  PegasusConfig config;
+  config.seed = seed;
+  config.num_threads = threads;
+  return SummarizeGraphToRatio(g, {1, 2}, ratio, config);
+}
+
+TEST(ParallelEngineTest, IdenticalSummaryForAnyWorkerCount) {
+  // The core determinism guarantee: same (graph, T, k, seed) => identical
+  // summary at any parallel worker count, including 0 (= hardware).
+  Graph g = TestGraph();
+  const SummarizationResult base = RunAt(g, 2);
+  const Snapshot want = Snap(base.summary);
+  for (int threads : {0, 3, 4, 8}) {
+    const SummarizationResult r = RunAt(g, threads);
+    EXPECT_EQ(Snap(r.summary), want) << "num_threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.final_size_bits, base.final_size_bits)
+        << "num_threads=" << threads;
+    EXPECT_EQ(r.merge_stats.merges, base.merge_stats.merges);
+    EXPECT_EQ(r.merge_stats.evaluations, base.merge_stats.evaluations);
+    EXPECT_EQ(r.merge_stats.failures, base.merge_stats.failures);
+    EXPECT_EQ(r.iterations_run, base.iterations_run);
+  }
+}
+
+TEST(ParallelEngineTest, RunToRunDeterminism) {
+  Graph g = TestGraph(5);
+  const SummarizationResult r1 = RunAt(g, 4, /*seed=*/123);
+  const SummarizationResult r2 = RunAt(g, 4, /*seed=*/123);
+  EXPECT_EQ(Snap(r1.summary), Snap(r2.summary));
+  EXPECT_DOUBLE_EQ(r1.final_size_bits, r2.final_size_bits);
+}
+
+TEST(ParallelEngineTest, DifferentSeedsGiveDifferentSummaries) {
+  Graph g = TestGraph(5);
+  const SummarizationResult r1 = RunAt(g, 4, /*seed=*/1);
+  const SummarizationResult r2 = RunAt(g, 4, /*seed=*/2);
+  EXPECT_NE(Snap(r1.summary), Snap(r2.summary));
+}
+
+TEST(ParallelEngineTest, MeetsBudget) {
+  Graph g = TestGraph();
+  for (double ratio : {0.3, 0.5, 0.8}) {
+    const SummarizationResult r = RunAt(g, 4, 77, ratio);
+    EXPECT_LE(r.final_size_bits, ratio * g.SizeInBits() + 1e-9)
+        << "ratio " << ratio;
+    EXPECT_LE(CompressionRatio(g, r.summary), ratio + 1e-9);
+  }
+}
+
+TEST(ParallelEngineTest, OutputIsValidPartition) {
+  Graph g = TestGraph();
+  const SummarizationResult r = RunAt(g, 4, 9, 0.4);
+  const SummaryGraph& s = r.summary;
+  std::vector<uint32_t> seen(g.num_nodes(), 0);
+  for (SupernodeId a : s.ActiveSupernodes()) {
+    for (NodeId u : s.members(a)) {
+      EXPECT_EQ(s.supernode_of(u), a);
+      ++seen[u];
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(seen[u], 1u);
+}
+
+TEST(ParallelEngineTest, SuperedgesOnlyBetweenAliveSupernodes) {
+  Graph g = TestGraph();
+  const SummarizationResult r = RunAt(g, 8);
+  const SummaryGraph& s = r.summary;
+  for (SupernodeId a : s.ActiveSupernodes()) {
+    for (const auto& [b, w] : s.superedges(a)) {
+      EXPECT_TRUE(s.alive(b));
+      EXPECT_GE(w, 1u);
+    }
+  }
+}
+
+TEST(ParallelEngineTest, SuperedgeAdjacencyIsSymmetric) {
+  Graph g = TestGraph(11);
+  const SummarizationResult r = RunAt(g, 4, 3, 0.6);
+  const SummaryGraph& s = r.summary;
+  for (SupernodeId a : s.ActiveSupernodes()) {
+    for (const auto& [b, w] : s.superedges(a)) {
+      EXPECT_EQ(s.SuperedgeWeight(b, a), w) << a << " ~ " << b;
+    }
+  }
+}
+
+TEST(ParallelEngineTest, MergeStatsPopulated) {
+  Graph g = TestGraph(15);
+  const SummarizationResult r = RunAt(g, 4, 77, 0.3);
+  EXPECT_GT(r.merge_stats.merges, 0u);
+  EXPECT_GT(r.merge_stats.evaluations, r.merge_stats.merges);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+}
+
+TEST(ParallelEngineTest, TightBudgetTerminatesAndSparsifies) {
+  // Mirror of the serial endgame behavior: a 5% budget forces the summary
+  // below the membership-bits floor, dropping every superedge.
+  Graph g = TestGraph();
+  PegasusConfig config;
+  config.max_iterations = 3;
+  config.num_threads = 4;
+  const auto r = SummarizeGraphToRatio(g, {}, 0.05, config);
+  EXPECT_LE(r.final_size_bits, 0.05 * g.SizeInBits() + 1e-9);
+  EXPECT_EQ(r.summary.num_superedges(), 0u);
+}
+
+TEST(ParallelEngineTest, TinyGraphTinyBudgetTerminates) {
+  Graph g = ::pegasus::testing::TwoCliquesGraph(6);
+  PegasusConfig config;
+  config.max_iterations = 5;
+  config.num_threads = 2;
+  const auto r = SummarizeGraph(g, {0}, /*budget_bits=*/1.0, config);
+  EXPECT_EQ(r.summary.num_superedges(), 0u);
+}
+
+TEST(ParallelEngineTest, PersonalizationReducesTargetError) {
+  // The paper's core claim must survive the parallel schedule.
+  Graph g = GenerateBarabasiAlbert(300, 4, 11);
+  std::vector<NodeId> targets{0, 7, 13};
+
+  PegasusConfig personalized;
+  personalized.alpha = 1.5;
+  personalized.seed = 5;
+  personalized.num_threads = 4;
+  const auto p = SummarizeGraphToRatio(g, targets, 0.4, personalized);
+
+  PegasusConfig plain = personalized;
+  plain.alpha = 1.0;
+  const auto np = SummarizeGraphToRatio(g, {}, 0.4, plain);
+
+  const auto eval_weights = PersonalWeights::Compute(g, targets, 1.5);
+  EXPECT_LT(PersonalizedError(g, p.summary, eval_weights),
+            PersonalizedError(g, np.summary, eval_weights));
+}
+
+TEST(ParallelEngineTest, WorksFromExistingSummary) {
+  // SummarizeGraphFrom must accept the parallel engine too (used by the
+  // hierarchy to continue coarsening).
+  Graph g = TestGraph(21);
+  PegasusConfig coarse;
+  coarse.seed = 4;
+  coarse.num_threads = 2;
+  auto first = SummarizeGraphToRatio(g, {}, 0.7, coarse);
+  const auto cont = SummarizeGraphFrom(g, {}, 0.4 * g.SizeInBits(),
+                                       std::move(first.summary), coarse);
+  EXPECT_LE(cont.final_size_bits, 0.4 * g.SizeInBits() + 1e-9);
+  EXPECT_LE(cont.summary.num_supernodes(), g.num_nodes());
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -4,6 +4,7 @@
 //   pegasus generate   <kind> <out.txt> [--nodes N] [--seed S]
 //   pegasus summarize  <edgelist> <out.summary> [--ratio R] [--alpha A]
 //                      [--beta B] [--tmax T] [--seed S] [--targets a,b,c]
+//                      [--threads N]   (1 = serial, 0 = all cores)
 //   pegasus query      <summary> <hop|rwr|php|pagerank> <node> [--top K]
 //   pegasus evaluate   <edgelist> <summary> [--alpha A] [--targets a,b,c]
 //
@@ -89,7 +90,8 @@ int Usage() {
       "  pegasus generate  <ba|ws|er|grid|community-ring> <out.txt>"
       " [--nodes N] [--seed S]\n"
       "  pegasus summarize <edgelist> <out.summary> [--ratio R]"
-      " [--alpha A] [--beta B] [--tmax T] [--seed S] [--targets a,b,c]\n"
+      " [--alpha A] [--beta B] [--tmax T] [--seed S] [--targets a,b,c]"
+      " [--threads N]\n"
       "  pegasus query     <summary> <hop|rwr|php|pagerank> <node>"
       " [--top K]\n"
       "  pegasus evaluate  <edgelist> <summary> [--alpha A]"
@@ -193,6 +195,9 @@ int CmdSummarize(const Args& args) {
   config.beta = args.FlagDouble("beta", 0.1);
   config.max_iterations = static_cast<int>(args.FlagInt("tmax", 20));
   config.seed = static_cast<uint64_t>(args.FlagInt("seed", 0));
+  // 1 = historical serial engine; 0 = parallel engine on all cores;
+  // N >= 2 = parallel engine with N workers (see PegasusConfig).
+  config.num_threads = static_cast<int>(args.FlagInt("threads", 1));
   const double ratio = args.FlagDouble("ratio", 0.5);
   std::vector<NodeId> targets;
   if (auto t = args.Flag("targets")) targets = ParseTargets(*t);
