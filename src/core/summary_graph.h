@@ -20,7 +20,10 @@
 // (MergeSupernodes, Set/Erase/ClearSuperedges) is single-threaded by
 // contract — the parallel engine (src/core/parallel_engine.h) stages all
 // decisions against a frozen summary and funnels every mutation through
-// one thread at phase barriers, rather than locking here.
+// one thread at phase barriers, rather than locking here. The query
+// serving path goes one step further: it snapshots an immutable
+// SummaryView (src/query/summary_view.h) and never touches this
+// structure while answering.
 
 #ifndef PEGASUS_CORE_SUMMARY_GRAPH_H_
 #define PEGASUS_CORE_SUMMARY_GRAPH_H_

@@ -1,7 +1,9 @@
 #include "src/core/summary_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -27,11 +29,20 @@ bool SaveSummary(const SummaryGraph& summary, const std::string& path) {
     out << dense[summary.supernode_of(u)]
         << (u + 1 == summary.num_nodes() ? '\n' : ' ');
   }
+  // Superedges are emitted in sorted (a, b) order rather than adjacency
+  // hash-map order, so the same summary always serializes to the same
+  // bytes (and a load/save round trip is byte-stable).
+  std::vector<std::pair<SupernodeId, uint32_t>> row;
   for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
     if (!summary.alive(a)) continue;
+    row.clear();
     for (const auto& [b, w] : summary.superedges(a)) {
-      if (b < a) continue;
-      out << dense[a] << ' ' << dense[b] << ' ' << w << '\n';
+      if (b < a) continue;  // dense[] preserves id order, so this dedups
+      row.emplace_back(dense[b], w);
+    }
+    std::sort(row.begin(), row.end());
+    for (const auto& [b, w] : row) {
+      out << dense[a] << ' ' << b << ' ' << w << '\n';
     }
   }
   return static_cast<bool>(out);
@@ -75,8 +86,15 @@ std::optional<SummaryGraph> LoadSummary(const std::string& path) {
         b >= num_supernodes || w == 0) {
       return std::nullopt;
     }
+    // A repeated pair would silently overwrite the earlier weight and
+    // leave num_superedges() below the declared count.
+    if (summary.HasSuperedge(a, b)) return std::nullopt;
     summary.SetSuperedge(a, b, w);
   }
+  // The declared superedge count must exhaust the file: trailing tokens
+  // mean a malformed or truncated-header file, not extra whitespace.
+  std::string trailing;
+  if (in >> trailing) return std::nullopt;
   return summary;
 }
 

@@ -71,7 +71,10 @@ double SpearmanCorrelation(const std::vector<double>& x,
 double PrecisionAtK(const std::vector<double>& truth,
                     const std::vector<double>& approx, size_t k) {
   assert(truth.size() == approx.size());
-  if (k == 0) return 1.0;
+  // Vacuous cases: the top-0 sets are equal, and on empty inputs the
+  // top-k sets are both empty whatever k is (without the early return the
+  // clamp below would drive the final division to 0/0 = NaN).
+  if (k == 0 || truth.empty()) return 1.0;
   k = std::min(k, truth.size());
   auto top_k = [&](const std::vector<double>& values) {
     std::vector<size_t> order(values.size());

@@ -16,6 +16,12 @@ std::optional<Graph> LoadEdgeList(const std::string& path) {
 
   std::vector<std::pair<uint64_t, uint64_t>> raw;
   std::unordered_map<uint64_t, NodeId> remap;
+  // Dense ids are assigned in first-appearance order, which pins the node
+  // numbering to the file's contents alone. (Assigning them by hash-map
+  // iteration order, as this loader originally did, made the numbering
+  // depend on the standard library — the same edge list loaded on gcc and
+  // clang produced differently-labeled graphs.)
+  NodeId next = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
@@ -23,13 +29,11 @@ std::optional<Graph> LoadEdgeList(const std::string& path) {
     uint64_t a = 0, b = 0;
     if (!(ls >> a >> b)) continue;
     raw.emplace_back(a, b);
-    remap.emplace(a, 0);
-    remap.emplace(b, 0);
+    if (remap.emplace(a, next).second) ++next;
+    if (remap.emplace(b, next).second) ++next;
   }
   if (raw.empty()) return std::nullopt;
 
-  NodeId next = 0;
-  for (auto& [id, dense] : remap) dense = next++;
   GraphBuilder builder(next);
   for (const auto& [a, b] : raw) builder.AddEdge(remap[a], remap[b]);
   return std::move(builder).Build();

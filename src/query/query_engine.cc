@@ -1,0 +1,116 @@
+#include "src/query/query_engine.h"
+
+#include <algorithm>
+
+namespace pegasus {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kNeighbors:
+      return "neighbors";
+    case QueryKind::kHop:
+      return "hop";
+    case QueryKind::kRwr:
+      return "rwr";
+    case QueryKind::kPhp:
+      return "php";
+    case QueryKind::kDegree:
+      return "degree";
+    case QueryKind::kPageRank:
+      return "pagerank";
+    case QueryKind::kClustering:
+      return "clustering";
+  }
+  return "unknown";
+}
+
+std::optional<QueryKind> ParseQueryKind(const std::string& name) {
+  if (name == "neighbors") return QueryKind::kNeighbors;
+  if (name == "hop") return QueryKind::kHop;
+  if (name == "rwr") return QueryKind::kRwr;
+  if (name == "php") return QueryKind::kPhp;
+  if (name == "degree") return QueryKind::kDegree;
+  if (name == "pagerank") return QueryKind::kPageRank;
+  if (name == "clustering") return QueryKind::kClustering;
+  return std::nullopt;
+}
+
+bool IsNodeQuery(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kNeighbors:
+    case QueryKind::kHop:
+    case QueryKind::kRwr:
+    case QueryKind::kPhp:
+      return true;
+    case QueryKind::kDegree:
+    case QueryKind::kPageRank:
+    case QueryKind::kClustering:
+      return false;
+  }
+  return false;
+}
+
+QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request) {
+  QueryResult result;
+  result.kind = request.kind;
+  switch (request.kind) {
+    case QueryKind::kNeighbors:
+      result.neighbors = SummaryNeighbors(view, request.node);
+      break;
+    case QueryKind::kHop:
+      result.hops = FastSummaryHopDistances(view, request.node);
+      break;
+    case QueryKind::kRwr:
+      result.scores = SummaryRwrScores(
+          view, request.node, request.param >= 0.0 ? request.param : 0.05,
+          request.weighted, request.opts);
+      break;
+    case QueryKind::kPhp:
+      result.scores = SummaryPhpScores(
+          view, request.node, request.param >= 0.0 ? request.param : 0.95,
+          request.weighted, request.opts);
+      break;
+    case QueryKind::kDegree:
+      result.scores = SummaryDegrees(view, request.weighted);
+      break;
+    case QueryKind::kPageRank:
+      result.scores = SummaryPageRank(
+          view, request.param >= 0.0 ? request.param : 0.85, request.weighted,
+          request.opts);
+      break;
+    case QueryKind::kClustering:
+      result.scores = SummaryClusteringCoefficients(view, request.weighted);
+      break;
+  }
+  return result;
+}
+
+std::vector<QueryResult> AnswerBatch(const SummaryView& view,
+                                     const std::vector<QueryRequest>& requests,
+                                     ThreadPool& pool) {
+  std::vector<QueryResult> results(requests.size());
+  // One request per index; answers land in index-addressed slots, so the
+  // output is scheduling-independent (the ParallelFor determinism
+  // contract).
+  pool.ParallelFor(requests.size(), /*grain=*/1,
+                   [&](int /*worker*/, size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       results[i] = AnswerQuery(view, requests[i]);
+                     }
+                   });
+  return results;
+}
+
+int QueryWorkerCount(int num_threads) {
+  return std::min(ResolveThreadCount(num_threads), ResolveThreadCount(0));
+}
+
+std::vector<QueryResult> AnswerBatch(const SummaryView& view,
+                                     const std::vector<QueryRequest>& requests,
+                                     int num_threads) {
+  // Callers that really want oversubscription can pass their own pool.
+  ThreadPool pool(QueryWorkerCount(num_threads));
+  return AnswerBatch(view, requests, pool);
+}
+
+}  // namespace pegasus

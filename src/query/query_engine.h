@@ -1,0 +1,92 @@
+// Batched query serving over a SummaryView.
+//
+// A QueryRequest names one query — a family, the query node for
+// node-level families, and optional parameters — and AnswerBatch answers
+// a whole vector of them, fanning the requests out across a ThreadPool
+// (src/util/parallel.h) with one request per ParallelFor index. Results
+// are written to index-addressed slots, so the output vector is
+// byte-identical for every thread count (including 1) and for every
+// scheduling of workers; each individual answer is byte-identical to the
+// corresponding single-query call on the same view.
+//
+// The SummaryView is deeply immutable, which is what makes the fan-out
+// safe: workers share the snapshot read-only and allocate only their own
+// per-query state.
+
+#ifndef PEGASUS_QUERY_QUERY_ENGINE_H_
+#define PEGASUS_QUERY_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/query/summary_view.h"
+#include "src/util/parallel.h"
+
+namespace pegasus {
+
+// The seven summary-answerable query families (Appendix A plus the
+// extension queries). kHop serves the blockwise FastSummaryHopDistances
+// path; the faithful node-level BFS stays a validation-only API.
+enum class QueryKind : uint8_t {
+  kNeighbors,
+  kHop,
+  kRwr,
+  kPhp,
+  kDegree,
+  kPageRank,
+  kClustering,
+};
+
+// CLI-facing names: neighbors, hop, rwr, php, degree, pagerank,
+// clustering.
+const char* QueryKindName(QueryKind kind);
+std::optional<QueryKind> ParseQueryKind(const std::string& name);
+
+// True for families whose answer depends on a query node.
+bool IsNodeQuery(QueryKind kind);
+
+struct QueryRequest {
+  QueryKind kind = QueryKind::kRwr;
+  NodeId node = 0;    // consumed only when IsNodeQuery(kind)
+  double param = -1;  // restart_prob / decay / damping; negative = default
+  bool weighted = true;
+  IterativeQueryOptions opts;  // iterative families only
+};
+
+// Exactly one of the payload vectors is non-empty, matching the request's
+// family: `neighbors` for kNeighbors, `hops` for kHop, `scores` for the
+// rest (all sized num_nodes()).
+struct QueryResult {
+  QueryKind kind = QueryKind::kRwr;
+  std::vector<NodeId> neighbors;
+  std::vector<uint32_t> hops;
+  std::vector<double> scores;
+};
+
+// Worker count the batch engine actually uses for a requested
+// num_threads (ResolveThreadCount convention, then clamped to the
+// hardware thread count): batch serving is CPU-bound, so workers beyond
+// the core count only add scheduling thrash without changing the
+// (scheduling-independent) results.
+int QueryWorkerCount(int num_threads);
+
+// Answers one request on the calling thread.
+QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request);
+
+// Answers every request, fanning out over `pool`. results[i] corresponds
+// to requests[i]; output is independent of the pool's worker count.
+std::vector<QueryResult> AnswerBatch(const SummaryView& view,
+                                     const std::vector<QueryRequest>& requests,
+                                     ThreadPool& pool);
+
+// Convenience overload owning a pool of QueryWorkerCount(num_threads)
+// workers for the call.
+std::vector<QueryResult> AnswerBatch(const SummaryView& view,
+                                     const std::vector<QueryRequest>& requests,
+                                     int num_threads = 0);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_QUERY_QUERY_ENGINE_H_

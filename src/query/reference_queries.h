@@ -1,0 +1,58 @@
+// Frozen pre-SummaryView query implementations.
+//
+// These are the summary query processors exactly as they existed before
+// the SummaryView refactor: every call recomputes all per-supernode state
+// (member degrees, self-loop densities, member counts) straight from the
+// SummaryGraph's hash-map adjacency. They are kept, verbatim, for two
+// consumers only:
+//
+//   * tests/summary_view_test.cc asserts that the SummaryView-based paths
+//     return byte-identical vectors to these on random graphs, and
+//   * bench/bench_query_throughput.cc uses them as the "single-shot"
+//     baseline the batched engine is measured against.
+//
+// Do not extend or optimize this file; production callers use
+// summary_queries.h (thin wrappers) or summary_view.h directly.
+
+#ifndef PEGASUS_QUERY_REFERENCE_QUERIES_H_
+#define PEGASUS_QUERY_REFERENCE_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+#include "src/query/exact_queries.h"
+
+namespace pegasus {
+
+std::vector<NodeId> ReferenceSummaryNeighbors(const SummaryGraph& summary,
+                                              NodeId q);
+
+std::vector<uint32_t> ReferenceSummaryHopDistances(const SummaryGraph& summary,
+                                                   NodeId q);
+
+std::vector<uint32_t> ReferenceFastSummaryHopDistances(
+    const SummaryGraph& summary, NodeId q);
+
+std::vector<double> ReferenceSummaryRwrScores(
+    const SummaryGraph& summary, NodeId q, double restart_prob = 0.05,
+    bool weighted = true, const IterativeQueryOptions& opts = {});
+
+std::vector<double> ReferenceSummaryPhpScores(
+    const SummaryGraph& summary, NodeId q, double decay = 0.95,
+    bool weighted = true, const IterativeQueryOptions& opts = {});
+
+std::vector<double> ReferenceSummaryDegrees(const SummaryGraph& summary,
+                                            bool weighted = true);
+
+std::vector<double> ReferenceSummaryPageRank(
+    const SummaryGraph& summary, double damping = 0.85, bool weighted = true,
+    const IterativeQueryOptions& opts = {});
+
+std::vector<double> ReferenceSummaryClusteringCoefficients(
+    const SummaryGraph& summary, bool weighted = true);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_QUERY_REFERENCE_QUERIES_H_

@@ -1,47 +1,25 @@
+// Compatibility wrappers over the SummaryView-based query paths
+// (summary_view.h). The state-heavy families (RWR, PHP, degrees,
+// PageRank, clustering) snapshot the summary into a view and delegate —
+// the same asymptotic cost the pre-view code paid to recompute
+// per-supernode state per call. The neighborhood and hop families touch
+// no precomputed floating-point state, so their wrappers run directly on
+// the SummaryGraph's adjacency: per-call view construction would turn
+// O(deg)/O(|P|) integer queries (DynamicSummary::ApproximateNeighbors,
+// SummaryCluster::AnswerHop) into density-precomputing O(|V| + |P|)
+// calls for nothing. Either way, callers answering more than one query
+// should build a SummaryView (or use query_engine.h) and query it
+// directly. Results are byte-identical to the pre-view implementations
+// (pinned by tests/summary_view_test.cc against reference_queries.h).
+
 #include "src/query/summary_queries.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "src/graph/bfs.h"
+#include "src/query/summary_view.h"
 
 namespace pegasus {
-
-namespace {
-
-// Number of node pairs spanned by superedge {a, b}.
-double BlockPairs(const SummaryGraph& s, SupernodeId a, SupernodeId b) {
-  const double na = static_cast<double>(s.members(a).size());
-  if (a == b) return na * (na - 1.0) / 2.0;
-  return na * static_cast<double>(s.members(b).size());
-}
-
-// Density of superedge {a, b} (1.0 in unweighted mode).
-double BlockDensity(const SummaryGraph& s, SupernodeId a, SupernodeId b,
-                    uint32_t weight, bool weighted) {
-  if (!weighted) return 1.0;
-  const double pairs = BlockPairs(s, a, b);
-  if (pairs <= 0.0) return 0.0;
-  return std::min(1.0, static_cast<double>(weight) / pairs);
-}
-
-// Weighted degree shared by every member of supernode a in Ĝ:
-// sum over adjacent supernodes B != a of d_aB * |B|, plus
-// d_aa * (|a| - 1) when a has a self-loop.
-double MemberDegree(const SummaryGraph& s, SupernodeId a, bool weighted) {
-  double deg = 0.0;
-  for (const auto& [b, w] : s.superedges(a)) {
-    const double d = BlockDensity(s, a, b, w, weighted);
-    if (b == a) {
-      deg += d * (static_cast<double>(s.members(a).size()) - 1.0);
-    } else {
-      deg += d * static_cast<double>(s.members(b).size());
-    }
-  }
-  return deg;
-}
-
-}  // namespace
 
 std::vector<NodeId> SummaryNeighbors(const SummaryGraph& summary, NodeId q) {
   const SupernodeId a = summary.supernode_of(q);
@@ -76,12 +54,9 @@ std::vector<uint32_t> SummaryHopDistances(const SummaryGraph& summary,
 std::vector<uint32_t> FastSummaryHopDistances(const SummaryGraph& summary,
                                               NodeId q) {
   const SupernodeId bound = summary.id_bound();
-  // Distance of the members of each supernode (excluding q itself).
   std::vector<uint32_t> super_dist(bound, kUnreachable);
   const SupernodeId a0 = summary.supernode_of(q);
 
-  // Seed: supernodes adjacent to S_q hold q's approximate neighbors. A
-  // self-loop on S_q puts q's co-members at distance 1 too.
   std::vector<SupernodeId> queue;
   for (const auto& [b, w] : summary.superedges(a0)) {
     (void)w;
@@ -113,239 +88,30 @@ std::vector<uint32_t> FastSummaryHopDistances(const SummaryGraph& summary,
 std::vector<double> SummaryRwrScores(const SummaryGraph& summary, NodeId q,
                                      double restart_prob, bool weighted,
                                      const IterativeQueryOptions& opts) {
-  const SupernodeId bound = summary.id_bound();
-  const NodeId n = summary.num_nodes();
-  const SupernodeId a0 = summary.supernode_of(q);
-  const double c = restart_prob;
-
-  std::vector<double> member_deg(bound, 0.0);
-  std::vector<double> self_density(bound, 0.0);
-  std::vector<double> count(bound, 0.0);  // members excluding q
-  for (SupernodeId a = 0; a < bound; ++a) {
-    if (!summary.alive(a)) continue;
-    member_deg[a] = MemberDegree(summary, a, weighted);
-    count[a] = static_cast<double>(summary.members(a).size()) -
-               (a == a0 ? 1.0 : 0.0);
-    const uint32_t w = summary.SuperedgeWeight(a, a);
-    if (w > 0) self_density[a] = BlockDensity(summary, a, a, w, weighted);
-  }
-
-  // rho[a]: score of each non-q member of a; rho_q: score of q.
-  std::vector<double> rho(bound, 1.0 / n);
-  double rho_q = 1.0 / n;
-  std::vector<double> cross(bound);
-
-  for (int it = 0; it < opts.max_iterations; ++it) {
-    // Total outgoing-normalized mass per supernode.
-    std::fill(cross.begin(), cross.end(), 0.0);
-    for (SupernodeId a = 0; a < bound; ++a) {
-      if (!summary.alive(a) || member_deg[a] <= 0.0) continue;
-      const double total_a =
-          count[a] * rho[a] + (a == a0 ? rho_q : 0.0);
-      const double rate = total_a / member_deg[a];
-      for (const auto& [b, w] : summary.superedges(a)) {
-        if (b == a) continue;  // self-loop handled separately
-        cross[b] += BlockDensity(summary, a, b, w, weighted) * rate;
-      }
-    }
-    double change = 0.0;
-    double new_rho_q = rho_q;
-    for (SupernodeId b = 0; b < bound; ++b) {
-      if (!summary.alive(b)) continue;
-      double self_in_members = 0.0;
-      double self_in_q = 0.0;
-      if (self_density[b] > 0.0 && member_deg[b] > 0.0) {
-        const double total_b =
-            count[b] * rho[b] + (b == a0 ? rho_q : 0.0);
-        const double rate = self_density[b] / member_deg[b];
-        self_in_members = rate * (total_b - rho[b]);
-        if (b == a0) self_in_q = rate * (total_b - rho_q);
-      }
-      double nb = (1.0 - c) * (cross[b] + self_in_members);
-      if (b == a0) {
-        new_rho_q = c + (1.0 - c) * (cross[b] + self_in_q);
-      }
-      change += count[b] * std::abs(nb - rho[b]);
-      rho[b] = nb;
-    }
-    change += std::abs(new_rho_q - rho_q);
-    rho_q = new_rho_q;
-    if (change < opts.tolerance) break;
-  }
-
-  std::vector<double> out(n);
-  for (NodeId u = 0; u < n; ++u) out[u] = rho[summary.supernode_of(u)];
-  out[q] = rho_q;
-  return out;
+  return SummaryRwrScores(SummaryView(summary), q, restart_prob, weighted,
+                          opts);
 }
 
 std::vector<double> SummaryPhpScores(const SummaryGraph& summary, NodeId q,
                                      double decay, bool weighted,
                                      const IterativeQueryOptions& opts) {
-  const SupernodeId bound = summary.id_bound();
-  const NodeId n = summary.num_nodes();
-  const SupernodeId a0 = summary.supernode_of(q);
-
-  std::vector<double> member_deg(bound, 0.0);
-  std::vector<double> self_density(bound, 0.0);
-  std::vector<double> count(bound, 0.0);
-  for (SupernodeId a = 0; a < bound; ++a) {
-    if (!summary.alive(a)) continue;
-    member_deg[a] = MemberDegree(summary, a, weighted);
-    count[a] = static_cast<double>(summary.members(a).size()) -
-               (a == a0 ? 1.0 : 0.0);
-    const uint32_t w = summary.SuperedgeWeight(a, a);
-    if (w > 0) self_density[a] = BlockDensity(summary, a, a, w, weighted);
-  }
-
-  std::vector<double> phi(bound, 0.0);  // non-q member scores
-  std::vector<double> total(bound);     // sum of scores inside supernode
-
-  for (int it = 0; it < opts.max_iterations; ++it) {
-    for (SupernodeId a = 0; a < bound; ++a) {
-      total[a] = count[a] * phi[a] + (a == a0 ? 1.0 : 0.0);
-    }
-    double change = 0.0;
-    for (SupernodeId b = 0; b < bound; ++b) {
-      if (!summary.alive(b)) continue;
-      double nb = 0.0;
-      if (member_deg[b] > 0.0) {
-        double incoming = 0.0;
-        for (const auto& [a, w] : summary.superedges(b)) {
-          const double d = BlockDensity(summary, b, a, w, weighted);
-          if (a == b) {
-            incoming += d * (total[b] - phi[b]);
-          } else {
-            incoming += d * total[a];
-          }
-        }
-        nb = decay * incoming / member_deg[b];
-      }
-      change += count[b] * std::abs(nb - phi[b]);
-      phi[b] = nb;
-    }
-    if (change < opts.tolerance) break;
-  }
-
-  std::vector<double> out(n);
-  for (NodeId u = 0; u < n; ++u) out[u] = phi[summary.supernode_of(u)];
-  out[q] = 1.0;
-  return out;
+  return SummaryPhpScores(SummaryView(summary), q, decay, weighted, opts);
 }
 
 std::vector<double> SummaryDegrees(const SummaryGraph& summary,
                                    bool weighted) {
-  std::vector<double> out(summary.num_nodes(), 0.0);
-  for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
-    if (!summary.alive(a)) continue;
-    const double deg = MemberDegree(summary, a, weighted);
-    for (NodeId u : summary.members(a)) out[u] = deg;
-  }
-  return out;
+  return SummaryDegrees(SummaryView(summary), weighted);
 }
 
 std::vector<double> SummaryPageRank(const SummaryGraph& summary,
                                     double damping, bool weighted,
                                     const IterativeQueryOptions& opts) {
-  const SupernodeId bound = summary.id_bound();
-  const NodeId n = summary.num_nodes();
-
-  std::vector<double> member_deg(bound, 0.0);
-  std::vector<double> self_density(bound, 0.0);
-  std::vector<double> count(bound, 0.0);
-  for (SupernodeId a = 0; a < bound; ++a) {
-    if (!summary.alive(a)) continue;
-    member_deg[a] = MemberDegree(summary, a, weighted);
-    count[a] = static_cast<double>(summary.members(a).size());
-    const uint32_t w = summary.SuperedgeWeight(a, a);
-    if (w > 0) self_density[a] = BlockDensity(summary, a, a, w, weighted);
-  }
-
-  // One score per supernode; every member shares it (no node in Ĝ is
-  // distinguished, unlike RWR's query node).
-  std::vector<double> rho(bound, 1.0 / n);
-  std::vector<double> incoming(bound);
-  for (int it = 0; it < opts.max_iterations; ++it) {
-    std::fill(incoming.begin(), incoming.end(), 0.0);
-    double dangling = 0.0;
-    for (SupernodeId a = 0; a < bound; ++a) {
-      if (!summary.alive(a)) continue;
-      const double total_a = count[a] * rho[a];
-      if (member_deg[a] <= 0.0) {
-        dangling += total_a;
-        continue;
-      }
-      const double rate = total_a / member_deg[a];
-      for (const auto& [b, w] : summary.superedges(a)) {
-        if (b == a) continue;
-        incoming[b] += BlockDensity(summary, a, b, w, weighted) * rate;
-      }
-    }
-    const double base = (1.0 - damping) / n + damping * dangling / n;
-    double change = 0.0;
-    for (SupernodeId b = 0; b < bound; ++b) {
-      if (!summary.alive(b)) continue;
-      double self_in = 0.0;
-      if (self_density[b] > 0.0 && member_deg[b] > 0.0) {
-        // Each member receives from its |b|-1 co-members.
-        self_in = self_density[b] / member_deg[b] *
-                  (count[b] * rho[b] - rho[b]);
-      }
-      const double nb = base + damping * (incoming[b] + self_in);
-      change += count[b] * std::abs(nb - rho[b]);
-      rho[b] = nb;
-    }
-    if (change < opts.tolerance) break;
-  }
-
-  std::vector<double> out(n);
-  for (NodeId u = 0; u < n; ++u) out[u] = rho[summary.supernode_of(u)];
-  return out;
+  return SummaryPageRank(SummaryView(summary), damping, weighted, opts);
 }
 
 std::vector<double> SummaryClusteringCoefficients(const SummaryGraph& summary,
                                                   bool weighted) {
-  const NodeId n = summary.num_nodes();
-  std::vector<double> out(n, 0.0);
-
-  struct NeighborGroup {
-    SupernodeId id;
-    double prob;   // density of the superedge {A, id}
-    double count;  // eligible members (excludes u itself for id == A)
-  };
-  std::vector<NeighborGroup> groups;
-
-  for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
-    if (!summary.alive(a) || summary.superedges(a).empty()) continue;
-    groups.clear();
-    for (const auto& [b, w] : summary.superedges(a)) {
-      const double count =
-          b == a ? static_cast<double>(summary.members(a).size()) - 1.0
-                 : static_cast<double>(summary.members(b).size());
-      if (count <= 0.0) continue;
-      groups.push_back({b, BlockDensity(summary, a, b, w, weighted), count});
-    }
-    double closed = 0.0, wedges = 0.0;
-    for (size_t i = 0; i < groups.size(); ++i) {
-      for (size_t j = i; j < groups.size(); ++j) {
-        const double pairs =
-            i == j ? groups[i].count * (groups[i].count - 1.0) / 2.0
-                   : groups[i].count * groups[j].count;
-        if (pairs <= 0.0) continue;
-        const double base = groups[i].prob * groups[j].prob * pairs;
-        wedges += base;
-        const uint32_t w_ij =
-            summary.SuperedgeWeight(groups[i].id, groups[j].id);
-        if (w_ij > 0) {
-          closed += base * BlockDensity(summary, groups[i].id, groups[j].id,
-                                        w_ij, weighted);
-        }
-      }
-    }
-    const double cc = wedges > 0.0 ? closed / wedges : 0.0;
-    for (NodeId u : summary.members(a)) out[u] = cc;
-  }
-  return out;
+  return SummaryClusteringCoefficients(SummaryView(summary), weighted);
 }
 
 }  // namespace pegasus

@@ -14,6 +14,16 @@
 // Weighted mode interprets each superedge's weight (the count of real
 // edges it represents) as a block density, matching the paper's evaluation
 // of weighted summary graphs.
+//
+// Serving note: these functions are compatibility wrappers. The
+// state-heavy families (RWR, PHP, degrees, PageRank, clustering)
+// snapshot the summary into a SummaryView (summary_view.h) per call, so
+// their per-call cost includes an O(|V| + |P|) snapshot — the same order
+// of work the pre-view code spent recomputing per-supernode state per
+// call. The neighborhood and hop families stay direct on the
+// SummaryGraph (they need none of the precomputed state). Query streams
+// should construct one SummaryView (or go through query_engine.h's
+// AnswerBatch) and reuse it; results are byte-identical either way.
 
 #ifndef PEGASUS_QUERY_SUMMARY_QUERIES_H_
 #define PEGASUS_QUERY_SUMMARY_QUERIES_H_

@@ -1,0 +1,413 @@
+#include "src/query/summary_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/graph/bfs.h"
+
+namespace pegasus {
+
+namespace {
+
+// Number of node pairs spanned by superedge {a, b} and its density.
+// These mirror reference_queries.cc operation-for-operation: the
+// per-edge densities precomputed here must be bit-identical to the
+// values the pre-view implementations recompute on the fly.
+double BlockPairs(const SummaryGraph& s, SupernodeId a, SupernodeId b) {
+  const double na = static_cast<double>(s.members(a).size());
+  if (a == b) return na * (na - 1.0) / 2.0;
+  return na * static_cast<double>(s.members(b).size());
+}
+
+double WeightedBlockDensity(const SummaryGraph& s, SupernodeId a,
+                            SupernodeId b, uint32_t weight) {
+  const double pairs = BlockPairs(s, a, b);
+  if (pairs <= 0.0) return 0.0;
+  return std::min(1.0, static_cast<double>(weight) / pairs);
+}
+
+}  // namespace
+
+SummaryView::SummaryView(const SummaryGraph& summary) {
+  num_nodes_ = summary.num_nodes();
+  const SupernodeId bound = summary.id_bound();
+
+  // Densify supernode ids in ascending original-id order, so per-supernode
+  // sweeps visit exactly the sequence the pre-view code's
+  // `for (a = 0; a < bound; ++a) if (alive(a))` loops did.
+  std::vector<uint32_t> dense(bound, UINT32_MAX);
+  uint32_t next = 0;
+  for (SupernodeId a = 0; a < bound; ++a) {
+    if (summary.alive(a)) dense[a] = next++;
+  }
+  num_supernodes_ = next;
+  const uint32_t s = num_supernodes_;
+
+  node_to_super_.resize(num_nodes_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    node_to_super_[u] = dense[summary.supernode_of(u)];
+  }
+
+  member_begin_.assign(s + 1, 0);
+  edge_begin_.assign(s + 1, 0);
+  member_count_.assign(s, 0.0);
+  member_deg_w_.assign(s, 0.0);
+  member_deg_uw_.assign(s, 0.0);
+  self_density_w_.assign(s, 0.0);
+  self_density_uw_.assign(s, 0.0);
+
+  for (SupernodeId a = 0; a < bound; ++a) {
+    if (!summary.alive(a)) continue;
+    const uint32_t da = dense[a];
+    member_begin_[da + 1] = summary.members(a).size();
+    edge_begin_[da + 1] = summary.superedges(a).size();
+  }
+  for (uint32_t a = 0; a < s; ++a) {
+    member_begin_[a + 1] += member_begin_[a];
+    edge_begin_[a + 1] += edge_begin_[a];
+  }
+  members_.resize(member_begin_[s]);
+  edge_dst_.resize(edge_begin_[s]);
+  edge_weight_.resize(edge_begin_[s]);
+  edge_density_w_.resize(edge_begin_[s]);
+  edge_density_uw_.assign(edge_begin_[s], 1.0);
+
+  for (SupernodeId a = 0; a < bound; ++a) {
+    if (!summary.alive(a)) continue;
+    const uint32_t da = dense[a];
+    const auto& mem = summary.members(a);
+    std::copy(mem.begin(), mem.end(),
+              members_.begin() + static_cast<ptrdiff_t>(member_begin_[da]));
+    const double na = static_cast<double>(mem.size());
+    member_count_[da] = na;
+
+    // Accumulate both member-degree modes in the adjacency map's own
+    // enumeration order — the order MemberDegree() summed in.
+    double deg_w = 0.0;
+    double deg_uw = 0.0;
+    uint64_t pos = edge_begin_[da];
+    for (const auto& [b, w] : summary.superedges(a)) {
+      const double d = WeightedBlockDensity(summary, a, b, w);
+      const double cnt = b == a
+                             ? na - 1.0
+                             : static_cast<double>(summary.members(b).size());
+      deg_w += d * cnt;
+      deg_uw += 1.0 * cnt;
+      edge_dst_[pos] = dense[b];
+      edge_weight_[pos] = w;
+      edge_density_w_[pos] = d;
+      ++pos;
+      if (b == a && w > 0) {
+        self_density_w_[da] = d;
+        self_density_uw_[da] = 1.0;
+      }
+    }
+    member_deg_w_[da] = deg_w;
+    member_deg_uw_[da] = deg_uw;
+  }
+
+  // Per-supernode dst-sorted index for O(log deg) pair lookups.
+  sorted_edge_idx_.resize(edge_dst_.size());
+  std::iota(sorted_edge_idx_.begin(), sorted_edge_idx_.end(), 0u);
+  for (uint32_t a = 0; a < s; ++a) {
+    std::sort(sorted_edge_idx_.begin() + static_cast<ptrdiff_t>(edge_begin_[a]),
+              sorted_edge_idx_.begin() +
+                  static_cast<ptrdiff_t>(edge_begin_[a + 1]),
+              [&](uint32_t x, uint32_t y) {
+                return edge_dst_[x] < edge_dst_[y];
+              });
+  }
+}
+
+int64_t SummaryView::FindEdge(uint32_t a, uint32_t b) const {
+  const auto begin =
+      sorted_edge_idx_.begin() + static_cast<ptrdiff_t>(edge_begin_[a]);
+  const auto end =
+      sorted_edge_idx_.begin() + static_cast<ptrdiff_t>(edge_begin_[a + 1]);
+  const auto it = std::lower_bound(
+      begin, end, b,
+      [&](uint32_t idx, uint32_t dst) { return edge_dst_[idx] < dst; });
+  if (it == end || edge_dst_[*it] != b) return -1;
+  return static_cast<int64_t>(*it);
+}
+
+uint32_t SummaryView::EdgeWeight(uint32_t a, uint32_t b) const {
+  const int64_t slot = FindEdge(a, b);
+  return slot < 0 ? 0 : edge_weight_[static_cast<size_t>(slot)];
+}
+
+double SummaryView::EdgeDensity(uint32_t a, uint32_t b, bool weighted) const {
+  const int64_t slot = FindEdge(a, b);
+  if (slot < 0) return 0.0;
+  return weighted ? edge_density_w_[static_cast<size_t>(slot)] : 1.0;
+}
+
+std::vector<NodeId> SummaryNeighbors(const SummaryView& view, NodeId q) {
+  const uint32_t a = view.supernode_of(q);
+  std::vector<NodeId> out;
+  for (uint32_t b : view.edge_dsts(a)) {
+    for (NodeId v : view.members(b)) {
+      if (v != q) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint32_t> SummaryHopDistances(const SummaryView& view, NodeId q) {
+  std::vector<uint32_t> dist(view.num_nodes(), kUnreachable);
+  dist[q] = 0;
+  std::vector<NodeId> queue{q};
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (NodeId v : SummaryNeighbors(view, u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint32_t> FastSummaryHopDistances(const SummaryView& view,
+                                              NodeId q) {
+  const uint32_t s = view.num_supernodes();
+  std::vector<uint32_t> super_dist(s, kUnreachable);
+  const uint32_t a0 = view.supernode_of(q);
+
+  std::vector<uint32_t> queue;
+  for (uint32_t b : view.edge_dsts(a0)) {
+    if (super_dist[b] == kUnreachable) {
+      super_dist[b] = 1;
+      queue.push_back(b);
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const uint32_t a = queue[head];
+    for (uint32_t b : view.edge_dsts(a)) {
+      if (super_dist[b] == kUnreachable) {
+        super_dist[b] = super_dist[a] + 1;
+        queue.push_back(b);
+      }
+    }
+  }
+
+  std::vector<uint32_t> dist(view.num_nodes(), kUnreachable);
+  for (uint32_t a = 0; a < s; ++a) {
+    if (super_dist[a] == kUnreachable) continue;
+    for (NodeId u : view.members(a)) dist[u] = super_dist[a];
+  }
+  dist[q] = 0;
+  return dist;
+}
+
+std::vector<double> SummaryRwrScores(const SummaryView& view, NodeId q,
+                                     double restart_prob, bool weighted,
+                                     const IterativeQueryOptions& opts) {
+  const uint32_t s = view.num_supernodes();
+  const NodeId n = view.num_nodes();
+  const uint32_t a0 = view.supernode_of(q);
+  const double c = restart_prob;
+  const uint32_t* dst = view.edge_dst();
+  const double* den = view.edge_density(weighted);
+
+  // rho[a]: score of each non-q member of a; rho_q: score of q.
+  std::vector<double> rho(s, 1.0 / n);
+  double rho_q = 1.0 / n;
+  std::vector<double> cross(s);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    std::fill(cross.begin(), cross.end(), 0.0);
+    for (uint32_t a = 0; a < s; ++a) {
+      const double md = view.member_degree(a, weighted);
+      if (md <= 0.0) continue;
+      const double cnt = view.member_count(a) - (a == a0 ? 1.0 : 0.0);
+      const double total_a = cnt * rho[a] + (a == a0 ? rho_q : 0.0);
+      const double rate = total_a / md;
+      for (uint64_t i = view.edge_begin(a); i < view.edge_end(a); ++i) {
+        if (dst[i] == a) continue;  // self-loop handled separately
+        cross[dst[i]] += den[i] * rate;
+      }
+    }
+    double change = 0.0;
+    double new_rho_q = rho_q;
+    for (uint32_t b = 0; b < s; ++b) {
+      const double sd = view.self_density(b, weighted);
+      const double md = view.member_degree(b, weighted);
+      const double cnt = view.member_count(b) - (b == a0 ? 1.0 : 0.0);
+      double self_in_members = 0.0;
+      double self_in_q = 0.0;
+      if (sd > 0.0 && md > 0.0) {
+        const double total_b = cnt * rho[b] + (b == a0 ? rho_q : 0.0);
+        const double rate = sd / md;
+        self_in_members = rate * (total_b - rho[b]);
+        if (b == a0) self_in_q = rate * (total_b - rho_q);
+      }
+      const double nb = (1.0 - c) * (cross[b] + self_in_members);
+      if (b == a0) {
+        new_rho_q = c + (1.0 - c) * (cross[b] + self_in_q);
+      }
+      change += cnt * std::abs(nb - rho[b]);
+      rho[b] = nb;
+    }
+    change += std::abs(new_rho_q - rho_q);
+    rho_q = new_rho_q;
+    if (change < opts.tolerance) break;
+  }
+
+  std::vector<double> out(n);
+  for (NodeId u = 0; u < n; ++u) out[u] = rho[view.supernode_of(u)];
+  out[q] = rho_q;
+  return out;
+}
+
+std::vector<double> SummaryPhpScores(const SummaryView& view, NodeId q,
+                                     double decay, bool weighted,
+                                     const IterativeQueryOptions& opts) {
+  const uint32_t s = view.num_supernodes();
+  const NodeId n = view.num_nodes();
+  const uint32_t a0 = view.supernode_of(q);
+  const uint32_t* dst = view.edge_dst();
+  const double* den = view.edge_density(weighted);
+
+  std::vector<double> phi(s, 0.0);  // non-q member scores
+  std::vector<double> total(s);     // sum of scores inside supernode
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    for (uint32_t a = 0; a < s; ++a) {
+      const double cnt = view.member_count(a) - (a == a0 ? 1.0 : 0.0);
+      total[a] = cnt * phi[a] + (a == a0 ? 1.0 : 0.0);
+    }
+    double change = 0.0;
+    for (uint32_t b = 0; b < s; ++b) {
+      double nb = 0.0;
+      const double md = view.member_degree(b, weighted);
+      if (md > 0.0) {
+        double incoming = 0.0;
+        for (uint64_t i = view.edge_begin(b); i < view.edge_end(b); ++i) {
+          if (dst[i] == b) {
+            incoming += den[i] * (total[b] - phi[b]);
+          } else {
+            incoming += den[i] * total[dst[i]];
+          }
+        }
+        nb = decay * incoming / md;
+      }
+      const double cnt = view.member_count(b) - (b == a0 ? 1.0 : 0.0);
+      change += cnt * std::abs(nb - phi[b]);
+      phi[b] = nb;
+    }
+    if (change < opts.tolerance) break;
+  }
+
+  std::vector<double> out(n);
+  for (NodeId u = 0; u < n; ++u) out[u] = phi[view.supernode_of(u)];
+  out[q] = 1.0;
+  return out;
+}
+
+std::vector<double> SummaryDegrees(const SummaryView& view, bool weighted) {
+  std::vector<double> out(view.num_nodes(), 0.0);
+  for (uint32_t a = 0; a < view.num_supernodes(); ++a) {
+    const double deg = view.member_degree(a, weighted);
+    for (NodeId u : view.members(a)) out[u] = deg;
+  }
+  return out;
+}
+
+std::vector<double> SummaryPageRank(const SummaryView& view, double damping,
+                                    bool weighted,
+                                    const IterativeQueryOptions& opts) {
+  const uint32_t s = view.num_supernodes();
+  const NodeId n = view.num_nodes();
+  const uint32_t* dst = view.edge_dst();
+  const double* den = view.edge_density(weighted);
+
+  // One score per supernode; every member shares it.
+  std::vector<double> rho(s, 1.0 / n);
+  std::vector<double> incoming(s);
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    std::fill(incoming.begin(), incoming.end(), 0.0);
+    double dangling = 0.0;
+    for (uint32_t a = 0; a < s; ++a) {
+      const double total_a = view.member_count(a) * rho[a];
+      const double md = view.member_degree(a, weighted);
+      if (md <= 0.0) {
+        dangling += total_a;
+        continue;
+      }
+      const double rate = total_a / md;
+      for (uint64_t i = view.edge_begin(a); i < view.edge_end(a); ++i) {
+        if (dst[i] == a) continue;
+        incoming[dst[i]] += den[i] * rate;
+      }
+    }
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    double change = 0.0;
+    for (uint32_t b = 0; b < s; ++b) {
+      const double sd = view.self_density(b, weighted);
+      const double md = view.member_degree(b, weighted);
+      double self_in = 0.0;
+      if (sd > 0.0 && md > 0.0) {
+        // Each member receives from its |b|-1 co-members.
+        self_in = sd / md * (view.member_count(b) * rho[b] - rho[b]);
+      }
+      const double nb = base + damping * (incoming[b] + self_in);
+      change += view.member_count(b) * std::abs(nb - rho[b]);
+      rho[b] = nb;
+    }
+    if (change < opts.tolerance) break;
+  }
+
+  std::vector<double> out(n);
+  for (NodeId u = 0; u < n; ++u) out[u] = rho[view.supernode_of(u)];
+  return out;
+}
+
+std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,
+                                                  bool weighted) {
+  const NodeId n = view.num_nodes();
+  std::vector<double> out(n, 0.0);
+  const uint32_t* dst = view.edge_dst();
+  const double* den = view.edge_density(weighted);
+
+  struct NeighborGroup {
+    uint32_t id;
+    double prob;   // density of the superedge {A, id}
+    double count;  // eligible members (excludes u itself for id == A)
+  };
+  std::vector<NeighborGroup> groups;
+
+  for (uint32_t a = 0; a < view.num_supernodes(); ++a) {
+    if (view.edge_begin(a) == view.edge_end(a)) continue;
+    groups.clear();
+    for (uint64_t i = view.edge_begin(a); i < view.edge_end(a); ++i) {
+      const double count = dst[i] == a ? view.member_count(a) - 1.0
+                                       : view.member_count(dst[i]);
+      if (count <= 0.0) continue;
+      groups.push_back({dst[i], den[i], count});
+    }
+    double closed = 0.0, wedges = 0.0;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      for (size_t j = i; j < groups.size(); ++j) {
+        const double pairs =
+            i == j ? groups[i].count * (groups[i].count - 1.0) / 2.0
+                   : groups[i].count * groups[j].count;
+        if (pairs <= 0.0) continue;
+        const double base = groups[i].prob * groups[j].prob * pairs;
+        wedges += base;
+        const int64_t slot = view.FindEdge(groups[i].id, groups[j].id);
+        if (slot >= 0 && view.edge_weight()[slot] > 0) {
+          closed += base * (weighted ? view.edge_density(true)[slot] : 1.0);
+        }
+      }
+    }
+    const double cc = wedges > 0.0 ? closed / wedges : 0.0;
+    for (NodeId u : view.members(a)) out[u] = cc;
+  }
+  return out;
+}
+
+}  // namespace pegasus

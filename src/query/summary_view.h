@@ -1,0 +1,175 @@
+// SummaryView — an immutable, query-optimized snapshot of a SummaryGraph.
+//
+// The summary query processors (summary_queries.h) answer every request
+// from three per-supernode quantities: the member count |A|, the shared
+// member degree of A in Ĝ, and the block density of each superedge. The
+// mutable SummaryGraph stores superedges as per-supernode hash maps, so
+// the pre-view implementations recomputed all of that state on every call
+// and paid hash-map traversal inside every power-iteration sweep. A
+// SummaryView is built once per (immutable) summary and amortizes that
+// work across an entire query stream:
+//
+//   * supernode ids are densified to [0, |S|) (ascending original id, so
+//     sweeps visit supernodes in exactly the order the pre-view code did),
+//   * superedges live in one CSR-style edge array with the weighted block
+//     density precomputed per edge,
+//   * member lists are a flat CSR as well, and
+//   * member degrees (weighted and unweighted), self-loop densities, and
+//     member counts are precomputed per supernode.
+//
+// Byte-identity contract: for every query family, the overloads on
+// SummaryView (summary_view.cc) return bit-for-bit the same vectors as
+// the frozen pre-view implementations (reference_queries.h) on the same
+// summary. To keep floating-point accumulation orders identical, the CSR
+// stores each supernode's edges in the enumeration order of the
+// SummaryGraph's adjacency hash map at snapshot time — the order the
+// pre-view code summed in. That order is stdlib-dependent, so query
+// *scores* are deterministic per process and per view but not pinned
+// across standard libraries (the summarizer's output, by contrast, is
+// machine-invariant; see ROADMAP open items).
+//
+// Thread-safety: a SummaryView is deeply const after construction; any
+// number of threads may query it concurrently (the batched engine in
+// query_engine.h relies on this).
+
+#ifndef PEGASUS_QUERY_SUMMARY_VIEW_H_
+#define PEGASUS_QUERY_SUMMARY_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/summary_graph.h"
+#include "src/graph/graph.h"
+#include "src/query/exact_queries.h"
+
+namespace pegasus {
+
+class SummaryView {
+ public:
+  explicit SummaryView(const SummaryGraph& summary);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint32_t num_supernodes() const { return num_supernodes_; }
+
+  // Dense supernode index of node u.
+  uint32_t supernode_of(NodeId u) const { return node_to_super_[u]; }
+
+  // Member nodes of dense supernode a (original node ids).
+  std::span<const NodeId> members(uint32_t a) const {
+    return {members_.data() + member_begin_[a],
+            members_.data() + member_begin_[a + 1]};
+  }
+
+  // --- Superedge CSR --------------------------------------------------------
+  //
+  // Edges are stored structure-of-arrays so the power-iteration sweeps
+  // stream only what they touch: neighbor ids and one density array
+  // selected per call (edge_density(weighted) hoists the weighted /
+  // unweighted decision out of the per-edge loop). Within a supernode's
+  // range [edge_begin(a), edge_end(a)) edges keep snapshot enumeration
+  // order (the byte-identity contract above).
+
+  uint64_t edge_begin(uint32_t a) const { return edge_begin_[a]; }
+  uint64_t edge_end(uint32_t a) const { return edge_begin_[a + 1]; }
+
+  // Neighbor supernode per edge slot (dense ids).
+  const uint32_t* edge_dst() const { return edge_dst_.data(); }
+
+  // Represented input-edge count per edge slot.
+  const uint32_t* edge_weight() const { return edge_weight_.data(); }
+
+  // Per-edge block densities: min(1, weight / pairs) in weighted mode, a
+  // constant 1.0 stream in unweighted mode.
+  const double* edge_density(bool weighted) const {
+    return weighted ? edge_density_w_.data() : edge_density_uw_.data();
+  }
+
+  // Neighbor ids of supernode a (for neighborhood/BFS queries).
+  std::span<const uint32_t> edge_dsts(uint32_t a) const {
+    return {edge_dst_.data() + edge_begin_[a],
+            edge_dst_.data() + edge_begin_[a + 1]};
+  }
+
+  // |A| as a double (every query consumes it as one).
+  double member_count(uint32_t a) const { return member_count_[a]; }
+
+  // Weighted degree shared by every member of a in Ĝ (summary_queries.h).
+  double member_degree(uint32_t a, bool weighted) const {
+    return weighted ? member_deg_w_[a] : member_deg_uw_[a];
+  }
+
+  // Density of a's self-loop (0 when absent).
+  double self_density(uint32_t a, bool weighted) const {
+    return weighted ? self_density_w_[a] : self_density_uw_[a];
+  }
+
+  // Edge-array slot of superedge {a, b}, or -1 if absent. O(log deg(a)).
+  // The slot indexes edge_dst()/edge_weight()/edge_density().
+  int64_t FindEdge(uint32_t a, uint32_t b) const;
+
+  // Weight of superedge {a, b}; 0 if absent. O(log deg(a)).
+  uint32_t EdgeWeight(uint32_t a, uint32_t b) const;
+
+  // Density of superedge {a, b}; 0 if absent. O(log deg(a)).
+  double EdgeDensity(uint32_t a, uint32_t b, bool weighted) const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  uint32_t num_supernodes_ = 0;
+
+  std::vector<uint32_t> node_to_super_;  // node -> dense supernode
+  std::vector<uint64_t> member_begin_;   // CSR offsets into members_
+  std::vector<NodeId> members_;
+  std::vector<uint64_t> edge_begin_;     // CSR offsets into the edge arrays
+  std::vector<uint32_t> edge_dst_;
+  std::vector<uint32_t> edge_weight_;
+  std::vector<double> edge_density_w_;
+  std::vector<double> edge_density_uw_;  // all 1.0
+  // Per supernode: edge indices sorted by dst, for EdgeWeight/EdgeDensity
+  // binary search (the iteration CSR keeps snapshot order instead).
+  std::vector<uint32_t> sorted_edge_idx_;
+
+  std::vector<double> member_count_;
+  std::vector<double> member_deg_w_;
+  std::vector<double> member_deg_uw_;
+  std::vector<double> self_density_w_;
+  std::vector<double> self_density_uw_;
+};
+
+// --- Query families over a view -------------------------------------------
+//
+// These overloads mirror summary_queries.h exactly (Algs. 4-6 and the
+// extension queries); the SummaryGraph versions there are now thin
+// wrappers that construct a view and delegate here.
+
+std::vector<NodeId> SummaryNeighbors(const SummaryView& view, NodeId q);
+
+std::vector<uint32_t> SummaryHopDistances(const SummaryView& view, NodeId q);
+
+std::vector<uint32_t> FastSummaryHopDistances(const SummaryView& view,
+                                              NodeId q);
+
+std::vector<double> SummaryRwrScores(const SummaryView& view, NodeId q,
+                                     double restart_prob = 0.05,
+                                     bool weighted = true,
+                                     const IterativeQueryOptions& opts = {});
+
+std::vector<double> SummaryPhpScores(const SummaryView& view, NodeId q,
+                                     double decay = 0.95, bool weighted = true,
+                                     const IterativeQueryOptions& opts = {});
+
+std::vector<double> SummaryDegrees(const SummaryView& view,
+                                   bool weighted = true);
+
+std::vector<double> SummaryPageRank(const SummaryView& view,
+                                    double damping = 0.85,
+                                    bool weighted = true,
+                                    const IterativeQueryOptions& opts = {});
+
+std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,
+                                                  bool weighted = true);
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_QUERY_SUMMARY_VIEW_H_

@@ -3,7 +3,8 @@
 // A small fixed-size thread pool exposing one operation: a blocking
 // ParallelFor over an index range, with dynamic chunk self-scheduling.
 // This is the substrate of the parallel summarization engine
-// (src/core/parallel_engine.h); it deliberately has no task graph, no
+// (src/core/parallel_engine.h) and of the batched query engine
+// (src/query/query_engine.h); it deliberately has no task graph, no
 // futures, and no nesting — every use in this library is a data-parallel
 // sweep between two sequential barriers.
 //

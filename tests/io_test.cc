@@ -57,6 +57,28 @@ TEST_F(IoTest, NormalizesDuplicatesAndSelfLoops) {
   std::remove(path.c_str());
 }
 
+TEST_F(IoTest, AssignsDenseIdsInFirstAppearanceOrder) {
+  // Regression: dense ids used to follow unordered_map iteration order,
+  // so the numbering depended on the standard library. They are pinned to
+  // first appearance in the file now.
+  const std::string path = TempPath("appearance.txt");
+  {
+    std::ofstream out(path);
+    out << "700 30\n";   // 700 -> 0, 30 -> 1
+    out << "30 9001\n";  // 9001 -> 2
+    out << "5 700\n";    // 5 -> 3
+  }
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.has_value());
+  ASSERT_EQ(g->num_nodes(), 4u);
+  ASSERT_EQ(g->num_edges(), 3u);
+  EXPECT_TRUE(g->HasEdge(0, 1));  // 700-30
+  EXPECT_TRUE(g->HasEdge(1, 2));  // 30-9001
+  EXPECT_TRUE(g->HasEdge(0, 3));  // 700-5
+  EXPECT_FALSE(g->HasEdge(2, 3));
+  std::remove(path.c_str());
+}
+
 TEST_F(IoTest, MissingFileReturnsNullopt) {
   EXPECT_FALSE(LoadEdgeList("/nonexistent/really/not/here.txt").has_value());
 }

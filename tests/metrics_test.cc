@@ -123,5 +123,14 @@ TEST(PrecisionAtKTest, EdgeCases) {
   EXPECT_DOUBLE_EQ(PrecisionAtK(x, x, 10), 1.0);  // k capped at size
 }
 
+TEST(PrecisionAtKTest, EmptyInputsAreVacuouslyPerfect) {
+  // Regression: empty vectors with k > 0 clamped k to 0 and returned
+  // 0/0 = NaN. Both top-k sets are empty, so the precision is 1.
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(PrecisionAtK(empty, empty, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(empty, empty, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(empty, empty, 10), 1.0);
+}
+
 }  // namespace
 }  // namespace pegasus

@@ -87,6 +87,76 @@ TEST(SummaryIoTest, RejectsOutOfRangeSuperedge) {
   std::remove(path.c_str());
 }
 
+TEST(SummaryIoTest, RejectsDuplicateSuperedge) {
+  // A repeated pair used to silently overwrite the first weight and leave
+  // the summary one superedge short of the declared count.
+  const std::string path = TempPath("dupedge.summary");
+  for (const char* duplicate : {"0 1 7", "1 0 7"}) {
+    std::ofstream out(path);
+    out << "PEGASUS-SUMMARY v1\n";
+    out << "nodes 2 supernodes 2 superedges 2\n";
+    out << "0 1\n";
+    out << "0 1 3\n";
+    out << duplicate << "\n";
+    out.close();
+    EXPECT_FALSE(LoadSummary(path).has_value()) << duplicate;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SummaryIoTest, RejectsTrailingGarbage) {
+  const std::string path = TempPath("trailing.summary");
+  {
+    std::ofstream out(path);
+    out << "PEGASUS-SUMMARY v1\n";
+    out << "nodes 2 supernodes 2 superedges 1\n";
+    out << "0 1\n";
+    out << "0 1 3\n";
+    out << "0 0 9\n";  // beyond the declared superedge count
+  }
+  EXPECT_FALSE(LoadSummary(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SummaryIoTest, AcceptsTrailingWhitespace) {
+  const std::string path = TempPath("trailing_ws.summary");
+  {
+    std::ofstream out(path);
+    out << "PEGASUS-SUMMARY v1\n";
+    out << "nodes 2 supernodes 2 superedges 1\n";
+    out << "0 1\n";
+    out << "0 1 3\n";
+    out << "\n  \n";
+  }
+  EXPECT_TRUE(LoadSummary(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SummaryIoTest, SaveLoadSaveIsByteStable) {
+  // Property: re-saving a loaded summary reproduces the file byte for
+  // byte, over a spread of random graphs and ratios.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Graph g = GenerateBarabasiAlbert(120, 3, seed);
+    auto result =
+        SummarizeGraphToRatio(g, {0}, seed % 2 == 0 ? 0.4 : 0.6);
+    const std::string path1 = TempPath("stable1.summary");
+    const std::string path2 = TempPath("stable2.summary");
+    ASSERT_TRUE(SaveSummary(result.summary, path1));
+    auto loaded = LoadSummary(path1);
+    ASSERT_TRUE(loaded.has_value()) << "seed " << seed;
+    ASSERT_TRUE(SaveSummary(*loaded, path2));
+    std::ifstream f1(path1), f2(path2);
+    std::string s1((std::istreambuf_iterator<char>(f1)),
+                   std::istreambuf_iterator<char>());
+    std::string s2((std::istreambuf_iterator<char>(f2)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_FALSE(s1.empty());
+    EXPECT_EQ(s1, s2) << "seed " << seed;
+    std::remove(path1.c_str());
+    std::remove(path2.c_str());
+  }
+}
+
 TEST(SummaryIoTest, RejectsBadMembershipLabel) {
   const std::string path = TempPath("badlabel.summary");
   {

@@ -1,0 +1,232 @@
+// Equivalence and determinism tests for the SummaryView query engine.
+//
+// The contract under test (ISSUE 3): every SummaryView-based query path
+// returns *byte-identical* vectors to the frozen pre-view implementations
+// (reference_queries.h) on the same summary, the compatibility wrappers
+// in summary_queries.h preserve that, and AnswerBatch returns the same
+// bytes for every thread count.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
+#include "src/query/query_engine.h"
+#include "src/query/reference_queries.h"
+#include "src/query/summary_queries.h"
+#include "src/query/summary_view.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+struct Case {
+  const char* name;
+  Graph graph;
+  SummaryGraph summary;
+};
+
+// Random graphs summarized to different ratios (dead supernode ids, block
+// densities < 1) plus an identity summary (dense ids, all densities 1).
+std::vector<Case> EquivalenceCases() {
+  std::vector<Case> cases;
+  {
+    Graph g = GenerateBarabasiAlbert(150, 3, 301);
+    auto result = SummarizeGraphToRatio(g, {0, 7}, 0.4);
+    cases.push_back({"ba150_r04", std::move(g), std::move(result.summary)});
+  }
+  {
+    Graph g = GenerateWattsStrogatz(120, 6, 0.1, 302);
+    auto result = SummarizeGraphToRatio(g, {}, 0.6);
+    cases.push_back({"ws120_r06", std::move(g), std::move(result.summary)});
+  }
+  {
+    Graph g = GenerateBarabasiAlbert(90, 2, 303);
+    SummaryGraph s = SummaryGraph::Identity(g);
+    cases.push_back({"ba90_identity", std::move(g), std::move(s)});
+  }
+  return cases;
+}
+
+TEST(SummaryViewTest, StructureMatchesSummary) {
+  for (const Case& c : EquivalenceCases()) {
+    SummaryView view(c.summary);
+    EXPECT_EQ(view.num_nodes(), c.summary.num_nodes()) << c.name;
+    EXPECT_EQ(view.num_supernodes(), c.summary.num_supernodes()) << c.name;
+    uint64_t members = 0;
+    for (uint32_t a = 0; a < view.num_supernodes(); ++a) {
+      members += view.members(a).size();
+      EXPECT_EQ(static_cast<double>(view.members(a).size()),
+                view.member_count(a))
+          << c.name;
+    }
+    EXPECT_EQ(members, c.summary.num_nodes()) << c.name;
+    // Co-membership is preserved by the dense relabeling.
+    for (NodeId u = 0; u + 1 < c.summary.num_nodes(); ++u) {
+      EXPECT_EQ(view.supernode_of(u) == view.supernode_of(u + 1),
+                c.summary.supernode_of(u) == c.summary.supernode_of(u + 1))
+          << c.name << " node " << u;
+    }
+  }
+}
+
+TEST(SummaryViewTest, EdgeLookupMatchesSummaryWeights) {
+  for (const Case& c : EquivalenceCases()) {
+    SummaryView view(c.summary);
+    for (uint32_t a = 0; a < view.num_supernodes(); ++a) {
+      for (uint64_t i = view.edge_begin(a); i < view.edge_end(a); ++i) {
+        const uint32_t b = view.edge_dst()[i];
+        EXPECT_EQ(view.EdgeWeight(a, b), view.edge_weight()[i]);
+        EXPECT_EQ(view.EdgeDensity(a, b, true), view.edge_density(true)[i]);
+        EXPECT_EQ(view.EdgeDensity(a, b, false), 1.0);
+        EXPECT_EQ(view.edge_density(false)[i], 1.0);
+      }
+      // A dense id one past the last neighbor is absent.
+      EXPECT_EQ(view.EdgeWeight(a, view.num_supernodes()), 0u);
+      EXPECT_EQ(view.EdgeDensity(a, view.num_supernodes(), true), 0.0);
+    }
+  }
+}
+
+TEST(SummaryViewTest, NodeQueriesByteIdenticalToReference) {
+  for (const Case& c : EquivalenceCases()) {
+    SummaryView view(c.summary);
+    const NodeId n = c.summary.num_nodes();
+    for (NodeId q : {NodeId{0}, NodeId{13}, static_cast<NodeId>(n - 1)}) {
+      EXPECT_EQ(SummaryNeighbors(view, q),
+                ReferenceSummaryNeighbors(c.summary, q))
+          << c.name << " q=" << q;
+      EXPECT_EQ(SummaryHopDistances(view, q),
+                ReferenceSummaryHopDistances(c.summary, q))
+          << c.name << " q=" << q;
+      EXPECT_EQ(FastSummaryHopDistances(view, q),
+                ReferenceFastSummaryHopDistances(c.summary, q))
+          << c.name << " q=" << q;
+      for (bool weighted : {true, false}) {
+        EXPECT_EQ(SummaryRwrScores(view, q, 0.05, weighted),
+                  ReferenceSummaryRwrScores(c.summary, q, 0.05, weighted))
+            << c.name << " q=" << q << " weighted=" << weighted;
+        EXPECT_EQ(SummaryPhpScores(view, q, 0.95, weighted),
+                  ReferenceSummaryPhpScores(c.summary, q, 0.95, weighted))
+            << c.name << " q=" << q << " weighted=" << weighted;
+      }
+    }
+  }
+}
+
+TEST(SummaryViewTest, GlobalQueriesByteIdenticalToReference) {
+  for (const Case& c : EquivalenceCases()) {
+    SummaryView view(c.summary);
+    for (bool weighted : {true, false}) {
+      EXPECT_EQ(SummaryDegrees(view, weighted),
+                ReferenceSummaryDegrees(c.summary, weighted))
+          << c.name << " weighted=" << weighted;
+      EXPECT_EQ(SummaryPageRank(view, 0.85, weighted),
+                ReferenceSummaryPageRank(c.summary, 0.85, weighted))
+          << c.name << " weighted=" << weighted;
+      EXPECT_EQ(SummaryClusteringCoefficients(view, weighted),
+                ReferenceSummaryClusteringCoefficients(c.summary, weighted))
+          << c.name << " weighted=" << weighted;
+    }
+  }
+}
+
+TEST(SummaryViewTest, WrappersByteIdenticalToViewPaths) {
+  for (const Case& c : EquivalenceCases()) {
+    SummaryView view(c.summary);
+    const NodeId q = 5;
+    EXPECT_EQ(SummaryNeighbors(c.summary, q), SummaryNeighbors(view, q));
+    EXPECT_EQ(SummaryHopDistances(c.summary, q), SummaryHopDistances(view, q));
+    EXPECT_EQ(FastSummaryHopDistances(c.summary, q),
+              FastSummaryHopDistances(view, q));
+    EXPECT_EQ(SummaryRwrScores(c.summary, q), SummaryRwrScores(view, q));
+    EXPECT_EQ(SummaryPhpScores(c.summary, q), SummaryPhpScores(view, q));
+    EXPECT_EQ(SummaryDegrees(c.summary), SummaryDegrees(view));
+    EXPECT_EQ(SummaryPageRank(c.summary), SummaryPageRank(view));
+    EXPECT_EQ(SummaryClusteringCoefficients(c.summary),
+              SummaryClusteringCoefficients(view));
+  }
+}
+
+std::vector<QueryRequest> MixedBatch(NodeId num_nodes) {
+  std::vector<QueryRequest> requests;
+  for (NodeId q = 0; q < num_nodes; q += 7) {
+    requests.push_back({QueryKind::kRwr, q, -1.0, true, {}});
+    requests.push_back({QueryKind::kPhp, q, -1.0, false, {}});
+    requests.push_back({QueryKind::kHop, q, -1.0, true, {}});
+    requests.push_back({QueryKind::kNeighbors, q, -1.0, true, {}});
+  }
+  requests.push_back({QueryKind::kPageRank, 0, -1.0, true, {}});
+  requests.push_back({QueryKind::kDegree, 0, -1.0, true, {}});
+  requests.push_back({QueryKind::kClustering, 0, -1.0, false, {}});
+  return requests;
+}
+
+void ExpectResultsEqual(const std::vector<QueryResult>& a,
+                        const std::vector<QueryResult>& b,
+                        const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << label << " i=" << i;
+    EXPECT_EQ(a[i].neighbors, b[i].neighbors) << label << " i=" << i;
+    EXPECT_EQ(a[i].hops, b[i].hops) << label << " i=" << i;
+    EXPECT_EQ(a[i].scores, b[i].scores) << label << " i=" << i;
+  }
+}
+
+TEST(AnswerBatchTest, ByteIdenticalAcrossThreadCounts) {
+  Graph g = GenerateBarabasiAlbert(140, 3, 305);
+  auto result = SummarizeGraphToRatio(g, {3}, 0.5);
+  SummaryView view(result.summary);
+  const auto requests = MixedBatch(g.num_nodes());
+
+  const auto baseline = AnswerBatch(view, requests, /*num_threads=*/1);
+  for (int threads : {2, 4, 8}) {
+    const auto parallel = AnswerBatch(view, requests, threads);
+    ExpectResultsEqual(baseline, parallel,
+                       ("threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(AnswerBatchTest, MatchesSingleQueryAnswers) {
+  Graph g = GenerateBarabasiAlbert(100, 2, 306);
+  auto result = SummarizeGraphToRatio(g, {}, 0.5);
+  SummaryView view(result.summary);
+  const auto requests = MixedBatch(g.num_nodes());
+
+  const auto batched = AnswerBatch(view, requests, /*num_threads=*/4);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const QueryResult single = AnswerQuery(view, requests[i]);
+    EXPECT_EQ(batched[i].neighbors, single.neighbors) << "i=" << i;
+    EXPECT_EQ(batched[i].hops, single.hops) << "i=" << i;
+    EXPECT_EQ(batched[i].scores, single.scores) << "i=" << i;
+  }
+}
+
+TEST(AnswerBatchTest, EmptyBatchAndSharedPool) {
+  Graph g = ::pegasus::testing::PathGraph(5);
+  SummaryView view(SummaryGraph::Identity(g));
+  ThreadPool pool(3);
+  EXPECT_TRUE(AnswerBatch(view, {}, pool).empty());
+  // The same pool serves consecutive batches.
+  const auto r1 = AnswerBatch(view, MixedBatch(5), pool);
+  const auto r2 = AnswerBatch(view, MixedBatch(5), pool);
+  ExpectResultsEqual(r1, r2, "repeat");
+}
+
+TEST(QueryKindTest, NamesRoundTrip) {
+  for (QueryKind kind :
+       {QueryKind::kNeighbors, QueryKind::kHop, QueryKind::kRwr,
+        QueryKind::kPhp, QueryKind::kDegree, QueryKind::kPageRank,
+        QueryKind::kClustering}) {
+    const auto parsed = ParseQueryKind(QueryKindName(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseQueryKind("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace pegasus

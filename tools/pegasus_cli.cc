@@ -5,17 +5,27 @@
 //   pegasus summarize  <edgelist> <out.summary> [--ratio R] [--alpha A]
 //                      [--beta B] [--tmax T] [--seed S] [--targets a,b,c]
 //                      [--threads N]   (1 = serial, 0 = all cores)
-//   pegasus query      <summary> <hop|rwr|php|pagerank> <node> [--top K]
+//   pegasus query      <summary> <kind> <node> [--top K]
+//   pegasus query      <summary> --queries <file> [--threads N] [--top K]
 //   pegasus evaluate   <edgelist> <summary> [--alpha A] [--targets a,b,c]
 //
 // `generate` kinds: ba, ws, er, grid, community-ring.
+// `query` kinds: neighbors, hop, rwr, php, degree, pagerank, clustering
+// (the last three are whole-graph queries; the node argument is ignored).
+// Batch mode reads one query per line — "<kind> <node> [param]" for
+// node-level kinds, "<kind> [param]" for whole-graph kinds, params in
+// [0, 1], '#' comments — builds one SummaryView, and answers every query
+// through the batched engine on N threads (0 = all cores).
 // Exit code 0 on success, 1 on usage errors, 2 on I/O errors.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <numeric>
+#include <sstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,7 +39,9 @@
 #include "src/graph/diameter.h"
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
-#include "src/query/summary_queries.h"
+#include "src/query/query_engine.h"
+#include "src/query/summary_view.h"
+#include "src/util/timer.h"
 
 namespace pegasus::cli {
 namespace {
@@ -92,7 +104,9 @@ int Usage() {
       "  pegasus summarize <edgelist> <out.summary> [--ratio R]"
       " [--alpha A] [--beta B] [--tmax T] [--seed S] [--targets a,b,c]"
       " [--threads N]\n"
-      "  pegasus query     <summary> <hop|rwr|php|pagerank> <node>"
+      "  pegasus query     <summary> <neighbors|hop|rwr|php|degree|"
+      "pagerank|clustering> <node> [--top K]\n"
+      "  pegasus query     <summary> --queries <file> [--threads N]"
       " [--top K]\n"
       "  pegasus evaluate  <edgelist> <summary> [--alpha A]"
       " [--targets a,b,c]\n"
@@ -217,57 +231,158 @@ int CmdSummarize(const Args& args) {
   return 0;
 }
 
+// Prints a one-line answer for one query: the top-K nodes by score for
+// scored families, hop counts for hop, the first K ids for neighbors.
+void PrintAnswer(const QueryRequest& request, const QueryResult& result,
+                 size_t top) {
+  if (IsNodeQuery(request.kind)) {
+    std::printf("%s(%u):", QueryKindName(request.kind), request.node);
+  } else {
+    std::printf("%s:", QueryKindName(request.kind));
+  }
+  if (request.kind == QueryKind::kNeighbors) {
+    const size_t k = std::min(top, result.neighbors.size());
+    for (size_t i = 0; i < k; ++i) std::printf(" %u", result.neighbors[i]);
+    if (k < result.neighbors.size()) {
+      std::printf(" ... (%zu total)", result.neighbors.size());
+    }
+    std::printf("\n");
+    return;
+  }
+
+  // Rank by score; hop distances rank ascending with unreachable nodes
+  // strictly last (-inf), never tied with real 1-hop neighbors.
+  std::vector<double> scores;
+  if (request.kind == QueryKind::kHop) {
+    scores.reserve(result.hops.size());
+    for (uint32_t h : result.hops) {
+      scores.push_back(h == UINT32_MAX
+                           ? -std::numeric_limits<double>::infinity()
+                           : -static_cast<double>(h));
+    }
+  } else {
+    scores = result.scores;
+  }
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t k = std::min(top, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
+                    order.end(),
+                    [&](NodeId a, NodeId b) { return scores[a] > scores[b]; });
+  for (size_t i = 0; i < k; ++i) {
+    if (request.kind == QueryKind::kHop) {
+      if (result.hops[order[i]] == UINT32_MAX) {
+        std::printf(" %u(unreachable)", order[i]);
+      } else {
+        std::printf(" %u(%u)", order[i], result.hops[order[i]]);
+      }
+    } else {
+      std::printf(" %u(%.6g)", order[i], scores[order[i]]);
+    }
+  }
+  std::printf("\n");
+}
+
+// Batch mode: one query per line — "<kind> [node] [param]".
+int RunQueryBatch(const SummaryView& view, const std::string& queries_path,
+                  int threads, size_t top) {
+  std::ifstream in(queries_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot load %s\n", queries_path.c_str());
+    return 2;
+  }
+  std::vector<QueryRequest> requests;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind_name;
+    ls >> kind_name;
+    // Blank lines and comments (leading whitespace allowed) are skipped.
+    if (kind_name.empty() || kind_name[0] == '#') continue;
+    const auto kind = ParseQueryKind(kind_name);
+    if (!kind) {
+      std::fprintf(stderr, "error: %s:%zu: unknown query kind '%s'\n",
+                   queries_path.c_str(), line_no, kind_name.c_str());
+      return 1;
+    }
+    QueryRequest request;
+    request.kind = *kind;
+    if (IsNodeQuery(*kind)) {
+      uint64_t node = 0;
+      if (!(ls >> node) || node >= view.num_nodes()) {
+        std::fprintf(stderr, "error: %s:%zu: bad or out-of-range node\n",
+                     queries_path.c_str(), line_no);
+        return 1;
+      }
+      request.node = static_cast<NodeId>(node);
+    }
+    double param = -1.0;
+    if (ls >> param) {
+      // restart_prob / decay / damping all live in [0, 1]; rejecting
+      // anything else also catches a node id on a whole-graph query line
+      // ("pagerank 17"), which would otherwise silently become the
+      // parameter.
+      if (param < 0.0 || param > 1.0) {
+        std::fprintf(stderr,
+                     "error: %s:%zu: parameter %g out of range [0, 1]\n",
+                     queries_path.c_str(), line_no, param);
+        return 1;
+      }
+      request.param = param;
+    }
+    requests.push_back(request);
+  }
+
+  const int workers = QueryWorkerCount(threads);
+  ThreadPool pool(workers);
+  Timer timer;
+  const auto results = AnswerBatch(view, requests, pool);
+  const double secs = timer.ElapsedSeconds();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    PrintAnswer(requests[i], results[i], top);
+  }
+  std::printf("answered %zu queries in %.3fs (%.0f qps, %d threads)\n",
+              requests.size(), secs,
+              static_cast<double>(requests.size()) / std::max(secs, 1e-9),
+              workers);
+  return 0;
+}
+
 int CmdQuery(const Args& args) {
-  if (args.positional.size() != 3) return Usage();
+  const bool batch = args.Flag("queries").has_value();
+  if (batch ? args.positional.size() != 1 : args.positional.size() != 3) {
+    return Usage();
+  }
   auto summary = LoadSummary(args.positional[0]);
   if (!summary) {
     std::fprintf(stderr, "error: cannot load %s\n",
                  args.positional[0].c_str());
     return 2;
   }
-  const std::string& type = args.positional[1];
-  const NodeId q = static_cast<NodeId>(
-      std::strtoul(args.positional[2].c_str(), nullptr, 10));
-  if (q >= summary->num_nodes()) {
-    std::fprintf(stderr, "error: node %u out of range\n", q);
-    return 1;
-  }
+  const SummaryView view(*summary);
   const size_t top = static_cast<size_t>(args.FlagInt("top", 10));
 
-  std::vector<double> scores;
-  if (type == "hop") {
-    auto hops = FastSummaryHopDistances(*summary, q);
-    scores.reserve(hops.size());
-    for (uint32_t h : hops) {
-      scores.push_back(h == UINT32_MAX ? -1.0 : -static_cast<double>(h));
-    }
-  } else if (type == "rwr") {
-    scores = SummaryRwrScores(*summary, q);
-  } else if (type == "php") {
-    scores = SummaryPhpScores(*summary, q);
-  } else if (type == "pagerank") {
-    scores = SummaryPageRank(*summary);
-  } else {
-    return Usage();
+  if (batch) {
+    return RunQueryBatch(view, *args.Flag("queries"),
+                         static_cast<int>(args.FlagInt("threads", 0)), top);
   }
 
-  std::vector<NodeId> order(scores.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::partial_sort(order.begin(),
-                    order.begin() + static_cast<ptrdiff_t>(
-                                        std::min(top, order.size())),
-                    order.end(), [&](NodeId a, NodeId b) {
-                      return scores[a] > scores[b];
-                    });
-  std::printf("top %zu nodes for %s(%u):\n", std::min(top, order.size()),
-              type.c_str(), q);
-  for (size_t i = 0; i < std::min(top, order.size()); ++i) {
-    if (type == "hop") {
-      std::printf("  %u  (%.0f hops)\n", order[i], -scores[order[i]]);
-    } else {
-      std::printf("  %u  (%.6g)\n", order[i], scores[order[i]]);
+  const auto kind = ParseQueryKind(args.positional[1]);
+  if (!kind) return Usage();
+  QueryRequest request;
+  request.kind = *kind;
+  if (IsNodeQuery(*kind)) {
+    const NodeId q = static_cast<NodeId>(
+        std::strtoul(args.positional[2].c_str(), nullptr, 10));
+    if (q >= view.num_nodes()) {
+      std::fprintf(stderr, "error: node %u out of range\n", q);
+      return 1;
     }
+    request.node = q;
   }
+  PrintAnswer(request, AnswerQuery(view, request), top);
   return 0;
 }
 
