@@ -1,0 +1,290 @@
+// QueryService serving benchmark (tentpole of ISSUE 4).
+//
+// Measures the two serving-layer optimizations the service adds on top of
+// the PR-3 batched engine, against that engine's own dispatch as the
+// baseline:
+//
+//   * global-result cache — whole-graph families (degree / pagerank /
+//     clustering) answered from one computation per (epoch, params):
+//     per-request recompute loop vs first service batch (one compute +
+//     copies) vs fully cached repeat batch;
+//   * cost-aware grain — neighbors batches dispatched in multi-request
+//     units vs the PR-3 grain-1 fan-out, swept over cheap_grain; plus a
+//     guard table showing iterative families (which stay at grain 1) do
+//     not regress.
+//
+// Alongside QPS, the run enforces the serving determinism contract: every
+// service answer must be byte-identical to the PR-3 grain-1 dispatch for
+// every grain. Any mismatch fails the bench (and with it
+// tools/run_benchmarks.sh and CI).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
+#include "src/query/query_engine.h"
+#include "src/query/summary_view.h"
+#include "src/serve/query_service.h"
+#include "src/util/parallel.h"
+
+namespace pegasus::bench {
+namespace {
+
+// The PR-3 engine's dispatch, reconstructed as the baseline: one request
+// per ParallelFor index at grain 1, no global-result dedup.
+std::vector<QueryResult> Pr3Dispatch(const SummaryView& view,
+                                     const std::vector<QueryRequest>& requests,
+                                     ThreadPool& pool) {
+  std::vector<QueryResult> results(requests.size());
+  pool.ParallelFor(requests.size(), /*grain=*/1,
+                   [&](int /*worker*/, size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       results[i] = AnswerQuery(view, requests[i]);
+                     }
+                   });
+  return results;
+}
+
+bool SameResults(const std::vector<QueryResult>& a,
+                 const std::vector<QueryResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].neighbors != b[i].neighbors || a[i].hops != b[i].hops ||
+        a[i].scores != b[i].scores) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Best-of-kReps wall time of `fn`, in seconds.
+template <typename Fn>
+double BestSeconds(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    fn();
+    const double secs = timer.ElapsedSeconds();
+    if (rep == 0 || secs < best) best = secs;
+  }
+  return best;
+}
+
+int Run() {
+  Banner("bench_query_service",
+         "QueryService serving: global-result cache (hit vs miss vs "
+         "per-request recompute) and cost-aware neighbors grain vs PR-3 "
+         "grain-1 dispatch");
+  const DatasetScale scale = BenchScaleFromEnv();
+  NodeId synth_nodes = 0;
+  size_t neighbors_requests = 0, global_repeats = 0, iterative_requests = 0;
+  switch (scale) {
+    case DatasetScale::kTiny:
+      synth_nodes = 2000;
+      neighbors_requests = 8192;
+      global_repeats = 8;
+      iterative_requests = 16;
+      break;
+    case DatasetScale::kSmall:
+      synth_nodes = 10000;
+      neighbors_requests = 8192;
+      global_repeats = 16;
+      iterative_requests = 32;
+      break;
+    case DatasetScale::kDefault:
+      synth_nodes = 50000;
+      neighbors_requests = 8192;
+      global_repeats = 24;
+      iterative_requests = 48;
+      break;
+    case DatasetScale::kPaper:
+      synth_nodes = 250000;
+      neighbors_requests = 16384;
+      global_repeats = 32;
+      iterative_requests = 64;
+      break;
+  }
+  constexpr int kReps = 7;
+
+  Graph graph = GenerateBarabasiAlbert(synth_nodes, 5, 11);
+  PegasusConfig config;
+  config.seed = 5;
+  auto summarized =
+      SummarizeGraphToRatio(graph, SampleNodes(graph, 50, 13), 0.5, config);
+  const SummaryGraph& summary = summarized.summary;
+  const SummaryView view(summary);
+  std::printf("graph: BA, %u nodes, %llu edges; summary: %u supernodes, "
+              "%llu superedges; hardware threads: %d\n\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              summary.num_supernodes(),
+              static_cast<unsigned long long>(summary.num_superedges()),
+              ResolveThreadCount(0));
+
+  bool all_identical = true;
+
+  // --- Part 1: global-result cache ----------------------------------------
+  // A batch of `global_repeats` identical requests per parameterization;
+  // in production these arrive interleaved from different users.
+  Table cache_table({"family", "requests", "qps_recompute", "qps_batch_miss",
+                     "qps_batch_hit", "hit_vs_recompute", "computations"});
+  const std::vector<QueryRequest> global_protos = {
+      {QueryKind::kDegree, 0, kQueryParamUseDefault, true, {}},
+      {QueryKind::kPageRank, 0, kQueryParamUseDefault, true, {}},
+      {QueryKind::kClustering, 0, kQueryParamUseDefault, true, {}},
+  };
+  for (const QueryRequest& proto : global_protos) {
+    const std::vector<QueryRequest> requests(global_repeats, proto);
+    const double count = static_cast<double>(requests.size());
+
+    ThreadPool pool(QueryWorkerCount(0));
+    std::vector<QueryResult> reference;
+    const double recompute_secs = BestSeconds(
+        kReps, [&] { reference = Pr3Dispatch(view, requests, pool); });
+
+    // Miss: a fresh service per rep (epoch 1, cold cache).
+    double miss_secs = 0.0;
+    uint64_t computations = 0;
+    std::vector<QueryResult> service_results;
+    for (int rep = 0; rep < kReps; ++rep) {
+      QueryService service(summary, {.num_threads = 0});
+      Timer timer;
+      auto batch = service.Answer(requests);
+      const double secs = timer.ElapsedSeconds();
+      if (rep == 0 || secs < miss_secs) miss_secs = secs;
+      if (!batch.ok()) {
+        std::fprintf(stderr, "FAIL: %s\n", batch.status().ToString().c_str());
+        return 1;
+      }
+      computations = service.cache_stats().computations;
+      service_results = std::move(batch->results);
+    }
+    all_identical = all_identical && SameResults(service_results, reference);
+
+    // Hit: repeat batches against a warm service.
+    QueryService warm(summary, {.num_threads = 0});
+    (void)warm.Answer(requests);
+    double hit_secs = BestSeconds(kReps, [&] {
+      auto batch = warm.Answer(requests);
+      all_identical =
+          all_identical && batch.ok() && SameResults(batch->results, reference);
+    });
+
+    const double qps_recompute = count / std::max(recompute_secs, 1e-9);
+    const double qps_miss = count / std::max(miss_secs, 1e-9);
+    const double qps_hit = count / std::max(hit_secs, 1e-9);
+    cache_table.AddRow(
+        {QueryKindName(proto.kind), FormatCount(requests.size()),
+         FormatDouble(qps_recompute, 1), FormatDouble(qps_miss, 1),
+         FormatDouble(qps_hit, 1), FormatDouble(qps_hit / qps_recompute, 2),
+         FormatCount(computations)});
+  }
+  Finish(cache_table,
+         "global-result cache: per-request recompute (PR-3 dispatch) vs "
+         "cold service batch vs warm service batch; computations = cache "
+         "fills for the cold batch");
+
+  // --- Part 2: neighbors grain sweep --------------------------------------
+  // Query nodes cycle through a sample so the batch size is independent
+  // of the graph size (serving batches repeat hot nodes anyway).
+  const std::vector<NodeId> nodes =
+      SampleNodes(graph, neighbors_requests, 17);
+  std::vector<QueryRequest> neighbor_batch;
+  neighbor_batch.reserve(neighbors_requests);
+  for (size_t i = 0; i < neighbors_requests; ++i) {
+    neighbor_batch.push_back({QueryKind::kNeighbors, nodes[i % nodes.size()],
+                              kQueryParamUseDefault, true, {}});
+  }
+  ThreadPool pr3_pool(QueryWorkerCount(0));
+  std::vector<QueryResult> neighbor_reference =
+      Pr3Dispatch(view, neighbor_batch, pr3_pool);  // warmup + reference
+
+  Table grain_table({"cheap_grain", "requests", "qps_pr3_grain1",
+                     "qps_service", "speedup", "identical"});
+  for (size_t grain : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    QueryService service(summary, {.num_threads = 0, .cheap_grain = grain});
+    bool identical = true;
+    (void)service.Answer(neighbor_batch);  // warmup
+    // Baseline and service reps interleave so slow drift (VM throttling,
+    // frequency scaling) hits both sides equally.
+    double pr3_secs = 0.0, service_secs = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timer pr3_timer;
+      const auto pr3 = Pr3Dispatch(view, neighbor_batch, pr3_pool);
+      const double ps = pr3_timer.ElapsedSeconds();
+      if (rep == 0 || ps < pr3_secs) pr3_secs = ps;
+
+      Timer service_timer;
+      auto batch = service.Answer(neighbor_batch);
+      const double ss = service_timer.ElapsedSeconds();
+      if (rep == 0 || ss < service_secs) service_secs = ss;
+      identical = identical && batch.ok() &&
+                  SameResults(batch->results, neighbor_reference) &&
+                  SameResults(pr3, neighbor_reference);
+    }
+    all_identical = all_identical && identical;
+    const double count = static_cast<double>(neighbor_batch.size());
+    const double qps_pr3 = count / std::max(pr3_secs, 1e-9);
+    const double qps = count / std::max(service_secs, 1e-9);
+    grain_table.AddRow({FormatCount(grain),
+                        FormatCount(neighbor_batch.size()),
+                        FormatDouble(qps_pr3, 1), FormatDouble(qps, 1),
+                        FormatDouble(qps / qps_pr3, 2),
+                        identical ? "yes" : "NO"});
+  }
+  Finish(grain_table,
+         "neighbors batches: service unit dispatch at cheap_grain vs the "
+         "PR-3 one-request-per-index fan-out, all on all cores");
+
+  // --- Part 3: iterative families stay at grain 1 --------------------------
+  Table iter_table({"family", "requests", "qps_pr3_grain1", "qps_service",
+                    "ratio", "identical"});
+  const std::vector<NodeId> iter_nodes =
+      SampleNodes(graph, iterative_requests, 23);
+  for (QueryKind kind : {QueryKind::kRwr, QueryKind::kPhp, QueryKind::kHop}) {
+    std::vector<QueryRequest> requests;
+    requests.reserve(iter_nodes.size());
+    for (NodeId q : iter_nodes) {
+      requests.push_back({kind, q, kQueryParamUseDefault, true, {}});
+    }
+    std::vector<QueryResult> reference;
+    const double base_secs = BestSeconds(
+        kReps, [&] { reference = Pr3Dispatch(view, requests, pr3_pool); });
+
+    QueryService service(summary, {.num_threads = 0, .cheap_grain = 64});
+    bool identical = true;
+    const double secs = BestSeconds(kReps, [&] {
+      auto batch = service.Answer(requests);
+      identical =
+          identical && batch.ok() && SameResults(batch->results, reference);
+    });
+    all_identical = all_identical && identical;
+    const double qps_base =
+        static_cast<double>(requests.size()) / std::max(base_secs, 1e-9);
+    const double qps =
+        static_cast<double>(requests.size()) / std::max(secs, 1e-9);
+    iter_table.AddRow({QueryKindName(kind), FormatCount(requests.size()),
+                       FormatDouble(qps_base, 1), FormatDouble(qps, 1),
+                       FormatDouble(qps / qps_base, 2),
+                       identical ? "yes" : "NO"});
+  }
+  Finish(iter_table,
+         "iterative/hop families keep one request per unit even at "
+         "cheap_grain 64: ratio ~1 means no scheduling regression");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: service answers diverged from the PR-3 "
+                         "grain-1 dispatch\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() { return pegasus::bench::Run(); }

@@ -8,6 +8,15 @@
 //     per-supernode state and walking hash-map adjacency every call;
 //   * batched — AnswerBatch over the shared view on 1/2/4/8 threads.
 //
+// Since PR 4, AnswerBatch is a shim over the QueryService executor, so
+// the batched columns measure the *serving path as deployed*: a batch of
+// identical whole-graph requests (degree/pagerank/clustering) is
+// computed once and served by copy (global-result dedup), which is why
+// those families' batched QPS sit far above the single-shot loop even at
+// one thread. Node-level families still compute per request.
+// bench_query_service isolates the dedup and grain effects against a
+// grain-1 per-request dispatch baseline.
+//
 // Alongside QPS, the run enforces the serving determinism contract:
 // batched results must be byte-identical across every thread count AND
 // byte-identical to the single-shot reference answers. Any mismatch
@@ -186,7 +195,8 @@ int Run() {
         const auto results = AnswerBatch(view, requests, pool);
         const double secs = batch_timer.ElapsedSeconds();
         if (rep == 0 || secs < batch_secs) batch_secs = secs;
-        identical = identical && SameResults(results, reference);
+        identical =
+            identical && results.ok() && SameResults(*results, reference);
       }
       const double qps = count / std::max(batch_secs, 1e-9);
       qps_batch.push_back(qps);
@@ -204,7 +214,9 @@ int Run() {
   }
 
   Finish(table, "BA, ratio 0.5, weighted; identical = batched answers "
-                "byte-identical across 1/2/4/8 threads and to single-shot");
+                "byte-identical across 1/2/4/8 threads and to single-shot; "
+                "batched global families (degree/pagerank/clustering) are "
+                "computed once per batch and served by copy since PR 4");
   if (!all_identical) {
     std::fprintf(stderr, "FAIL: batched answers diverged from the "
                          "single-shot reference\n");

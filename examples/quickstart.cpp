@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     auto loaded = LoadEdgeList(argv[1]);
     if (!loaded) {
-      std::fprintf(stderr, "could not load %s\n", argv[1]);
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
     }
     graph = std::move(*loaded);

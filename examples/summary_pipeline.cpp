@@ -30,8 +30,8 @@ int main() {
   PegasusConfig config;
   config.alpha = 1.25;
   auto result = SummarizeGraphToRatio(graph, vip_authors, 0.4, config);
-  if (!SaveSummary(result.summary, artifact)) {
-    std::fprintf(stderr, "cannot write %s\n", artifact.c_str());
+  if (Status s = SaveSummary(result.summary, artifact); !s) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
   auto corrections = ComputeCorrections(graph, result.summary);
@@ -44,7 +44,7 @@ int main() {
   // ---- Online: load and serve --------------------------------------------
   auto loaded = LoadSummary(artifact);
   if (!loaded) {
-    std::fprintf(stderr, "cannot load %s\n", artifact.c_str());
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
   std::printf("online: loaded summary with %u supernodes, %llu superedges\n",

@@ -10,9 +10,9 @@
 
 namespace pegasus {
 
-bool SaveSummary(const SummaryGraph& summary, const std::string& path) {
+Status SaveSummary(const SummaryGraph& summary, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) return Status::DataLoss("cannot open for write: " + path);
 
   // Densify supernode ids.
   std::vector<SupernodeId> dense(summary.id_bound(), 0);
@@ -45,56 +45,67 @@ bool SaveSummary(const SummaryGraph& summary, const std::string& path) {
       out << dense[a] << ' ' << b << ' ' << w << '\n';
     }
   }
-  return static_cast<bool>(out);
+  if (!out) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
 }
 
-std::optional<SummaryGraph> LoadSummary(const std::string& path) {
+StatusOr<SummaryGraph> LoadSummary(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return Status::NotFound("cannot open summary: " + path);
+  const auto Corrupt = [&path](const std::string& what) {
+    return Status::DataLoss(path + ": " + what);
+  };
 
   std::string magic, version;
   if (!(in >> magic >> version) || magic != "PEGASUS-SUMMARY" ||
       version != "v1") {
-    return std::nullopt;
+    return Corrupt("not a PEGASUS-SUMMARY v1 file");
   }
   std::string key;
   uint64_t num_nodes = 0, num_supernodes = 0, num_superedges = 0;
-  if (!(in >> key >> num_nodes) || key != "nodes") return std::nullopt;
+  if (!(in >> key >> num_nodes) || key != "nodes") {
+    return Corrupt("malformed header (nodes)");
+  }
   if (!(in >> key >> num_supernodes) || key != "supernodes") {
-    return std::nullopt;
+    return Corrupt("malformed header (supernodes)");
   }
   if (!(in >> key >> num_superedges) || key != "superedges") {
-    return std::nullopt;
+    return Corrupt("malformed header (superedges)");
   }
 
   std::vector<NodeId> labels(num_nodes);
   for (uint64_t u = 0; u < num_nodes; ++u) {
     if (!(in >> labels[u]) || labels[u] >= num_supernodes) {
-      return std::nullopt;
+      return Corrupt("bad supernode label for node " + std::to_string(u));
     }
   }
   // FromPartition needs a graph only for the node count; build the summary
   // structure directly through an empty graph of the right size.
   Graph empty(std::vector<EdgeId>(num_nodes + 1, 0), {});
   SummaryGraph summary = SummaryGraph::FromPartition(empty, labels);
-  if (summary.num_supernodes() != num_supernodes) return std::nullopt;
+  if (summary.num_supernodes() != num_supernodes) {
+    return Corrupt("declared supernode count does not match labels");
+  }
 
   for (uint64_t i = 0; i < num_superedges; ++i) {
     SupernodeId a = 0, b = 0;
     uint32_t w = 0;
     if (!(in >> a >> b >> w) || a >= num_supernodes ||
         b >= num_supernodes || w == 0) {
-      return std::nullopt;
+      return Corrupt("bad superedge record " + std::to_string(i));
     }
     // A repeated pair would silently overwrite the earlier weight and
     // leave num_superedges() below the declared count.
-    if (summary.HasSuperedge(a, b)) return std::nullopt;
+    if (summary.HasSuperedge(a, b)) {
+      return Corrupt("duplicate superedge " + std::to_string(a) + " " +
+                     std::to_string(b));
+    }
     summary.SetSuperedge(a, b, w);
   }
   // The declared superedge count must exhaust the file: trailing tokens
   // mean a malformed or truncated-header file, not extra whitespace.
   std::string trailing;
-  if (in >> trailing) return std::nullopt;
+  if (in >> trailing) return Corrupt("trailing data after superedges");
   return summary;
 }
 

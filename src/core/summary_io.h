@@ -11,23 +11,30 @@
 //
 // Supernode ids are re-densified on save; loading reproduces an equivalent
 // summary (same partition, same superedges/weights).
+//
+// Errors are reported through the typed Status model (src/util/status.h):
+// kNotFound when the file cannot be opened, kDataLoss for format
+// violations with a message naming the violation (bad magic, label out of
+// range, duplicate superedge, trailing garbage, ...). StatusOr mirrors
+// std::optional's accessors, so existing `.has_value()` call sites keep
+// working and gain `.status()` for diagnostics.
 
 #ifndef PEGASUS_CORE_SUMMARY_IO_H_
 #define PEGASUS_CORE_SUMMARY_IO_H_
 
-#include <optional>
 #include <string>
 
 #include "src/core/summary_graph.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
-// Writes the summary to `path`. Returns false on I/O failure.
-bool SaveSummary(const SummaryGraph& summary, const std::string& path);
+// Writes the summary to `path`. kDataLoss on I/O failure (Status converts
+// to bool, true = OK).
+Status SaveSummary(const SummaryGraph& summary, const std::string& path);
 
-// Reads a summary previously written by SaveSummary. Returns nullopt on
-// I/O or format errors.
-std::optional<SummaryGraph> LoadSummary(const std::string& path);
+// Reads a summary previously written by SaveSummary.
+StatusOr<SummaryGraph> LoadSummary(const std::string& path);
 
 }  // namespace pegasus
 

@@ -10,9 +10,9 @@
 
 namespace pegasus {
 
-std::optional<Graph> LoadEdgeList(const std::string& path) {
+StatusOr<Graph> LoadEdgeList(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return Status::NotFound("cannot open edge list: " + path);
 
   std::vector<std::pair<uint64_t, uint64_t>> raw;
   std::unordered_map<uint64_t, NodeId> remap;
@@ -32,22 +32,25 @@ std::optional<Graph> LoadEdgeList(const std::string& path) {
     if (remap.emplace(a, next).second) ++next;
     if (remap.emplace(b, next).second) ++next;
   }
-  if (raw.empty()) return std::nullopt;
+  if (raw.empty()) {
+    return Status::DataLoss("no valid edges in edge list: " + path);
+  }
 
   GraphBuilder builder(next);
   for (const auto& [a, b] : raw) builder.AddEdge(remap[a], remap[b]);
   return std::move(builder).Build();
 }
 
-bool SaveEdgeList(const Graph& graph, const std::string& path) {
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) return Status::DataLoss("cannot open for write: " + path);
   out << "# pegasus edge list: " << graph.num_nodes() << " nodes, "
       << graph.num_edges() << " edges\n";
   for (const Edge& e : graph.CanonicalEdges()) {
     out << e.u << ' ' << e.v << '\n';
   }
-  return static_cast<bool>(out);
+  if (!out) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
 }
 
 }  // namespace pegasus

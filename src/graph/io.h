@@ -4,24 +4,29 @@
 // KONECT dumps (the paper's datasets), tolerating comment lines starting
 // with '#' or '%'. Node ids are remapped densely; directions, self-loops,
 // and duplicates are normalized away, matching the paper's preprocessing.
+//
+// Errors are reported through the typed Status model (src/util/status.h):
+// kNotFound when the file cannot be opened, kDataLoss when it contains no
+// valid edges. StatusOr mirrors std::optional's accessors, so callers may
+// keep testing `.has_value()` and dereferencing — and can now also report
+// `.status()`.
 
 #ifndef PEGASUS_GRAPH_IO_H_
 #define PEGASUS_GRAPH_IO_H_
 
-#include <optional>
 #include <string>
 
 #include "src/graph/graph.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
-// Loads a graph from an edge-list file. Returns nullopt if the file cannot
-// be opened or contains no valid edges.
-std::optional<Graph> LoadEdgeList(const std::string& path);
+// Loads a graph from an edge-list file.
+StatusOr<Graph> LoadEdgeList(const std::string& path);
 
-// Writes the graph as a canonical "u v" edge list. Returns false on I/O
-// failure.
-bool SaveEdgeList(const Graph& graph, const std::string& path);
+// Writes the graph as a canonical "u v" edge list. kDataLoss on I/O
+// failure (Status converts to bool, true = OK).
+Status SaveEdgeList(const Graph& graph, const std::string& path);
 
 }  // namespace pegasus
 

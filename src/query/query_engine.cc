@@ -1,6 +1,9 @@
 #include "src/query/query_engine.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
 
 namespace pegasus {
 
@@ -25,14 +28,23 @@ const char* QueryKindName(QueryKind kind) {
 }
 
 std::optional<QueryKind> ParseQueryKind(const std::string& name) {
-  if (name == "neighbors") return QueryKind::kNeighbors;
-  if (name == "hop") return QueryKind::kHop;
-  if (name == "rwr") return QueryKind::kRwr;
-  if (name == "php") return QueryKind::kPhp;
-  if (name == "degree") return QueryKind::kDegree;
-  if (name == "pagerank") return QueryKind::kPageRank;
-  if (name == "clustering") return QueryKind::kClustering;
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  for (QueryKind kind : kAllQueryKinds) {
+    if (lower == QueryKindName(kind)) return kind;
+  }
   return std::nullopt;
+}
+
+std::string QueryKindList() {
+  std::string out;
+  for (QueryKind kind : kAllQueryKinds) {
+    if (!out.empty()) out += ", ";
+    out += QueryKindName(kind);
+  }
+  return out;
 }
 
 bool IsNodeQuery(QueryKind kind) {
@@ -50,7 +62,91 @@ bool IsNodeQuery(QueryKind kind) {
   return false;
 }
 
+bool IsIterativeQuery(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRwr:
+    case QueryKind::kPhp:
+    case QueryKind::kPageRank:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IgnoresWeightedFlag(QueryKind kind) {
+  return kind == QueryKind::kNeighbors || kind == QueryKind::kHop;
+}
+
+double DefaultQueryParam(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRwr:
+      return 0.05;
+    case QueryKind::kPhp:
+      return 0.95;
+    case QueryKind::kPageRank:
+      return 0.85;
+    default:
+      return 0.0;
+  }
+}
+
+Status CanonicalizeRequestInPlace(QueryRequest& request, NodeId num_nodes) {
+  if (IsNodeQuery(request.kind)) {
+    if (request.node >= num_nodes) {
+      return Status::OutOfRange(std::string(QueryKindName(request.kind)) +
+                                ": node " + std::to_string(request.node) +
+                                " out of range [0, " +
+                                std::to_string(num_nodes) + ")");
+    }
+  } else {
+    request.node = 0;
+  }
+
+  if (std::isnan(request.param)) {
+    return Status::InvalidArgument(std::string(QueryKindName(request.kind)) +
+                                   ": parameter is NaN");
+  }
+  if (IsIterativeQuery(request.kind)) {
+    if (request.param == kQueryParamUseDefault) {
+      request.param = DefaultQueryParam(request.kind);
+    } else if (request.param < 0.0 || request.param >= 1.0) {
+      return Status::InvalidArgument(
+          std::string(QueryKindName(request.kind)) + ": parameter " +
+          std::to_string(request.param) + " out of range [0, 1)");
+    }
+    if (request.opts.max_iterations <= 0) {
+      return Status::InvalidArgument(
+          std::string(QueryKindName(request.kind)) +
+          ": max_iterations must be positive");
+    }
+    if (std::isnan(request.opts.tolerance) || request.opts.tolerance < 0.0) {
+      return Status::InvalidArgument(
+          std::string(QueryKindName(request.kind)) +
+          ": tolerance must be non-negative");
+    }
+  } else {
+    if (request.param != kQueryParamUseDefault) {
+      return Status::InvalidArgument(
+          std::string(QueryKindName(request.kind)) + " takes no parameter");
+    }
+    request.param = DefaultQueryParam(request.kind);
+    request.opts = IterativeQueryOptions{};
+  }
+
+  if (IgnoresWeightedFlag(request.kind)) request.weighted = true;
+  return Status::Ok();
+}
+
+StatusOr<QueryRequest> CanonicalizeRequest(const QueryRequest& request,
+                                           NodeId num_nodes) {
+  QueryRequest canon = request;
+  if (Status s = CanonicalizeRequestInPlace(canon, num_nodes); !s) return s;
+  return canon;
+}
+
 QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request) {
+  const double param = request.param >= 0.0 ? request.param
+                                            : DefaultQueryParam(request.kind);
   QueryResult result;
   result.kind = request.kind;
   switch (request.kind) {
@@ -61,22 +157,19 @@ QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request) {
       result.hops = FastSummaryHopDistances(view, request.node);
       break;
     case QueryKind::kRwr:
-      result.scores = SummaryRwrScores(
-          view, request.node, request.param >= 0.0 ? request.param : 0.05,
-          request.weighted, request.opts);
+      result.scores = SummaryRwrScores(view, request.node, param,
+                                       request.weighted, request.opts);
       break;
     case QueryKind::kPhp:
-      result.scores = SummaryPhpScores(
-          view, request.node, request.param >= 0.0 ? request.param : 0.95,
-          request.weighted, request.opts);
+      result.scores = SummaryPhpScores(view, request.node, param,
+                                       request.weighted, request.opts);
       break;
     case QueryKind::kDegree:
       result.scores = SummaryDegrees(view, request.weighted);
       break;
     case QueryKind::kPageRank:
-      result.scores = SummaryPageRank(
-          view, request.param >= 0.0 ? request.param : 0.85, request.weighted,
-          request.opts);
+      result.scores =
+          SummaryPageRank(view, param, request.weighted, request.opts);
       break;
     case QueryKind::kClustering:
       result.scores = SummaryClusteringCoefficients(view, request.weighted);
@@ -85,32 +178,13 @@ QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request) {
   return result;
 }
 
-std::vector<QueryResult> AnswerBatch(const SummaryView& view,
-                                     const std::vector<QueryRequest>& requests,
-                                     ThreadPool& pool) {
-  std::vector<QueryResult> results(requests.size());
-  // One request per index; answers land in index-addressed slots, so the
-  // output is scheduling-independent (the ParallelFor determinism
-  // contract).
-  pool.ParallelFor(requests.size(), /*grain=*/1,
-                   [&](int /*worker*/, size_t begin, size_t end) {
-                     for (size_t i = begin; i < end; ++i) {
-                       results[i] = AnswerQuery(view, requests[i]);
-                     }
-                   });
-  return results;
-}
-
 int QueryWorkerCount(int num_threads) {
   return std::min(ResolveThreadCount(num_threads), ResolveThreadCount(0));
 }
 
-std::vector<QueryResult> AnswerBatch(const SummaryView& view,
-                                     const std::vector<QueryRequest>& requests,
-                                     int num_threads) {
-  // Callers that really want oversubscription can pass their own pool.
-  ThreadPool pool(QueryWorkerCount(num_threads));
-  return AnswerBatch(view, requests, pool);
-}
+// The AnswerBatch compatibility shims are defined in
+// src/serve/query_service.cc: they delegate to the serving executor, and
+// keeping the definitions there keeps the dependency arrow pointing
+// serve -> query only.
 
 }  // namespace pegasus

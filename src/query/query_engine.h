@@ -1,17 +1,25 @@
-// Batched query serving over a SummaryView.
+// Request/response model for summary query serving.
 //
 // A QueryRequest names one query — a family, the query node for
-// node-level families, and optional parameters — and AnswerBatch answers
-// a whole vector of them, fanning the requests out across a ThreadPool
-// (src/util/parallel.h) with one request per ParallelFor index. Results
-// are written to index-addressed slots, so the output vector is
-// byte-identical for every thread count (including 1) and for every
-// scheduling of workers; each individual answer is byte-identical to the
-// corresponding single-query call on the same view.
+// node-level families, and optional parameters. The resident serving
+// layer is QueryService (src/serve/query_service.h), which owns the
+// thread pool, the epoch-swapped SummaryView, and the global-result
+// cache; the AnswerBatch overloads here are thin compatibility shims
+// over the same executor for callers that already hold a view.
 //
-// The SummaryView is deeply immutable, which is what makes the fan-out
-// safe: workers share the snapshot read-only and allocate only their own
-// per-query state.
+// Error model: requests are validated and canonicalized through
+// CanonicalizeRequest, which returns a typed Status instead of the
+// historical silent negative-sentinel defaulting — NaN, out-of-range
+// parameters (>= 1 or negative non-sentinel), parameters on families
+// that take none, out-of-range nodes, and degenerate iteration options
+// are all rejected. `param == kQueryParamUseDefault` is the one sanctioned
+// way to ask for a family's default.
+//
+// Determinism: batched answers are written to index-addressed slots, so
+// the output vector is byte-identical for every thread count (including
+// 1), for every scheduling of workers, and for every cheap-family grain;
+// each individual answer is byte-identical to the corresponding
+// single-query call on the same view.
 
 #ifndef PEGASUS_QUERY_QUERY_ENGINE_H_
 #define PEGASUS_QUERY_QUERY_ENGINE_H_
@@ -23,6 +31,7 @@
 
 #include "src/query/summary_view.h"
 #include "src/util/parallel.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
@@ -39,21 +48,66 @@ enum class QueryKind : uint8_t {
   kClustering,
 };
 
+// Every family, in CLI-facing order (the single source for parsing and
+// for the valid-kind list in error messages).
+inline constexpr QueryKind kAllQueryKinds[] = {
+    QueryKind::kNeighbors, QueryKind::kHop,      QueryKind::kRwr,
+    QueryKind::kPhp,       QueryKind::kDegree,   QueryKind::kPageRank,
+    QueryKind::kClustering,
+};
+
 // CLI-facing names: neighbors, hop, rwr, php, degree, pagerank,
-// clustering.
+// clustering. Parsing is case-insensitive ("PageRank" == "pagerank").
 const char* QueryKindName(QueryKind kind);
 std::optional<QueryKind> ParseQueryKind(const std::string& name);
+
+// "neighbors, hop, rwr, php, degree, pagerank, clustering" — for error
+// messages ("unknown query kind 'x'; valid kinds: ...").
+std::string QueryKindList();
 
 // True for families whose answer depends on a query node.
 bool IsNodeQuery(QueryKind kind);
 
+// True for rwr/php/pagerank — the families that take a parameter
+// (restart probability / decay / damping) and iteration options.
+bool IsIterativeQuery(QueryKind kind);
+
+// True for families whose answer ignores the weighted flag
+// (neighbors/hop are pure integer queries on the superedge structure).
+bool IgnoresWeightedFlag(QueryKind kind);
+
+// The family's documented default parameter: 0.05 (rwr restart), 0.95
+// (php decay), 0.85 (pagerank damping); 0 for parameterless families.
+double DefaultQueryParam(QueryKind kind);
+
+// Sentinel meaning "use DefaultQueryParam(kind)".
+inline constexpr double kQueryParamUseDefault = -1.0;
+
 struct QueryRequest {
   QueryKind kind = QueryKind::kRwr;
-  NodeId node = 0;    // consumed only when IsNodeQuery(kind)
-  double param = -1;  // restart_prob / decay / damping; negative = default
+  NodeId node = 0;  // consumed only when IsNodeQuery(kind)
+  double param = kQueryParamUseDefault;  // see CanonicalizeRequest
   bool weighted = true;
   IterativeQueryOptions opts;  // iterative families only
 };
+
+// Validates `request` against a view of `num_nodes` nodes and returns its
+// canonical form: the default parameter substituted for the sentinel, and
+// every field the family ignores normalized (node = 0 for whole-graph
+// families, weighted = true for integer families, opts = {} for
+// non-iterative families) so equal queries compare equal — the property
+// the global-result cache keys on. Errors:
+//   * kOutOfRange        — node >= num_nodes for a node-level family
+//   * kInvalidArgument   — NaN param; param >= 1; negative param other
+//                          than the sentinel; a param on a parameterless
+//                          family; max_iterations <= 0; tolerance < 0/NaN
+StatusOr<QueryRequest> CanonicalizeRequest(const QueryRequest& request,
+                                           NodeId num_nodes);
+
+// Allocation-free form: validates and canonicalizes `request` in place.
+// The batch executor uses this on a bulk-copied request vector so the
+// validation pass costs no per-request temporaries.
+Status CanonicalizeRequestInPlace(QueryRequest& request, NodeId num_nodes);
 
 // Exactly one of the payload vectors is non-empty, matching the request's
 // family: `neighbors` for kNeighbors, `hops` for kHop, `scores` for the
@@ -72,20 +126,27 @@ struct QueryResult {
 // (scheduling-independent) results.
 int QueryWorkerCount(int num_threads);
 
-// Answers one request on the calling thread.
+// Answers one request on the calling thread. The request should be
+// canonical (CanonicalizeRequest); for compatibility, a sentinel param is
+// still resolved to the family default.
 QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request);
 
-// Answers every request, fanning out over `pool`. results[i] corresponds
-// to requests[i]; output is independent of the pool's worker count.
-std::vector<QueryResult> AnswerBatch(const SummaryView& view,
-                                     const std::vector<QueryRequest>& requests,
-                                     ThreadPool& pool);
+// Compatibility shims over the QueryService executor: canonicalize every
+// request, then answer the batch on `pool` with the service's cost-aware
+// scheduling and per-call global-result deduplication. results[i]
+// corresponds to requests[i]; output is independent of the pool's worker
+// count. Fails with the first request's canonicalization error (message
+// names the request index). Resident callers should hold a QueryService
+// instead — it keeps the pool and the cache alive across batches.
+StatusOr<std::vector<QueryResult>> AnswerBatch(
+    const SummaryView& view, const std::vector<QueryRequest>& requests,
+    ThreadPool& pool);
 
 // Convenience overload owning a pool of QueryWorkerCount(num_threads)
 // workers for the call.
-std::vector<QueryResult> AnswerBatch(const SummaryView& view,
-                                     const std::vector<QueryRequest>& requests,
-                                     int num_threads = 0);
+StatusOr<std::vector<QueryResult>> AnswerBatch(
+    const SummaryView& view, const std::vector<QueryRequest>& requests,
+    int num_threads = 0);
 
 }  // namespace pegasus
 

@@ -379,6 +379,8 @@ std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,
     double count;  // eligible members (excludes u itself for id == A)
   };
   std::vector<NeighborGroup> groups;
+  std::vector<uint32_t> by_id;     // group positions sorted by id
+  std::vector<int64_t> slot_of;    // per group position: edge slot or -1
 
   for (uint32_t a = 0; a < view.num_supernodes(); ++a) {
     if (view.edge_begin(a) == view.edge_end(a)) continue;
@@ -389,8 +391,37 @@ std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,
       if (count <= 0.0) continue;
       groups.push_back({dst[i], den[i], count});
     }
+    // Group positions ordered by neighbor id, computed once per supernode
+    // and merged below against each neighbor's dst-sorted edge index —
+    // replacing the per-pair binary search (O(deg_S(A)^2 log deg)) with
+    // linear merges (O(deg_S(A)^2 + Σ_B deg_S(B))).
+    by_id.resize(groups.size());
+    std::iota(by_id.begin(), by_id.end(), 0u);
+    std::sort(by_id.begin(), by_id.end(), [&](uint32_t x, uint32_t y) {
+      return groups[x].id < groups[y].id;
+    });
+    slot_of.assign(groups.size(), -1);
+
     double closed = 0.0, wedges = 0.0;
     for (size_t i = 0; i < groups.size(); ++i) {
+      // One merge pass: which superedges {groups[i].id, groups[j].id}
+      // exist, for every j at once. Both sequences ascend in dense id.
+      const auto slots = view.sorted_edge_slots(groups[i].id);
+      size_t g = 0;
+      for (const uint32_t slot : slots) {
+        const uint32_t b = dst[slot];
+        while (g < by_id.size() && groups[by_id[g]].id < b) {
+          slot_of[by_id[g++]] = -1;
+        }
+        if (g < by_id.size() && groups[by_id[g]].id == b) {
+          slot_of[by_id[g++]] = slot;
+        }
+      }
+      while (g < by_id.size()) slot_of[by_id[g++]] = -1;
+
+      // The accumulation itself is unchanged (same pair order, same
+      // arithmetic), so the output stays byte-identical to the frozen
+      // reference implementation.
       for (size_t j = i; j < groups.size(); ++j) {
         const double pairs =
             i == j ? groups[i].count * (groups[i].count - 1.0) / 2.0
@@ -398,7 +429,7 @@ std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,
         if (pairs <= 0.0) continue;
         const double base = groups[i].prob * groups[j].prob * pairs;
         wedges += base;
-        const int64_t slot = view.FindEdge(groups[i].id, groups[j].id);
+        const int64_t slot = slot_of[j];
         if (slot >= 0 && view.edge_weight()[slot] > 0) {
           closed += base * (weighted ? view.edge_density(true)[slot] : 1.0);
         }

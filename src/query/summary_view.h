@@ -104,6 +104,15 @@ class SummaryView {
     return weighted ? self_density_w_[a] : self_density_uw_[a];
   }
 
+  // Edge-array slots of supernode a ordered by ascending neighbor id
+  // (each slot indexes edge_dst()/edge_weight()/edge_density()). This is
+  // the index FindEdge binary-searches; merge-style consumers (the
+  // clustering wedge count) stream it directly.
+  std::span<const uint32_t> sorted_edge_slots(uint32_t a) const {
+    return {sorted_edge_idx_.data() + edge_begin_[a],
+            sorted_edge_idx_.data() + edge_begin_[a + 1]};
+  }
+
   // Edge-array slot of superedge {a, b}, or -1 if absent. O(log deg(a)).
   // The slot indexes edge_dst()/edge_weight()/edge_density().
   int64_t FindEdge(uint32_t a, uint32_t b) const;

@@ -1,0 +1,332 @@
+#include "src/serve/query_service.h"
+
+#include <bit>
+#include <string>
+#include <utility>
+
+#include "src/core/dynamic_summary.h"
+
+namespace pegasus {
+namespace serve {
+
+namespace {
+
+// SplitMix64 finalizer — mixes each key field into the hash.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+GlobalResultCache::Key GlobalResultCache::MakeKey(
+    uint64_t epoch, const QueryRequest& canonical) {
+  Key key;
+  key.epoch = epoch;
+  key.kind = canonical.kind;
+  key.param_bits = std::bit_cast<uint64_t>(canonical.param);
+  key.weighted = canonical.weighted;
+  key.max_iterations = canonical.opts.max_iterations;
+  key.tolerance_bits = std::bit_cast<uint64_t>(canonical.opts.tolerance);
+  return key;
+}
+
+size_t GlobalResultCache::KeyHash::operator()(const Key& key) const {
+  uint64_t h = Mix(0, key.epoch);
+  h = Mix(h, static_cast<uint64_t>(key.kind) << 1 |
+               static_cast<uint64_t>(key.weighted));
+  h = Mix(h, key.param_bits);
+  h = Mix(h, static_cast<uint64_t>(key.max_iterations));
+  h = Mix(h, key.tolerance_bits);
+  return static_cast<size_t>(h);
+}
+
+std::shared_ptr<const std::vector<double>> GlobalResultCache::GetOrCompute(
+    const Key& key, const std::function<std::vector<double>()>& compute) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      ++computations_;
+    } else {
+      ++hits_;
+    }
+    entry = it->second;
+  }
+  // Exactly-once compute outside the map lock: concurrent callers of the
+  // same key block here until the first one publishes the value; callers
+  // of other keys proceed in parallel.
+  std::call_once(entry->once, [&] {
+    entry->value = std::make_shared<const std::vector<double>>(compute());
+  });
+  return entry->value;
+}
+
+void GlobalResultCache::EvictOtherEpochs(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->first.epoch == epoch ? std::next(it) : entries_.erase(it);
+  }
+}
+
+uint64_t GlobalResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t GlobalResultCache::computations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return computations_;
+}
+
+size_t GlobalResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+StatusOr<std::vector<QueryRequest>> CanonicalizeBatch(
+    const std::vector<QueryRequest>& requests, NodeId num_nodes) {
+  // Bulk-copy once, then validate/patch in place: no per-request
+  // temporaries on the serving hot path.
+  std::vector<QueryRequest> canonical = requests;
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    if (Status s = CanonicalizeRequestInPlace(canonical[i], num_nodes); !s) {
+      return Status(s.code(),
+                    "request " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  return canonical;
+}
+
+std::vector<QueryResult> RunCanonicalBatch(
+    const SummaryView& view, const std::vector<QueryRequest>& requests,
+    ThreadPool& pool, GlobalResultCache& cache, uint64_t epoch,
+    size_t cheap_grain) {
+  const size_t n = requests.size();
+  std::vector<QueryResult> results(n);
+  if (n == 0) return results;
+  if (cheap_grain == 0) cheap_grain = 1;
+
+  // Phase 1 — classify, and resolve whole-graph queries through the
+  // cache. Distinct keys are collected in first-appearance order and
+  // filled in parallel (one key per index); repeated parameterizations
+  // within the batch, and across batches of the same epoch, trigger
+  // exactly one computation. The key machinery is lazily allocated: the
+  // common serving batch has no whole-graph queries at all.
+  std::vector<GlobalResultCache::Key> keys;
+  std::vector<size_t> key_request;   // representative request per key
+  std::vector<int64_t> request_key;  // per request; empty if no globals
+  std::unordered_map<GlobalResultCache::Key, size_t,
+                     GlobalResultCache::KeyHash>
+      key_index;
+  size_t num_cheap = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsNodeQuery(requests[i].kind)) {
+      if (requests[i].kind == QueryKind::kNeighbors) ++num_cheap;
+      continue;
+    }
+    ++num_cheap;  // a cached-global copy-out is cheap work
+    const auto key = GlobalResultCache::MakeKey(epoch, requests[i]);
+    auto [it, inserted] = key_index.try_emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(key);
+      key_request.push_back(i);
+    }
+    if (request_key.empty()) request_key.assign(n, -1);
+    request_key[i] = static_cast<int64_t>(it->second);
+  }
+  std::vector<std::shared_ptr<const std::vector<double>>> key_values(
+      keys.size());
+  if (!keys.empty()) {
+    pool.ParallelFor(keys.size(), /*grain=*/1,
+                     [&](int /*worker*/, size_t begin, size_t end) {
+                       for (size_t k = begin; k < end; ++k) {
+                         key_values[k] = cache.GetOrCompute(keys[k], [&] {
+                           return AnswerQuery(view, requests[key_request[k]])
+                               .scores;
+                         });
+                       }
+                     });
+  }
+
+  const auto answer_one = [&](size_t i) {
+    if (!request_key.empty() && request_key[i] >= 0) {
+      results[i].kind = requests[i].kind;
+      results[i].scores = *key_values[static_cast<size_t>(request_key[i])];
+    } else {
+      results[i] = AnswerQuery(view, requests[i]);
+    }
+  };
+
+  // Phase 2 — cost-aware fan-out. Cheap O(deg)-per-answer work
+  // (neighbors, cached-global copy-outs) is chunked up to cheap_grain
+  // requests per unit so dispatch amortizes; everything else (iterative
+  // families, hop BFS) is one request per unit. Homogeneous batches are
+  // the common serving case, and for them ParallelFor's own chunking IS
+  // the unit structure — no index indirection needed.
+  if (num_cheap == n || num_cheap == 0) {
+    pool.ParallelFor(n, num_cheap == n ? cheap_grain : 1,
+                     [&](int /*worker*/, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) answer_one(i);
+                     });
+    return results;
+  }
+
+  // Mixed batch: units are contiguous request-index ranges
+  // [unit_begin[u], unit_begin[u + 1]) — cheap runs close at cheap_grain
+  // requests or at the next expensive request, expensive requests are
+  // singleton units — fanned out one unit per index.
+  std::vector<size_t> unit_begin{0};
+  size_t cheap_run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool cheap =
+        requests[i].kind == QueryKind::kNeighbors ||
+        (!request_key.empty() && request_key[i] >= 0);
+    if (!cheap && cheap_run > 0) {
+      unit_begin.push_back(i);
+      cheap_run = 0;
+    }
+    if (cheap) {
+      if (++cheap_run == cheap_grain) {
+        unit_begin.push_back(i + 1);
+        cheap_run = 0;
+      }
+    } else {
+      unit_begin.push_back(i + 1);
+    }
+  }
+  if (unit_begin.back() != n) unit_begin.push_back(n);
+
+  const size_t num_units = unit_begin.size() - 1;
+  pool.ParallelFor(
+      num_units, /*grain=*/1, [&](int /*worker*/, size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+          for (size_t i = unit_begin[u]; i < unit_begin[u + 1]; ++i) {
+            answer_one(i);
+          }
+        }
+      });
+  return results;
+}
+
+}  // namespace serve
+
+// Compatibility shims (declared in src/query/query_engine.h; defined
+// here so the query layer does not depend back on serve).
+StatusOr<std::vector<QueryResult>> AnswerBatch(
+    const SummaryView& view, const std::vector<QueryRequest>& requests,
+    ThreadPool& pool) {
+  auto canonical = serve::CanonicalizeBatch(requests, view.num_nodes());
+  if (!canonical) return canonical.status();
+  // A transient cache still dedupes global queries within this batch; a
+  // QueryService keeps one alive across batches.
+  serve::GlobalResultCache cache;
+  return serve::RunCanonicalBatch(view, *canonical, pool, cache,
+                                  /*epoch=*/0, serve::kDefaultCheapGrain);
+}
+
+StatusOr<std::vector<QueryResult>> AnswerBatch(
+    const SummaryView& view, const std::vector<QueryRequest>& requests,
+    int num_threads) {
+  // Callers that really want oversubscription can pass their own pool.
+  ThreadPool pool(QueryWorkerCount(num_threads));
+  return AnswerBatch(view, requests, pool);
+}
+
+QueryService::QueryService(Options options)
+    : options_(options), pool_(QueryWorkerCount(options.num_threads)) {}
+
+QueryService::QueryService(const SummaryGraph& summary, Options options)
+    : QueryService(options) {
+  Publish(summary);
+}
+
+uint64_t QueryService::Publish(const SummaryGraph& summary) {
+  return Publish(std::make_shared<const SummaryView>(summary));
+}
+
+uint64_t QueryService::Publish(std::shared_ptr<const SummaryView> view) {
+  uint64_t new_epoch;
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    view_ = std::move(view);
+    new_epoch = ++epoch_;
+  }
+  // Entries of superseded epochs can never be requested again (batches
+  // key the cache by the epoch they captured, and epochs are monotonic —
+  // an in-flight old-epoch batch may re-insert briefly, reclaimed on the
+  // next Publish).
+  cache_.EvictOtherEpochs(new_epoch);
+  return new_epoch;
+}
+
+uint64_t QueryService::Publish(const DynamicSummary& dynamic) {
+  return Publish(dynamic.summary());
+}
+
+uint64_t QueryService::epoch() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return epoch_;
+}
+
+std::shared_ptr<const SummaryView> QueryService::view() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return view_;
+}
+
+QueryService::Snapshot QueryService::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return {view_, epoch_};
+}
+
+StatusOr<QueryService::BatchResult> QueryService::Answer(
+    const std::vector<QueryRequest>& requests) {
+  const Snapshot snap = CurrentSnapshot();
+  if (!snap.view) {
+    return Status::FailedPrecondition(
+        "no summary published; call Publish() first");
+  }
+  auto canonical = serve::CanonicalizeBatch(requests, snap.view->num_nodes());
+  if (!canonical) return canonical.status();
+
+  BatchResult out;
+  out.epoch = snap.epoch;
+  {
+    // The pool admits one ParallelFor at a time; concurrent Answer()
+    // calls take turns. Each batch still runs against the snapshot it
+    // captured above, so a Publish between (or during) turns never mixes
+    // epochs within a batch.
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    out.results = serve::RunCanonicalBatch(*snap.view, *canonical, pool_,
+                                           cache_, snap.epoch,
+                                           options_.cheap_grain);
+  }
+  return out;
+}
+
+StatusOr<QueryResult> QueryService::AnswerOne(const QueryRequest& request) {
+  const Snapshot snap = CurrentSnapshot();
+  if (!snap.view) {
+    return Status::FailedPrecondition(
+        "no summary published; call Publish() first");
+  }
+  auto canon = CanonicalizeRequest(request, snap.view->num_nodes());
+  if (!canon) return canon.status();
+  if (IsNodeQuery(canon->kind)) return AnswerQuery(*snap.view, *canon);
+
+  const auto key = serve::GlobalResultCache::MakeKey(snap.epoch, *canon);
+  QueryResult result;
+  result.kind = canon->kind;
+  result.scores = *cache_.GetOrCompute(
+      key, [&] { return AnswerQuery(*snap.view, *canon).scores; });
+  return result;
+}
+
+QueryService::CacheStats QueryService::cache_stats() const {
+  return {cache_.hits(), cache_.computations()};
+}
+
+}  // namespace pegasus

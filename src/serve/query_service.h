@@ -1,0 +1,217 @@
+// QueryService — the resident serving layer over summary queries.
+//
+// A QueryService is a long-lived object a server process holds for its
+// whole lifetime. It owns
+//
+//   * a ThreadPool sized once at construction,
+//   * an *epoch-swapped* `std::shared_ptr<const SummaryView>`: Publish()
+//     builds a fresh view and swaps it in atomically while in-flight
+//     batches keep answering from the epoch they captured (readers never
+//     block on writers, and a view dies only when its last batch drops
+//     it), and
+//   * a global-result cache keyed by (epoch, kind, canonical parameters)
+//     so whole-graph families — degree, PageRank, clustering — are
+//     computed at most once per epoch per parameterization regardless of
+//     batch composition, then served by copy.
+//
+// Epoch semantics: epochs are 1-based and monotonic; epoch 0 means
+// nothing has been published yet (Answer fails with kFailedPrecondition).
+// Each Answer() captures one (view, epoch) snapshot up front, so every
+// answer in a batch is computed against a single epoch even if Publish()
+// lands mid-batch; the served epoch is reported in the BatchResult.
+// This is also how DynamicSummary mutations reach the serving path:
+// rebuild (or mutate and Rebuild()) offline, then Publish() the new
+// summary — queries swap epochs without a stall.
+//
+// Cost-aware scheduling: the batch executor fans requests over the pool
+// in *units*. Cheap O(deg)-per-answer work — neighbors queries and
+// copy-outs of cached global results — is chunked `cheap_grain` requests
+// per unit so dispatch overhead amortizes across many requests; iterative
+// families (rwr/php/pagerank) and hop BFS stay at one request per unit so
+// a single expensive query never serializes a chunk of cheap ones behind
+// it.
+//
+// Determinism contract (pinned by tests/query_service_test.cc): answers
+// are byte-identical for every thread count, every cheap_grain, and
+// across Publish() swaps — a batch served from epoch E returns exactly
+// the bytes a single-threaded run against epoch E's view returns.
+//
+// Thread-safety: all public methods may be called concurrently from any
+// thread. Batches are executed one at a time over the shared pool (the
+// ThreadPool contract); concurrent Answer() calls queue on an internal
+// mutex.
+
+#ifndef PEGASUS_SERVE_QUERY_SERVICE_H_
+#define PEGASUS_SERVE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/query/query_engine.h"
+#include "src/query/summary_view.h"
+#include "src/util/parallel.h"
+#include "src/util/status.h"
+
+namespace pegasus {
+
+class DynamicSummary;
+
+namespace serve {
+
+// Default requests-per-unit for cheap families (see cost-aware
+// scheduling above). Chosen by bench_query_service's grain sweep: large
+// enough to amortize dispatch, small enough to keep all workers busy on
+// modest batches.
+inline constexpr size_t kDefaultCheapGrain = 16;
+
+// Thread-safe cache of whole-graph query results. Each key is computed
+// exactly once (std::call_once per entry) no matter how many threads ask
+// for it concurrently; values are immutable and shared by pointer, so
+// eviction never invalidates an answer already being copied out.
+class GlobalResultCache {
+ public:
+  struct Key {
+    uint64_t epoch = 0;
+    QueryKind kind = QueryKind::kDegree;
+    uint64_t param_bits = 0;      // bit pattern of the canonical param
+    bool weighted = true;
+    int max_iterations = 0;
+    uint64_t tolerance_bits = 0;  // bit pattern of opts.tolerance
+    bool operator==(const Key&) const = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  // Key for a canonical (CanonicalizeRequest) whole-graph request.
+  static Key MakeKey(uint64_t epoch, const QueryRequest& canonical);
+
+  // Returns the scores for `key`, running `compute` exactly once per key
+  // across all threads; later callers block until the value is ready.
+  std::shared_ptr<const std::vector<double>> GetOrCompute(
+      const Key& key, const std::function<std::vector<double>()>& compute);
+
+  // Drops every entry whose epoch differs from `epoch` (called on
+  // Publish; superseded epochs can never be requested again).
+  void EvictOtherEpochs(uint64_t epoch);
+
+  uint64_t hits() const;          // lookups served from an existing entry
+  uint64_t computations() const;  // entries ever created (== cache misses)
+  size_t size() const;            // live entries
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const std::vector<double>> value;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> entries_;
+  uint64_t hits_ = 0;
+  uint64_t computations_ = 0;
+};
+
+// Canonicalizes every request (CanonicalizeRequest) or fails with the
+// first offender's error, prefixed with its request index.
+StatusOr<std::vector<QueryRequest>> CanonicalizeBatch(
+    const std::vector<QueryRequest>& requests, NodeId num_nodes);
+
+// The batch executor shared by QueryService::Answer and the AnswerBatch
+// compatibility shims. `requests` must be canonical. Global queries are
+// resolved through `cache` under `epoch`; node-level queries fan out over
+// `pool` in cost-aware units (see above). Deterministic: results are
+// written to index-addressed slots, so the output is byte-identical for
+// every worker count and every cheap_grain.
+std::vector<QueryResult> RunCanonicalBatch(
+    const SummaryView& view, const std::vector<QueryRequest>& requests,
+    ThreadPool& pool, GlobalResultCache& cache, uint64_t epoch,
+    size_t cheap_grain);
+
+}  // namespace serve
+
+class QueryService {
+ public:
+  struct Options {
+    // Pool size, ResolveThreadCount convention clamped to the hardware
+    // (QueryWorkerCount): 0 = all cores, 1 = serial.
+    int num_threads = 0;
+    // Requests per unit for cheap families; 0 behaves as 1.
+    size_t cheap_grain = serve::kDefaultCheapGrain;
+  };
+
+  QueryService() : QueryService(Options()) {}
+  explicit QueryService(Options options);
+  // Convenience: construct and immediately publish epoch 1.
+  explicit QueryService(const SummaryGraph& summary)
+      : QueryService(summary, Options()) {}
+  QueryService(const SummaryGraph& summary, Options options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Builds a view of `summary` and swaps it in as the new current epoch.
+  // Expensive part (the view build) runs outside any lock; the swap is
+  // O(1). Returns the new epoch. In-flight batches are unaffected.
+  uint64_t Publish(const SummaryGraph& summary);
+  // Publishes an already-built view (shared with the caller).
+  uint64_t Publish(std::shared_ptr<const SummaryView> view);
+  // Publishes the dynamic summary's current base summary. Note the exact
+  // delta overlay is *not* folded in — callers decide when to Rebuild()
+  // and re-Publish, trading staleness for rebuild cost.
+  uint64_t Publish(const DynamicSummary& dynamic);
+
+  // Current epoch; 0 until the first Publish.
+  uint64_t epoch() const;
+  // Current view; nullptr until the first Publish.
+  std::shared_ptr<const SummaryView> view() const;
+
+  // A batch answered against one epoch: results[i] answers requests[i].
+  struct BatchResult {
+    uint64_t epoch = 0;
+    std::vector<QueryResult> results;
+  };
+
+  // Validates, canonicalizes, and answers every request against one
+  // (view, epoch) snapshot. Errors: kFailedPrecondition before the first
+  // Publish; kInvalidArgument / kOutOfRange from CanonicalizeRequest
+  // (message names the offending request index).
+  StatusOr<BatchResult> Answer(const std::vector<QueryRequest>& requests);
+
+  // Single-request convenience; same validation, no pool dispatch (global
+  // families still go through the cache).
+  StatusOr<QueryResult> AnswerOne(const QueryRequest& request);
+
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t computations = 0;
+  };
+  CacheStats cache_stats() const;
+
+  int num_workers() const { return pool_.num_workers(); }
+
+ private:
+  struct Snapshot {
+    std::shared_ptr<const SummaryView> view;
+    uint64_t epoch = 0;
+  };
+  Snapshot CurrentSnapshot() const;
+
+  const Options options_;
+  ThreadPool pool_;
+  serve::GlobalResultCache cache_;
+
+  mutable std::mutex view_mu_;  // guards view_ / epoch_
+  std::shared_ptr<const SummaryView> view_;
+  uint64_t epoch_ = 0;
+
+  std::mutex batch_mu_;  // serializes pool use across concurrent batches
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_SERVE_QUERY_SERVICE_H_

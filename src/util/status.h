@@ -1,0 +1,146 @@
+// Typed error model for the serving and I/O layers.
+//
+// Status carries an error code plus a human-readable message; StatusOr<T>
+// is either a value or a non-OK Status. Together they replace the
+// library's historical error conventions — bool returns (SaveSummary),
+// empty optionals with the cause lost (LoadSummary, LoadEdgeList), and
+// silent parameter-defaulting in the query engine — with errors a caller
+// can branch on and a server can report without guessing.
+//
+// The surface intentionally mirrors std::optional where the two overlap
+// (has_value / operator* / operator-> / contextual bool), so call sites
+// written against the optional-returning loaders keep compiling and gain
+// `.status()` for diagnostics. Status itself converts to bool (true = OK)
+// so `if (!SaveSummary(...))` style checks keep working too.
+//
+// Header-only; no allocation on the OK path (the message is empty).
+
+#ifndef PEGASUS_UTIL_STATUS_H_
+#define PEGASUS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pegasus {
+
+// A deliberately small subset of the canonical code space — only codes
+// this library actually produces.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // malformed request / parameter
+  kOutOfRange,          // structurally valid but outside the data
+  kNotFound,            // missing file / missing entity
+  kFailedPrecondition,  // call sequence error (e.g. serving before Publish)
+  kDataLoss,            // unreadable or corrupt on-disk artifact
+  kInternal,            // invariant violation inside the library
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status OutOfRange(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status DataLoss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit from a value (the common return path).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  // Implicit from a non-OK Status; an OK Status without a value is a
+  // programming error and is downgraded to kInternal.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return ok(); }
+  explicit operator bool() const { return ok(); }
+
+  // OK when a value is present.
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_UTIL_STATUS_H_

@@ -14,12 +14,16 @@ namespace {
 using ::pegasus::testing::PathGraph;
 
 TEST(IoEdgeCasesTest, SaveEdgeListToBadPathFails) {
-  EXPECT_FALSE(SaveEdgeList(PathGraph(3), "/no/such/dir/graph.txt"));
+  const Status s = SaveEdgeList(PathGraph(3), "/no/such/dir/graph.txt");
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
 }
 
 TEST(IoEdgeCasesTest, SaveSummaryToBadPathFails) {
   Graph g = PathGraph(3);
-  EXPECT_FALSE(SaveSummary(SummaryGraph::Identity(g), "/no/such/dir/x"));
+  const Status s = SaveSummary(SummaryGraph::Identity(g), "/no/such/dir/x");
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
 }
 
 TEST(IoEdgeCasesTest, LoadEdgeListIgnoresMalformedLines) {

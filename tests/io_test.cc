@@ -79,14 +79,18 @@ TEST_F(IoTest, AssignsDenseIdsInFirstAppearanceOrder) {
   std::remove(path.c_str());
 }
 
-TEST_F(IoTest, MissingFileReturnsNullopt) {
-  EXPECT_FALSE(LoadEdgeList("/nonexistent/really/not/here.txt").has_value());
+TEST_F(IoTest, MissingFileReturnsNotFound) {
+  const auto g = LoadEdgeList("/nonexistent/really/not/here.txt");
+  EXPECT_FALSE(g.has_value());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
 }
 
-TEST_F(IoTest, EmptyFileReturnsNullopt) {
+TEST_F(IoTest, EmptyFileReturnsDataLoss) {
   const std::string path = TempPath("empty.txt");
   { std::ofstream out(path); }
-  EXPECT_FALSE(LoadEdgeList(path).has_value());
+  const auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

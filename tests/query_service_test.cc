@@ -1,0 +1,370 @@
+// Tests for the resident serving layer (src/serve/query_service.h).
+//
+// The contract under test (ISSUE 4):
+//   * epoch semantics — Answer() before Publish() fails typed; every
+//     batch is served entirely from one epoch's view even while Publish
+//     swaps epochs concurrently;
+//   * byte-identity — service answers match single-threaded AnswerQuery
+//     calls against the served epoch's view for every thread count and
+//     every cheap-grain, including under concurrent hammering (this suite
+//     runs in the TSan CI job);
+//   * global-result caching — whole-graph families are computed at most
+//     once per (epoch, canonical parameterization) regardless of batch
+//     composition;
+//   * request validation — NaN/out-of-range parameters are rejected with
+//     typed Status errors instead of the old silent defaulting.
+
+#include "src/serve/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/dynamic_summary.h"
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
+#include "src/query/query_engine.h"
+#include "src/query/summary_view.h"
+
+namespace pegasus {
+namespace {
+
+SummaryGraph MakeSummary(const Graph& g, double ratio,
+                         std::vector<NodeId> targets = {}) {
+  return SummarizeGraphToRatio(g, targets, ratio).summary;
+}
+
+// A batch covering every family, with defaulted and explicit params.
+std::vector<QueryRequest> ServiceBatch(NodeId num_nodes) {
+  std::vector<QueryRequest> requests;
+  for (NodeId q = 0; q < num_nodes; q += 9) {
+    requests.push_back({QueryKind::kNeighbors, q, kQueryParamUseDefault,
+                        true, {}});
+    requests.push_back({QueryKind::kHop, q, kQueryParamUseDefault, true, {}});
+    requests.push_back({QueryKind::kRwr, q, 0.1, true, {}});
+    requests.push_back({QueryKind::kPhp, q, kQueryParamUseDefault,
+                        false, {}});
+  }
+  requests.push_back(
+      {QueryKind::kPageRank, 0, kQueryParamUseDefault, true, {}});
+  requests.push_back({QueryKind::kPageRank, 0, 0.5, true, {}});
+  requests.push_back({QueryKind::kDegree, 0, kQueryParamUseDefault,
+                      true, {}});
+  requests.push_back({QueryKind::kDegree, 0, kQueryParamUseDefault,
+                      false, {}});
+  requests.push_back({QueryKind::kClustering, 0, kQueryParamUseDefault,
+                      false, {}});
+  return requests;
+}
+
+// Single-threaded expected answers: canonicalize, then one AnswerQuery
+// per request on the given view.
+std::vector<QueryResult> Expected(const SummaryView& view,
+                                  const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResult> out;
+  for (const QueryRequest& request : requests) {
+    auto canon = CanonicalizeRequest(request, view.num_nodes());
+    EXPECT_TRUE(canon.ok()) << canon.status().ToString();
+    out.push_back(AnswerQuery(view, *canon));
+  }
+  return out;
+}
+
+void ExpectSameResults(const std::vector<QueryResult>& got,
+                       const std::vector<QueryResult>& want,
+                       const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].kind, want[i].kind) << label << " i=" << i;
+    EXPECT_EQ(got[i].neighbors, want[i].neighbors) << label << " i=" << i;
+    EXPECT_EQ(got[i].hops, want[i].hops) << label << " i=" << i;
+    EXPECT_EQ(got[i].scores, want[i].scores) << label << " i=" << i;
+  }
+}
+
+TEST(QueryServiceTest, AnswerBeforePublishFailsTyped) {
+  QueryService service;
+  EXPECT_EQ(service.epoch(), 0u);
+  EXPECT_EQ(service.view(), nullptr);
+  const auto batch = service.Answer({{QueryKind::kDegree, 0,
+                                      kQueryParamUseDefault, true, {}}});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kFailedPrecondition);
+  const auto one = service.AnswerOne({QueryKind::kDegree, 0,
+                                      kQueryParamUseDefault, true, {}});
+  ASSERT_FALSE(one.ok());
+  EXPECT_EQ(one.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryServiceTest, PublishBumpsEpochMonotonically) {
+  Graph g = GenerateBarabasiAlbert(80, 2, 410);
+  const SummaryGraph summary = MakeSummary(g, 0.5);
+  QueryService service;
+  EXPECT_EQ(service.Publish(summary), 1u);
+  EXPECT_EQ(service.Publish(summary), 2u);
+  EXPECT_EQ(service.epoch(), 2u);
+  ASSERT_NE(service.view(), nullptr);
+  EXPECT_EQ(service.view()->num_nodes(), g.num_nodes());
+
+  // The convenience constructor publishes epoch 1.
+  QueryService eager(summary);
+  EXPECT_EQ(eager.epoch(), 1u);
+}
+
+TEST(QueryServiceTest, AnswersByteIdenticalToSingleThreadedReference) {
+  Graph g = GenerateBarabasiAlbert(130, 3, 411);
+  const SummaryGraph summary = MakeSummary(g, 0.5, {3});
+  const SummaryView view(summary);
+  const auto requests = ServiceBatch(g.num_nodes());
+  const auto want = Expected(view, requests);
+
+  for (int threads : {1, 2, 4, 8}) {
+    for (size_t grain : {size_t{1}, size_t{3}, size_t{64}}) {
+      QueryService service(summary,
+                           {.num_threads = threads, .cheap_grain = grain});
+      const auto got = service.Answer(requests);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->epoch, 1u);
+      ExpectSameResults(
+          got->results, want,
+          ("threads=" + std::to_string(threads) + " grain=" +
+           std::to_string(grain))
+              .c_str());
+    }
+  }
+}
+
+TEST(QueryServiceTest, AnswerOneMatchesBatchAndCaches) {
+  Graph g = GenerateBarabasiAlbert(90, 2, 412);
+  const SummaryGraph summary = MakeSummary(g, 0.6);
+  QueryService service(summary, {.num_threads = 2});
+  const auto requests = ServiceBatch(g.num_nodes());
+  const auto batch = service.Answer(requests);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto one = service.AnswerOne(requests[i]);
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    EXPECT_EQ(one->neighbors, batch->results[i].neighbors) << "i=" << i;
+    EXPECT_EQ(one->hops, batch->results[i].hops) << "i=" << i;
+    EXPECT_EQ(one->scores, batch->results[i].scores) << "i=" << i;
+  }
+}
+
+TEST(QueryServiceTest, GlobalResultsComputedOncePerEpochPerParams) {
+  Graph g = GenerateBarabasiAlbert(100, 3, 413);
+  const SummaryGraph summary = MakeSummary(g, 0.5);
+  QueryService service(summary, {.num_threads = 4});
+
+  // 20 global requests, 4 distinct parameterizations: pagerank(default),
+  // degree(weighted), degree(unweighted), clustering(unweighted).
+  std::vector<QueryRequest> requests;
+  for (int r = 0; r < 5; ++r) {
+    requests.push_back(
+        {QueryKind::kPageRank, 0, kQueryParamUseDefault, true, {}});
+    requests.push_back(
+        {QueryKind::kDegree, 0, kQueryParamUseDefault, true, {}});
+    requests.push_back(
+        {QueryKind::kDegree, 0, kQueryParamUseDefault, false, {}});
+    requests.push_back(
+        {QueryKind::kClustering, 0, kQueryParamUseDefault, false, {}});
+  }
+
+  ASSERT_TRUE(service.Answer(requests).ok());
+  auto stats = service.cache_stats();
+  EXPECT_EQ(stats.computations, 4u);
+
+  // A second batch of the same parameterizations is all cache hits.
+  ASSERT_TRUE(service.Answer(requests).ok());
+  stats = service.cache_stats();
+  EXPECT_EQ(stats.computations, 4u);
+  EXPECT_EQ(stats.hits, 4u);
+
+  // A new parameterization computes exactly once more.
+  ASSERT_TRUE(service
+                  .Answer({{QueryKind::kPageRank, 0, 0.5, true, {}},
+                           {QueryKind::kPageRank, 0, 0.5, true, {}}})
+                  .ok());
+  EXPECT_EQ(service.cache_stats().computations, 5u);
+
+  // A new epoch recomputes (the old epoch's entries are evicted).
+  service.Publish(summary);
+  ASSERT_TRUE(service.Answer(requests).ok());
+  EXPECT_EQ(service.cache_stats().computations, 9u);
+
+  // Repeated requests *within* one batch dedupe before touching the
+  // cache, so answers are copies of one computation either way.
+  const auto again = service.Answer(requests);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->results[0].scores, again->results[4].scores);
+}
+
+TEST(QueryServiceTest, InvalidRequestsRejectedTyped) {
+  Graph g = GenerateBarabasiAlbert(60, 2, 414);
+  const SummaryGraph summary = MakeSummary(g, 0.5);
+  QueryService service(summary);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  struct CaseT {
+    QueryRequest request;
+    StatusCode code;
+  };
+  const CaseT cases[] = {
+      // NaN parameter.
+      {{QueryKind::kRwr, 1, nan, true, {}}, StatusCode::kInvalidArgument},
+      // param >= 1.
+      {{QueryKind::kPageRank, 0, 1.0, true, {}},
+       StatusCode::kInvalidArgument},
+      // Negative non-sentinel param (the old code silently defaulted it).
+      {{QueryKind::kPhp, 1, -0.5, true, {}}, StatusCode::kInvalidArgument},
+      // Parameter on a parameterless family.
+      {{QueryKind::kDegree, 0, 0.5, true, {}},
+       StatusCode::kInvalidArgument},
+      // Node out of range.
+      {{QueryKind::kNeighbors, g.num_nodes(), kQueryParamUseDefault,
+        true, {}},
+       StatusCode::kOutOfRange},
+      // Degenerate iteration options.
+      {{QueryKind::kRwr, 1, 0.05, true, {.max_iterations = 0}},
+       StatusCode::kInvalidArgument},
+      {{QueryKind::kRwr, 1, 0.05, true,
+        {.max_iterations = 10, .tolerance = -1.0}},
+       StatusCode::kInvalidArgument},
+  };
+  for (size_t i = 0; i < std::size(cases); ++i) {
+    const auto one = service.AnswerOne(cases[i].request);
+    EXPECT_FALSE(one.ok()) << "case " << i;
+    EXPECT_EQ(one.status().code(), cases[i].code) << "case " << i;
+  }
+
+  // Batch errors name the offending request index.
+  const auto batch = service.Answer(
+      {{QueryKind::kDegree, 0, kQueryParamUseDefault, true, {}},
+       {QueryKind::kRwr, 1, nan, true, {}}});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().message().find("request 1"), std::string::npos)
+      << batch.status().message();
+
+  // The sentinel and the explicit default are the same request.
+  const auto defaulted = service.AnswerOne(
+      {QueryKind::kRwr, 1, kQueryParamUseDefault, true, {}});
+  const auto explicit_default =
+      service.AnswerOne({QueryKind::kRwr, 1, 0.05, true, {}});
+  ASSERT_TRUE(defaulted.ok() && explicit_default.ok());
+  EXPECT_EQ(defaulted->scores, explicit_default->scores);
+}
+
+TEST(QueryServiceTest, AnswerBatchShimMatchesService) {
+  Graph g = GenerateBarabasiAlbert(110, 2, 415);
+  const SummaryGraph summary = MakeSummary(g, 0.5);
+  const SummaryView view(summary);
+  const auto requests = ServiceBatch(g.num_nodes());
+
+  QueryService service(summary, {.num_threads = 4});
+  const auto served = service.Answer(requests);
+  ASSERT_TRUE(served.ok());
+  const auto shimmed = AnswerBatch(view, requests, /*num_threads=*/4);
+  ASSERT_TRUE(shimmed.ok()) << shimmed.status().ToString();
+  ExpectSameResults(*shimmed, served->results, "shim");
+
+  // The shim propagates validation errors too.
+  const auto bad = AnswerBatch(
+      view, {{QueryKind::kRwr, 0, 2.0, true, {}}}, /*num_threads=*/1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, PublishesDynamicSummaryRebuilds) {
+  Graph g = GenerateBarabasiAlbert(100, 3, 416);
+  DynamicSummary::Options options;
+  options.ratio = 0.5;
+  DynamicSummary dynamic(g, {}, options);
+
+  QueryService service;
+  EXPECT_EQ(service.Publish(dynamic), 1u);
+  const SummaryView view1(dynamic.summary());
+  const auto requests = ServiceBatch(g.num_nodes());
+  const auto before = service.Answer(requests);
+  ASSERT_TRUE(before.ok());
+  ExpectSameResults(before->results, Expected(view1, requests), "epoch1");
+
+  // Mutate, rebuild offline, republish: the service swaps epochs and
+  // serves the rebuilt summary.
+  for (NodeId u = 0; u + 7 < g.num_nodes(); u += 7) {
+    dynamic.AddEdge(u, u + 7);
+  }
+  dynamic.Rebuild();
+  EXPECT_EQ(service.Publish(dynamic), 2u);
+  const SummaryView view2(dynamic.summary());
+  const auto after = service.Answer(requests);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->epoch, 2u);
+  ExpectSameResults(after->results, Expected(view2, requests), "epoch2");
+}
+
+// The TSan-exercised hammer: concurrent batches while Publish swaps
+// epochs. Every recorded answer must be byte-identical to a
+// single-threaded run against the epoch it reports it was served from.
+TEST(QueryServiceTest, ConcurrentBatchesAcrossEpochSwapsAreByteIdentical) {
+  Graph g = GenerateBarabasiAlbert(90, 3, 417);
+  const SummaryGraph summary_a = MakeSummary(g, 0.5);
+  const SummaryGraph summary_b = MakeSummary(g, 0.3, {1, 2});
+
+  QueryService service({.num_threads = 4, .cheap_grain = 4});
+  // by_epoch[e - 1] is the summary published as epoch e; Publish is
+  // called only from this thread.
+  std::vector<const SummaryGraph*> by_epoch;
+  service.Publish(summary_a);
+  by_epoch.push_back(&summary_a);
+
+  const auto requests = ServiceBatch(g.num_nodes());
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 6;
+  std::vector<std::vector<QueryService::BatchResult>> recorded(kThreads);
+
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < kThreads; ++t) {
+    hammers.emplace_back([&, t] {
+      for (int it = 0; it < kIterations; ++it) {
+        auto batch = service.Answer(requests);
+        ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+        recorded[t].push_back(*std::move(batch));
+      }
+    });
+  }
+  // Swap epochs while the hammers run.
+  for (int swap = 0; swap < 6; ++swap) {
+    const SummaryGraph* next = swap % 2 == 0 ? &summary_b : &summary_a;
+    service.Publish(*next);
+    by_epoch.push_back(next);
+    std::this_thread::yield();
+  }
+  for (std::thread& h : hammers) h.join();
+
+  // Verify against a fresh single-threaded run per epoch actually served.
+  std::map<uint64_t, std::vector<QueryResult>> want;
+  for (const auto& per_thread : recorded) {
+    for (const auto& batch : per_thread) {
+      ASSERT_GE(batch.epoch, 1u);
+      ASSERT_LE(batch.epoch, by_epoch.size());
+      auto it = want.find(batch.epoch);
+      if (it == want.end()) {
+        const SummaryView view(*by_epoch[batch.epoch - 1]);
+        it = want.emplace(batch.epoch, Expected(view, requests)).first;
+      }
+      ExpectSameResults(batch.results, it->second,
+                        ("epoch=" + std::to_string(batch.epoch)).c_str());
+    }
+  }
+  // The hammers must have been answered only from published epochs (and
+  // at least the first one).
+  EXPECT_FALSE(want.empty());
+}
+
+}  // namespace
+}  // namespace pegasus

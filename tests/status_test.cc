@@ -1,0 +1,93 @@
+// Tests for the typed Status / StatusOr error model (src/util/status.h).
+
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pegasus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct CaseT {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const CaseT cases[] = {
+      {Status::InvalidArgument("bad"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {Status::OutOfRange("bad"), StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {Status::NotFound("bad"), StatusCode::kNotFound, "NOT_FOUND"},
+      {Status::FailedPrecondition("bad"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {Status::DataLoss("bad"), StatusCode::kDataLoss, "DATA_LOSS"},
+      {Status::Internal("bad"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_FALSE(static_cast<bool>(c.status));
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "bad");
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": bad");
+    EXPECT_EQ(StatusCodeName(c.code), std::string(c.name));
+  }
+}
+
+TEST(StatusTest, BooleanContexts) {
+  // `if (!status)` is the idiomatic error check for Status-returning
+  // writers (SaveSummary et al.).
+  if (!Status::Ok()) FAIL() << "OK status must test true";
+  if (Status::NotFound("x")) FAIL() << "error status must test false";
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.status().message(), "missing");
+}
+
+TEST(StatusOrTest, OptionalLikeAccessors) {
+  // The surface mirrors std::optional, so loader call sites written
+  // against the old optional API keep compiling.
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  EXPECT_EQ(v->size(), 3u);
+  EXPECT_EQ((*v)[1], 2);
+  std::vector<int> moved = *std::move(v);
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+}  // namespace
+}  // namespace pegasus

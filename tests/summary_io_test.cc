@@ -61,7 +61,9 @@ TEST(SummaryIoTest, RoundTripPreservesQueries) {
 }
 
 TEST(SummaryIoTest, RejectsMissingFile) {
-  EXPECT_FALSE(LoadSummary("/no/such/file.summary").has_value());
+  const auto s = LoadSummary("/no/such/file.summary");
+  EXPECT_FALSE(s.has_value());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
 }
 
 TEST(SummaryIoTest, RejectsCorruptHeader) {
@@ -70,7 +72,9 @@ TEST(SummaryIoTest, RejectsCorruptHeader) {
     std::ofstream out(path);
     out << "NOT-A-SUMMARY v9\n";
   }
-  EXPECT_FALSE(LoadSummary(path).has_value());
+  const auto s = LoadSummary(path);
+  EXPECT_FALSE(s.has_value());
+  EXPECT_EQ(s.status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

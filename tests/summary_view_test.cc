@@ -182,9 +182,11 @@ TEST(AnswerBatchTest, ByteIdenticalAcrossThreadCounts) {
   const auto requests = MixedBatch(g.num_nodes());
 
   const auto baseline = AnswerBatch(view, requests, /*num_threads=*/1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   for (int threads : {2, 4, 8}) {
     const auto parallel = AnswerBatch(view, requests, threads);
-    ExpectResultsEqual(baseline, parallel,
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectResultsEqual(*baseline, *parallel,
                        ("threads=" + std::to_string(threads)).c_str());
   }
 }
@@ -196,12 +198,13 @@ TEST(AnswerBatchTest, MatchesSingleQueryAnswers) {
   const auto requests = MixedBatch(g.num_nodes());
 
   const auto batched = AnswerBatch(view, requests, /*num_threads=*/4);
-  ASSERT_EQ(batched.size(), requests.size());
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->size(), requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     const QueryResult single = AnswerQuery(view, requests[i]);
-    EXPECT_EQ(batched[i].neighbors, single.neighbors) << "i=" << i;
-    EXPECT_EQ(batched[i].hops, single.hops) << "i=" << i;
-    EXPECT_EQ(batched[i].scores, single.scores) << "i=" << i;
+    EXPECT_EQ((*batched)[i].neighbors, single.neighbors) << "i=" << i;
+    EXPECT_EQ((*batched)[i].hops, single.hops) << "i=" << i;
+    EXPECT_EQ((*batched)[i].scores, single.scores) << "i=" << i;
   }
 }
 
@@ -209,11 +212,12 @@ TEST(AnswerBatchTest, EmptyBatchAndSharedPool) {
   Graph g = ::pegasus::testing::PathGraph(5);
   SummaryView view(SummaryGraph::Identity(g));
   ThreadPool pool(3);
-  EXPECT_TRUE(AnswerBatch(view, {}, pool).empty());
+  EXPECT_TRUE(AnswerBatch(view, {}, pool)->empty());
   // The same pool serves consecutive batches.
   const auto r1 = AnswerBatch(view, MixedBatch(5), pool);
   const auto r2 = AnswerBatch(view, MixedBatch(5), pool);
-  ExpectResultsEqual(r1, r2, "repeat");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ExpectResultsEqual(*r1, *r2, "repeat");
 }
 
 TEST(QueryKindTest, NamesRoundTrip) {
@@ -226,6 +230,13 @@ TEST(QueryKindTest, NamesRoundTrip) {
     EXPECT_EQ(*parsed, kind);
   }
   EXPECT_FALSE(ParseQueryKind("bogus").has_value());
+  // Parsing is case-insensitive.
+  EXPECT_EQ(ParseQueryKind("PageRank"), QueryKind::kPageRank);
+  EXPECT_EQ(ParseQueryKind("NEIGHBORS"), QueryKind::kNeighbors);
+  EXPECT_EQ(ParseQueryKind("Rwr"), QueryKind::kRwr);
+  // The kind list names every family (for CLI error messages).
+  EXPECT_EQ(QueryKindList(),
+            "neighbors, hop, rwr, php, degree, pagerank, clustering");
 }
 
 }  // namespace

@@ -7,15 +7,26 @@
 //                      [--threads N]   (1 = serial, 0 = all cores)
 //   pegasus query      <summary> <kind> <node> [--top K]
 //   pegasus query      <summary> --queries <file> [--threads N] [--top K]
+//   pegasus serve      <summary> [--threads N] [--top K] [--grain G]
 //   pegasus evaluate   <edgelist> <summary> [--alpha A] [--targets a,b,c]
 //
 // `generate` kinds: ba, ws, er, grid, community-ring.
-// `query` kinds: neighbors, hop, rwr, php, degree, pagerank, clustering
-// (the last three are whole-graph queries; the node argument is ignored).
-// Batch mode reads one query per line — "<kind> <node> [param]" for
+// `query` kinds (case-insensitive): neighbors, hop, rwr, php, degree,
+// pagerank, clustering (the last three are whole-graph queries; the node
+// argument is ignored). Query lines read "<kind> <node> [param]" for
 // node-level kinds, "<kind> [param]" for whole-graph kinds, params in
-// [0, 1], '#' comments — builds one SummaryView, and answers every query
-// through the batched engine on N threads (0 = all cores).
+// [0, 1), '#' comments. Both query modes run through a process-resident
+// QueryService (src/serve/query_service.h): one loaded summary, one
+// epoch-swapped view, global results cached per epoch.
+//
+// `serve` answers line-delimited query batches over stdin/stdout from one
+// loaded summary: query lines accumulate, a blank line (or EOF) flushes
+// the pending batch through the service, and the directives
+//   publish <summary-path>   swap in a new summary (epoch bump, no stall)
+//   epoch                    print the current epoch
+//   stats                    print cache hits/computations
+// manage the resident service. Malformed lines are reported on stderr
+// without killing the server.
 // Exit code 0 on success, 1 on usage errors, 2 on I/O errors.
 
 #include <algorithm>
@@ -23,6 +34,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <numeric>
 #include <sstream>
@@ -41,6 +53,8 @@
 #include "src/graph/io.h"
 #include "src/query/query_engine.h"
 #include "src/query/summary_view.h"
+#include "src/serve/query_service.h"
+#include "src/util/status.h"
 #include "src/util/timer.h"
 
 namespace pegasus::cli {
@@ -108,6 +122,7 @@ int Usage() {
       "pagerank|clustering> <node> [--top K]\n"
       "  pegasus query     <summary> --queries <file> [--threads N]"
       " [--top K]\n"
+      "  pegasus serve     <summary> [--threads N] [--top K] [--grain G]\n"
       "  pegasus evaluate  <edgelist> <summary> [--alpha A]"
       " [--targets a,b,c]\n"
       "  pegasus compress  <edgelist> <out.summary> [--tmax T] [--seed S]\n");
@@ -119,8 +134,7 @@ int CmdCompress(const Args& args) {
   if (args.positional.size() != 2) return Usage();
   auto graph = LoadEdgeList(args.positional[0]);
   if (!graph) {
-    std::fprintf(stderr, "error: cannot load %s\n",
-                 args.positional[0].c_str());
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
     return 2;
   }
   LosslessConfig config;
@@ -148,8 +162,7 @@ int CmdStats(const Args& args) {
   if (args.positional.size() != 1) return Usage();
   auto graph = LoadEdgeList(args.positional[0]);
   if (!graph) {
-    std::fprintf(stderr, "error: cannot load %s\n",
-                 args.positional[0].c_str());
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
     return 2;
   }
   std::printf("nodes         %u\n", graph->num_nodes());
@@ -200,8 +213,7 @@ int CmdSummarize(const Args& args) {
   if (args.positional.size() != 2) return Usage();
   auto graph = LoadEdgeList(args.positional[0]);
   if (!graph) {
-    std::fprintf(stderr, "error: cannot load %s\n",
-                 args.positional[0].c_str());
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
     return 2;
   }
   PegasusConfig config;
@@ -283,9 +295,71 @@ void PrintAnswer(const QueryRequest& request, const QueryResult& result,
   std::printf("\n");
 }
 
-// Batch mode: one query per line — "<kind> [node] [param]".
-int RunQueryBatch(const SummaryView& view, const std::string& queries_path,
-                  int threads, size_t top) {
+// Parses one query line — "<kind> [node] [param]" — into *request.
+// Structural errors (unknown kind, missing node token) are reported here
+// with the valid-kind list; semantic validation (ranges, NaN) is the
+// service's CanonicalizeRequest, surfaced by the caller.
+Status ParseQueryLine(const std::string& line, QueryRequest* request) {
+  std::istringstream ls(line);
+  std::string kind_name;
+  ls >> kind_name;
+  const auto kind = ParseQueryKind(kind_name);
+  if (!kind) {
+    return Status::InvalidArgument("unknown query kind '" + kind_name +
+                                   "'; valid kinds: " + QueryKindList());
+  }
+  request->kind = *kind;
+  if (IsNodeQuery(*kind)) {
+    uint64_t node = 0;
+    if (!(ls >> node)) {
+      return Status::InvalidArgument(std::string(QueryKindName(*kind)) +
+                                     " needs a query node");
+    }
+    request->node = static_cast<NodeId>(node);
+  }
+  double param = kQueryParamUseDefault;
+  if (ls >> param) {
+    // An explicitly written parameter must be a real one: a negative
+    // value (including -1, the in-memory use-the-default sentinel) or
+    // NaN on the wire is a mistake, never a default request — omitting
+    // the token is how a line asks for the default.
+    if (!(param >= 0.0)) {
+      return Status::InvalidArgument(
+          std::string(QueryKindName(request->kind)) +
+          ": explicit parameter must be in [0, 1); omit it for the "
+          "default");
+    }
+    request->param = param;
+  }
+  return Status::Ok();
+}
+
+// Answers `requests` through the resident service and prints one line per
+// answer (in request order) plus a timing summary.
+int AnswerAndPrint(QueryService& service,
+                   const std::vector<QueryRequest>& requests, size_t top) {
+  Timer timer;
+  const auto batch = service.Answer(requests);
+  if (!batch) {
+    std::fprintf(stderr, "error: %s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  const double secs = timer.ElapsedSeconds();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    PrintAnswer(requests[i], batch->results[i], top);
+  }
+  std::printf("answered %zu queries in %.3fs (%.0f qps, %d threads, "
+              "epoch %llu)\n",
+              requests.size(), secs,
+              static_cast<double>(requests.size()) / std::max(secs, 1e-9),
+              service.num_workers(),
+              static_cast<unsigned long long>(batch->epoch));
+  return 0;
+}
+
+// Batch mode: one query per line, answered through the service.
+int RunQueryBatch(QueryService& service, const std::string& queries_path,
+                  size_t top) {
   std::ifstream in(queries_path);
   if (!in) {
     std::fprintf(stderr, "error: cannot load %s\n", queries_path.c_str());
@@ -296,58 +370,29 @@ int RunQueryBatch(const SummaryView& view, const std::string& queries_path,
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    std::istringstream ls(line);
-    std::string kind_name;
-    ls >> kind_name;
     // Blank lines and comments (leading whitespace allowed) are skipped.
-    if (kind_name.empty() || kind_name[0] == '#') continue;
-    const auto kind = ParseQueryKind(kind_name);
-    if (!kind) {
-      std::fprintf(stderr, "error: %s:%zu: unknown query kind '%s'\n",
-                   queries_path.c_str(), line_no, kind_name.c_str());
+    std::istringstream probe(line);
+    std::string first;
+    probe >> first;
+    if (first.empty() || first[0] == '#') continue;
+    QueryRequest request;
+    if (Status s = ParseQueryLine(line, &request); !s) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", queries_path.c_str(),
+                   line_no, s.message().c_str());
       return 1;
     }
-    QueryRequest request;
-    request.kind = *kind;
-    if (IsNodeQuery(*kind)) {
-      uint64_t node = 0;
-      if (!(ls >> node) || node >= view.num_nodes()) {
-        std::fprintf(stderr, "error: %s:%zu: bad or out-of-range node\n",
-                     queries_path.c_str(), line_no);
-        return 1;
-      }
-      request.node = static_cast<NodeId>(node);
-    }
-    double param = -1.0;
-    if (ls >> param) {
-      // restart_prob / decay / damping all live in [0, 1]; rejecting
-      // anything else also catches a node id on a whole-graph query line
-      // ("pagerank 17"), which would otherwise silently become the
-      // parameter.
-      if (param < 0.0 || param > 1.0) {
-        std::fprintf(stderr,
-                     "error: %s:%zu: parameter %g out of range [0, 1]\n",
-                     queries_path.c_str(), line_no, param);
-        return 1;
-      }
-      request.param = param;
+    // Semantic validation here too, so an error names the file and line
+    // instead of a batch index that skips comments and blanks.
+    if (auto canon =
+            CanonicalizeRequest(request, service.view()->num_nodes());
+        !canon) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", queries_path.c_str(),
+                   line_no, canon.status().ToString().c_str());
+      return 1;
     }
     requests.push_back(request);
   }
-
-  const int workers = QueryWorkerCount(threads);
-  ThreadPool pool(workers);
-  Timer timer;
-  const auto results = AnswerBatch(view, requests, pool);
-  const double secs = timer.ElapsedSeconds();
-  for (size_t i = 0; i < requests.size(); ++i) {
-    PrintAnswer(requests[i], results[i], top);
-  }
-  std::printf("answered %zu queries in %.3fs (%.0f qps, %d threads)\n",
-              requests.size(), secs,
-              static_cast<double>(requests.size()) / std::max(secs, 1e-9),
-              workers);
-  return 0;
+  return AnswerAndPrint(service, requests, top);
 }
 
 int CmdQuery(const Args& args) {
@@ -357,32 +402,139 @@ int CmdQuery(const Args& args) {
   }
   auto summary = LoadSummary(args.positional[0]);
   if (!summary) {
-    std::fprintf(stderr, "error: cannot load %s\n",
-                 args.positional[0].c_str());
+    std::fprintf(stderr, "error: %s\n",
+                 summary.status().ToString().c_str());
     return 2;
   }
-  const SummaryView view(*summary);
   const size_t top = static_cast<size_t>(args.FlagInt("top", 10));
 
-  if (batch) {
-    return RunQueryBatch(view, *args.Flag("queries"),
-                         static_cast<int>(args.FlagInt("threads", 0)), top);
-  }
+  QueryService::Options options;
+  // Single-shot queries need no fan-out; batch mode defaults to all
+  // cores.
+  options.num_threads =
+      batch ? static_cast<int>(args.FlagInt("threads", 0)) : 1;
+  QueryService service(*summary, options);
+
+  if (batch) return RunQueryBatch(service, *args.Flag("queries"), top);
 
   const auto kind = ParseQueryKind(args.positional[1]);
-  if (!kind) return Usage();
+  if (!kind) {
+    std::fprintf(stderr, "error: unknown query kind '%s'; valid kinds: %s\n",
+                 args.positional[1].c_str(), QueryKindList().c_str());
+    return 1;
+  }
   QueryRequest request;
   request.kind = *kind;
   if (IsNodeQuery(*kind)) {
-    const NodeId q = static_cast<NodeId>(
+    request.node = static_cast<NodeId>(
         std::strtoul(args.positional[2].c_str(), nullptr, 10));
-    if (q >= view.num_nodes()) {
-      std::fprintf(stderr, "error: node %u out of range\n", q);
-      return 1;
-    }
-    request.node = q;
   }
-  PrintAnswer(request, AnswerQuery(view, request), top);
+  const auto result = service.AnswerOne(request);
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintAnswer(request, *result, top);
+  return 0;
+}
+
+// Resident serving loop: line-delimited query batches over stdin/stdout.
+int CmdServe(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  auto summary = LoadSummary(args.positional[0]);
+  if (!summary) {
+    std::fprintf(stderr, "error: %s\n",
+                 summary.status().ToString().c_str());
+    return 2;
+  }
+  QueryService::Options options;
+  options.num_threads = static_cast<int>(args.FlagInt("threads", 0));
+  if (auto g = args.FlagInt("grain", -1); g >= 1) {
+    options.cheap_grain = static_cast<size_t>(g);
+  }
+  QueryService service(*summary, options);
+  const size_t top = static_cast<size_t>(args.FlagInt("top", 10));
+  std::printf("serving %s: epoch %llu, %d threads (blank line answers the "
+              "pending batch; directives: publish <path>, epoch, stats)\n",
+              args.positional[0].c_str(),
+              static_cast<unsigned long long>(service.epoch()),
+              service.num_workers());
+
+  std::fflush(stdout);
+  const auto view_nodes = [&] { return service.view()->num_nodes(); };
+
+  std::vector<QueryRequest> pending;
+  // Answers go to a co-process over a (fully buffered) pipe as often as
+  // to a terminal, so every batch and directive response is flushed —
+  // otherwise the client deadlocks waiting for output stdio is holding.
+  const auto Flush = [&] {
+    if (!pending.empty()) {
+      AnswerAndPrint(service, pending, top);
+      pending.clear();
+    }
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first.empty()) {
+      Flush();
+    } else if (first[0] == '#') {
+      continue;
+    } else if (first == "publish") {
+      // Queries buffered before the swap are answered against the epoch
+      // that was live when they were issued.
+      Flush();
+      std::string path;
+      if (!(ls >> path)) {
+        std::fprintf(stderr, "error: publish needs a summary path\n");
+        continue;
+      }
+      auto next = LoadSummary(path);
+      if (!next) {
+        std::fprintf(stderr, "error: %s\n", next.status().ToString().c_str());
+        continue;
+      }
+      const uint64_t epoch = service.Publish(*next);
+      std::printf("epoch %llu published (%u supernodes)\n",
+                  static_cast<unsigned long long>(epoch),
+                  next->num_supernodes());
+      std::fflush(stdout);
+    } else if (first == "epoch") {
+      Flush();
+      std::printf("epoch %llu\n",
+                  static_cast<unsigned long long>(service.epoch()));
+      std::fflush(stdout);
+    } else if (first == "stats") {
+      Flush();
+      const auto stats = service.cache_stats();
+      std::printf("epoch %llu cache_hits %llu computations %llu\n",
+                  static_cast<unsigned long long>(service.epoch()),
+                  static_cast<unsigned long long>(stats.hits),
+                  static_cast<unsigned long long>(stats.computations));
+      std::fflush(stdout);
+    } else {
+      QueryRequest request;
+      if (Status s = ParseQueryLine(line, &request); !s) {
+        std::fprintf(stderr, "error: %s\n", s.message().c_str());
+        continue;
+      }
+      // Semantic validation per line too (node range, params), so one
+      // bad line is rejected here instead of failing the whole batch at
+      // flush. The publish-flushes-first rule above means the epoch
+      // validated against is the epoch the query will be served from.
+      if (auto canon = CanonicalizeRequest(request, view_nodes()); !canon) {
+        std::fprintf(stderr, "error: %s\n",
+                     canon.status().ToString().c_str());
+        continue;
+      }
+      pending.push_back(request);
+    }
+  }
+  Flush();
   return 0;
 }
 
@@ -391,7 +543,8 @@ int CmdEvaluate(const Args& args) {
   auto graph = LoadEdgeList(args.positional[0]);
   auto summary = LoadSummary(args.positional[1]);
   if (!graph || !summary) {
-    std::fprintf(stderr, "error: cannot load inputs\n");
+    const Status& bad = !graph ? graph.status() : summary.status();
+    std::fprintf(stderr, "error: %s\n", bad.ToString().c_str());
     return 2;
   }
   if (summary->num_nodes() != graph->num_nodes()) {
@@ -429,6 +582,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "summarize") return CmdSummarize(args);
   if (command == "query") return CmdQuery(args);
+  if (command == "serve") return CmdServe(args);
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "compress") return CmdCompress(args);
   return Usage();
