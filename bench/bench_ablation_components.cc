@@ -76,7 +76,7 @@ void Run() {
     auto w = PersonalWeights::Compute(g, queries, base.alpha);
 
     for (const Variant& v : variants) {
-      auto result = SummarizeGraphToRatio(g, queries, ratio, v.config);
+      auto result = *SummarizeGraphToRatio(g, queries, ratio, v.config);
       auto acc =
           MeasureSummaryAccuracy(g, result.summary, queries, QueryType::kRwr);
       table.AddRow({ds.abbrev, v.name,

@@ -39,7 +39,7 @@ void Run() {
         config.alpha = 1.25;
         config.seed = 9;
         config.merge_score = score;
-        auto result = SummarizeGraphToRatio(g, queries, ratio, config);
+        auto result = *SummarizeGraphToRatio(g, queries, ratio, config);
         auto acc =
             MeasureSummaryAccuracy(g, result.summary, queries, QueryType::kRwr);
         table.AddRow(

@@ -44,7 +44,7 @@ void Run() {
       PegasusConfig config;
       config.alpha = alpha;
       config.seed = 4;
-      auto result = SummarizeGraphToRatio(g, queries, ratio, config);
+      auto result = *SummarizeGraphToRatio(g, queries, ratio, config);
       // Score with Spearman (the SC panel of Fig. 10); evaluate on a
       // subsample of queries for speed.
       std::vector<NodeId> eval_queries(queries.begin(),

@@ -56,7 +56,7 @@ void Run() {
         config.alpha = 1.25;
         config.beta = beta;
         config.seed = 6;
-        auto result = SummarizeGraphToRatio(g, queries, ratio, config);
+        auto result = *SummarizeGraphToRatio(g, queries, ratio, config);
         int i = 0;
         for (QueryType type :
              {QueryType::kRwr, QueryType::kHop, QueryType::kPhp}) {

@@ -75,7 +75,7 @@ void Run() {
       }
       // SSumM: one shared non-personalized summary.
       {
-        auto result = SsummSummarizeToRatio(g, ratio, {.seed = 8});
+        auto result = *SsummSummarizeToRatio(g, ratio, {.seed = 8});
         auto rwr =
             MeasureSummaryAccuracy(g, result.summary, queries, QueryType::kRwr,
                                    &truth_rwr);

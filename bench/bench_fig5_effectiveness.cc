@@ -45,9 +45,9 @@ void Run() {
     PegasusConfig base_config;
     base_config.alpha = 1.0;
     base_config.seed = 1;
-    auto base = SummarizeGraphToRatio(g, {}, ratio, base_config);
+    auto base = *SummarizeGraphToRatio(g, {}, ratio, base_config);
     // SSumM reference.
-    auto ssumm = SsummSummarizeToRatio(g, ratio, {.seed = 1});
+    auto ssumm = *SsummSummarizeToRatio(g, ratio, {.seed = 1});
 
     Table table({"alpha", "|T|", "RelErr(PeGaSus)", "RelErr(SSumM)"});
     for (double alpha : alphas) {
@@ -66,7 +66,7 @@ void Run() {
         if (frac < 0) {
           // |T| = 1: one summary per test node, personalized to it alone.
           for (NodeId u : test_nodes) {
-            auto personalized = SummarizeGraphToRatio(g, {u}, ratio, config);
+            auto personalized = *SummarizeGraphToRatio(g, {u}, ratio, config);
             auto w = PersonalWeights::Compute(g, {u}, alpha);
             err += PersonalizedError(g, personalized.summary, w);
           }
@@ -82,7 +82,7 @@ void Run() {
             targets.push_back(u);
           }
           auto personalized =
-              SummarizeGraphToRatio(g, targets, ratio, config);
+              *SummarizeGraphToRatio(g, targets, ratio, config);
           err = ErrorAtTestNodes(g, personalized.summary, test_nodes, alpha);
         }
         table.AddRow({FormatDouble(alpha, 2),

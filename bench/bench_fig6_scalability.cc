@@ -49,7 +49,7 @@ void RunOnGraph(const std::string& name, const Graph& full,
     PegasusConfig config;
     config.seed = 5;
     Timer timer;
-    auto result = SummarizeGraphToRatio(g, targets, 0.5, config);
+    auto result = *SummarizeGraphToRatio(g, targets, 0.5, config);
     const double secs = timer.ElapsedSeconds();
     (void)result;
     table.AddRow({FormatDouble(pct / 100.0, 1), FormatCount(g.num_nodes()),

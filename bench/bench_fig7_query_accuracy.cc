@@ -73,11 +73,11 @@ void Run() {
       PegasusConfig config;
       config.alpha = 1.25;
       config.seed = 2;
-      auto pegasus_result = SummarizeGraphToRatio(g, queries, ratio, config);
+      auto pegasus_result = *SummarizeGraphToRatio(g, queries, ratio, config);
       ReportRow(table, "PeGaSus", CompressionRatio(g, pegasus_result.summary),
                 g, pegasus_result.summary, queries, truths);
 
-      auto ssumm_result = SsummSummarizeToRatio(g, ratio, {.seed = 2});
+      auto ssumm_result = *SsummSummarizeToRatio(g, ratio, {.seed = 2});
       ReportRow(table, "SSumM", CompressionRatio(g, ssumm_result.summary), g,
                 ssumm_result.summary, queries, truths);
     }
@@ -88,7 +88,7 @@ void Run() {
             std::max<uint32_t>(2, static_cast<uint32_t>(frac * g.num_nodes()));
         SaagsConfig saags_config;
         saags_config.time_limit_seconds = kBaselineTimeLimit;
-        auto saags = SaagsSummarize(g, k, saags_config);
+        auto saags = *SaagsSummarize(g, k, saags_config);
         if (saags.timed_out) {
           table.AddRow({"SAAGs", FormatDouble(frac, 2), "o.o.t", "", "", "",
                         "", ""});
@@ -100,7 +100,7 @@ void Run() {
 
         GrassConfig grass_config;
         grass_config.time_limit_seconds = kBaselineTimeLimit;
-        auto grass = GrassSummarize(g, k, grass_config);
+        auto grass = *GrassSummarize(g, k, grass_config);
         if (grass.timed_out) {
           table.AddRow({"k-GraSS", FormatDouble(frac, 2), "o.o.t", "", "",
                         "", "", ""});
@@ -112,7 +112,7 @@ void Run() {
 
         S2lConfig s2l_config;
         s2l_config.time_limit_seconds = kBaselineTimeLimit;
-        auto s2l = S2lSummarize(g, k, s2l_config);
+        auto s2l = *S2lSummarize(g, k, s2l_config);
         if (s2l.timed_out) {
           table.AddRow({"S2L", FormatDouble(frac, 2), "o.o.t/o.o.m", "", "",
                         "", "", ""});

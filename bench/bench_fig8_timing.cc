@@ -84,7 +84,7 @@ void Run() {
       Timer timer;
       PegasusConfig config;
       config.alpha = 1.25;
-      auto r = SummarizeGraphToRatio(g, queries, 0.5, config);
+      auto r = *SummarizeGraphToRatio(g, queries, 0.5, config);
       const double secs = timer.ElapsedSeconds();
       auto qt = TimeSummaryQueries(r.summary, queries);
       table.AddRow({ds.abbrev, "PeGaSus", FormatDouble(secs, 3),
@@ -93,7 +93,7 @@ void Run() {
     }
     {
       Timer timer;
-      auto r = SsummSummarizeToRatio(g, 0.5);
+      auto r = *SsummSummarizeToRatio(g, 0.5);
       const double secs = timer.ElapsedSeconds();
       auto qt = TimeSummaryQueries(r.summary, queries);
       table.AddRow({ds.abbrev, "SSumM", FormatDouble(secs, 3),
@@ -106,7 +106,7 @@ void Run() {
         SaagsConfig config;
         config.time_limit_seconds = kBaselineTimeLimit;
         Timer timer;
-        auto r = SaagsSummarize(g, k, config);
+        auto r = *SaagsSummarize(g, k, config);
         if (r.timed_out) {
           table.AddRow({ds.abbrev, "SAAGs", "o.o.t", "", "", ""});
         } else {
@@ -122,7 +122,7 @@ void Run() {
         GrassConfig config;
         config.time_limit_seconds = kBaselineTimeLimit;
         Timer timer;
-        auto r = GrassSummarize(g, k, config);
+        auto r = *GrassSummarize(g, k, config);
         if (r.timed_out) {
           table.AddRow({ds.abbrev, "k-GraSS", "o.o.t", "", "", ""});
         } else {
@@ -138,7 +138,7 @@ void Run() {
         S2lConfig config;
         config.time_limit_seconds = kBaselineTimeLimit;
         Timer timer;
-        auto r = S2lSummarize(g, k, config);
+        auto r = *S2lSummarize(g, k, config);
         if (r.timed_out) {
           table.AddRow({ds.abbrev, "S2L", "o.o.t/o.o.m", "", "", ""});
         } else {

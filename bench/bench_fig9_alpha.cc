@@ -60,7 +60,7 @@ void Run() {
         PegasusConfig config;
         config.alpha = alpha;
         config.seed = 3;
-        auto result = SummarizeGraphToRatio(g, queries, ratio, config);
+        auto result = *SummarizeGraphToRatio(g, queries, ratio, config);
         int i = 0;
         for (QueryType type :
              {QueryType::kRwr, QueryType::kHop, QueryType::kPhp}) {

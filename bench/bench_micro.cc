@@ -112,7 +112,7 @@ BENCHMARK(BM_SummarizeEndToEnd)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
 
 void BM_PersonalizedError(benchmark::State& state) {
   Graph g = MakeGraph(1 << 13);
-  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0}, 0.5);
   auto w = PersonalWeights::Compute(g, {0}, 1.25);
   for (auto _ : state) {
     benchmark::DoNotOptimize(PersonalizedError(g, result.summary, w));
@@ -122,7 +122,7 @@ BENCHMARK(BM_PersonalizedError);
 
 void BM_SummaryRwr(benchmark::State& state) {
   Graph g = MakeGraph(1 << 13);
-  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0}, 0.5);
   IterativeQueryOptions opts;
   opts.max_iterations = 30;
   for (auto _ : state) {
@@ -134,7 +134,7 @@ BENCHMARK(BM_SummaryRwr);
 
 void BM_SummaryHop(benchmark::State& state) {
   Graph g = MakeGraph(1 << 13);
-  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0}, 0.5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(FastSummaryHopDistances(result.summary, 0));
   }

@@ -54,7 +54,7 @@ void Run() {
     config.seed = 5;
     config.num_threads = threads;
     Timer timer;
-    auto result = SummarizeGraphToRatio(synth, targets, 0.5, config);
+    auto result = *SummarizeGraphToRatio(synth, targets, 0.5, config);
     const double secs = timer.ElapsedSeconds();
     if (threads == 1) serial_secs = secs;
     table.AddRow({FormatCount(static_cast<uint64_t>(threads)),

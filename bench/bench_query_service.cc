@@ -114,7 +114,7 @@ int Run() {
   PegasusConfig config;
   config.seed = 5;
   auto summarized =
-      SummarizeGraphToRatio(graph, SampleNodes(graph, 50, 13), 0.5, config);
+      *SummarizeGraphToRatio(graph, SampleNodes(graph, 50, 13), 0.5, config);
   const SummaryGraph& summary = summarized.summary;
   const SummaryView view(summary);
   std::printf("graph: BA, %u nodes, %llu edges; summary: %u supernodes, "

@@ -43,8 +43,8 @@ int main() {
   PegasusConfig config;
   config.alpha = 1.5;
   const double ratio = 0.35;
-  auto summary_u = SummarizeGraphToRatio(graph, {user_u}, ratio, config);
-  auto summary_v = SummarizeGraphToRatio(graph, {user_v}, ratio, config);
+  auto summary_u = *SummarizeGraphToRatio(graph, {user_u}, ratio, config);
+  auto summary_v = *SummarizeGraphToRatio(graph, {user_v}, ratio, config);
 
   std::printf("\nbudget: %.0f%% of the input bits each\n", ratio * 100);
   std::printf("\n               summary for u   summary for v\n");

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   PegasusConfig config;
   config.alpha = 1.25;  // degree of personalization
   config.beta = 0.1;    // adaptive-threshold quantile
-  auto result = SummarizeGraphToRatio(graph, targets, /*ratio=*/0.5, config);
+  auto result = *SummarizeGraphToRatio(graph, targets, /*ratio=*/0.5, config);
   const SummaryGraph& summary = result.summary;
 
   std::printf("summary: %u supernodes, %llu superedges (%.1f kbit, %.0f%% of "

@@ -29,7 +29,7 @@ int main() {
 
   PegasusConfig config;
   config.alpha = 1.25;  // high-diameter graph: gentle personalization
-  auto result = SummarizeGraphToRatio(roads, {traveler}, 0.3, config);
+  auto result = *SummarizeGraphToRatio(roads, {traveler}, 0.3, config);
   std::printf("map summary: %u supernodes at 30%% of the bits\n",
               result.summary.num_supernodes());
 

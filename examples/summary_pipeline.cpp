@@ -29,7 +29,7 @@ int main() {
 
   PegasusConfig config;
   config.alpha = 1.25;
-  auto result = SummarizeGraphToRatio(graph, vip_authors, 0.4, config);
+  auto result = *SummarizeGraphToRatio(graph, vip_authors, 0.4, config);
   if (Status s = SaveSummary(result.summary, artifact); !s) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;

@@ -69,7 +69,7 @@ void RepairToBudget(const Graph& graph, const PersonalWeights& weights,
   std::vector<Scored> scored;
   for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
     if (!summary.alive(a)) continue;
-    for (const auto& [b, w] : summary.superedges(a)) {
+    for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
       (void)w;
       if (b < a) continue;
       double damage = 0.0;
@@ -84,9 +84,13 @@ void RepairToBudget(const Graph& graph, const PersonalWeights& weights,
       scored.push_back({a, b, damage});
     }
   }
+  // Total order (ties by superedge id): the drop sequence is independent
+  // of enumeration order and of the stdlib's sort implementation.
   std::sort(scored.begin(), scored.end(),
             [](const Scored& x, const Scored& y) {
-              return x.damage < y.damage;
+              if (x.damage != y.damage) return x.damage < y.damage;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
             });
   for (const Scored& s : scored) {
     if (summary.SizeInBits() <= budget_bits) break;

@@ -1,6 +1,8 @@
 #include "src/baselines/grass.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <vector>
 
 #include "src/core/cost_model.h"
@@ -34,8 +36,16 @@ double SupernodeError(CostModel& cost, SupernodeId a,
 
 }  // namespace
 
-GrassResult GrassSummarize(const Graph& graph, uint32_t target_supernodes,
-                           const GrassConfig& config) {
+StatusOr<GrassResult> GrassSummarize(const Graph& graph,
+                                     uint32_t target_supernodes,
+                                     const GrassConfig& config) {
+  if (target_supernodes == 0) {
+    return Status::InvalidArgument("target supernode count must be >= 1");
+  }
+  if (std::isnan(config.sample_pairs_c) || config.sample_pairs_c <= 0.0) {
+    return Status::InvalidArgument("sample_pairs_c must be positive, got " +
+                                   std::to_string(config.sample_pairs_c));
+  }
   Timer timer;
   GrassResult result{SummaryGraph::Identity(graph)};
   SummaryGraph& summary = result.summary;

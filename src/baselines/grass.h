@@ -15,6 +15,7 @@
 
 #include "src/core/summary_graph.h"
 #include "src/graph/graph.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
@@ -33,9 +34,11 @@ struct GrassResult {
   double elapsed_seconds = 0.0;
 };
 
-// Merges until at most `target_supernodes` supernodes remain.
-GrassResult GrassSummarize(const Graph& graph, uint32_t target_supernodes,
-                           const GrassConfig& config = {});
+// Merges until at most `target_supernodes` supernodes remain. Fails with
+// kInvalidArgument on target_supernodes == 0 or sample_pairs_c <= 0.
+StatusOr<GrassResult> GrassSummarize(const Graph& graph,
+                                     uint32_t target_supernodes,
+                                     const GrassConfig& config = {});
 
 }  // namespace pegasus
 

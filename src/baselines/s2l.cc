@@ -47,8 +47,12 @@ double RowDistance(const Graph& graph, NodeId u, NodeId s) {
 
 }  // namespace
 
-S2lResult S2lSummarize(const Graph& graph, uint32_t target_supernodes,
-                       const S2lConfig& config) {
+StatusOr<S2lResult> S2lSummarize(const Graph& graph,
+                                 uint32_t target_supernodes,
+                                 const S2lConfig& config) {
+  if (target_supernodes == 0) {
+    return Status::InvalidArgument("target supernode count must be >= 1");
+  }
   Timer timer;
   const NodeId n = graph.num_nodes();
   const uint32_t k = std::min<uint32_t>(target_supernodes, n);

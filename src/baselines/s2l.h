@@ -19,6 +19,7 @@
 
 #include "src/core/summary_graph.h"
 #include "src/graph/graph.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
@@ -33,8 +34,10 @@ struct S2lResult {
   double elapsed_seconds = 0.0;
 };
 
-S2lResult S2lSummarize(const Graph& graph, uint32_t target_supernodes,
-                       const S2lConfig& config = {});
+// Fails with kInvalidArgument on target_supernodes == 0.
+StatusOr<S2lResult> S2lSummarize(const Graph& graph,
+                                 uint32_t target_supernodes,
+                                 const S2lConfig& config = {});
 
 }  // namespace pegasus
 

@@ -72,8 +72,16 @@ class SketchBank {
 
 }  // namespace
 
-SaagsResult SaagsSummarize(const Graph& graph, uint32_t target_supernodes,
-                           const SaagsConfig& config) {
+StatusOr<SaagsResult> SaagsSummarize(const Graph& graph,
+                                     uint32_t target_supernodes,
+                                     const SaagsConfig& config) {
+  if (target_supernodes == 0) {
+    return Status::InvalidArgument("target supernode count must be >= 1");
+  }
+  if (config.sketch_width == 0 || config.sketch_depth == 0) {
+    return Status::InvalidArgument(
+        "count-min sketch needs width >= 1 and depth >= 1");
+  }
   Timer timer;
   SaagsResult result{SummaryGraph::Identity(graph)};
   SummaryGraph& summary = result.summary;

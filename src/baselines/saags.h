@@ -17,6 +17,7 @@
 
 #include "src/core/summary_graph.h"
 #include "src/graph/graph.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
@@ -33,8 +34,11 @@ struct SaagsResult {
   double elapsed_seconds = 0.0;
 };
 
-SaagsResult SaagsSummarize(const Graph& graph, uint32_t target_supernodes,
-                           const SaagsConfig& config = {});
+// Fails with kInvalidArgument on target_supernodes == 0 or a degenerate
+// sketch shape (width or depth of 0).
+StatusOr<SaagsResult> SaagsSummarize(const Graph& graph,
+                                     uint32_t target_supernodes,
+                                     const SaagsConfig& config = {});
 
 }  // namespace pegasus
 

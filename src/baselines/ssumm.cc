@@ -1,9 +1,13 @@
 #include "src/baselines/ssumm.h"
 
+#include <cmath>
+#include <string>
+
 namespace pegasus {
 
-SummarizationResult SsummSummarize(const Graph& graph, double budget_bits,
-                                   const SsummConfig& config) {
+StatusOr<SummarizationResult> SsummSummarize(const Graph& graph,
+                                             double budget_bits,
+                                             const SsummConfig& config) {
   PegasusConfig pc;
   pc.alpha = 1.0;  // uniform weights: plain reconstruction error
   pc.max_iterations = config.max_iterations;
@@ -15,8 +19,13 @@ SummarizationResult SsummSummarize(const Graph& graph, double budget_bits,
   return SummarizeGraph(graph, /*targets=*/{}, budget_bits, pc);
 }
 
-SummarizationResult SsummSummarizeToRatio(const Graph& graph, double ratio,
-                                          const SsummConfig& config) {
+StatusOr<SummarizationResult> SsummSummarizeToRatio(const Graph& graph,
+                                                    double ratio,
+                                                    const SsummConfig& config) {
+  if (std::isnan(ratio) || ratio <= 0.0 || ratio > 1.0) {
+    return Status::InvalidArgument("compression ratio must be in (0, 1], got " +
+                                   std::to_string(ratio));
+  }
   return SsummSummarize(graph, ratio * graph.SizeInBits(), config);
 }
 

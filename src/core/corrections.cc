@@ -26,10 +26,11 @@ EdgeCorrections ComputeCorrections(const Graph& graph,
     }
   }
 
-  // Negative corrections: block pairs without a real edge.
+  // Negative corrections: block pairs without a real edge (canonical
+  // superedge order; the lists are sorted below either way).
   for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
     if (!summary.alive(a)) continue;
-    for (const auto& [b, w] : summary.superedges(a)) {
+    for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
       (void)w;
       if (b < a) continue;
       const auto& ma = summary.members(a);

@@ -19,9 +19,12 @@ DynamicSummary::DynamicSummary(Graph graph, std::vector<NodeId> targets,
     : graph_(std::move(graph)),
       targets_(std::move(targets)),
       options_(options) {
-  summary_ = SummarizeGraphToRatio(graph_, targets_, options_.ratio,
-                                   options_.config)
-                 .summary;
+  auto result = SummarizeGraphToRatio(graph_, targets_, options_.ratio,
+                                      options_.config);
+  // Options carries a ratio/config validated by the caller's contract; a
+  // failure here is a programming error.
+  assert(result.ok());
+  summary_ = std::move(*result).summary;
 }
 
 bool DynamicSummary::AddEdge(NodeId u, NodeId v) {
@@ -109,8 +112,10 @@ void DynamicSummary::Rebuild() {
   PegasusConfig config = options_.config;
   config.seed = SplitMix64(config.seed + 0x2545f4914f6cdd1dULL *
                                              (rebuild_count_ + 1));
-  summary_ = SummarizeGraphToRatio(graph_, targets_, options_.ratio, config)
-                 .summary;
+  auto result = SummarizeGraphToRatio(graph_, targets_, options_.ratio,
+                                      config);
+  assert(result.ok());
+  summary_ = std::move(*result).summary;
   ++rebuild_count_;
 }
 

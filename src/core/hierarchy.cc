@@ -21,10 +21,12 @@ SummaryHierarchy SummaryHierarchy::Build(const Graph& graph,
     SummaryGraph start = hierarchy.levels_.empty()
                              ? SummaryGraph::Identity(graph)
                              : hierarchy.levels_.back();
-    hierarchy.levels_.push_back(
-        SummarizeGraphFrom(graph, targets, budget, std::move(start),
-                           level_config)
-            .summary);
+    auto level = SummarizeGraphFrom(graph, targets, budget, std::move(start),
+                                    level_config);
+    // Build's own contract (asserted ratios, caller-validated config)
+    // guarantees valid inputs; a failure here is a programming error.
+    assert(level.ok());
+    hierarchy.levels_.push_back(std::move(*level).summary);
   }
   return hierarchy;
 }

@@ -1,5 +1,8 @@
 #include "src/core/pegasus.h"
 
+#include <cmath>
+#include <string>
+
 #include "src/core/parallel_engine.h"
 #include "src/core/personal_weights.h"
 #include "src/util/bits.h"
@@ -70,19 +73,67 @@ void DriveToBudget(const Graph& graph, double budget_bits,
 
 }  // namespace
 
-SummarizationResult SummarizeGraph(const Graph& graph,
+Status ValidateSummarizationInputs(const Graph& graph,
                                    const std::vector<NodeId>& targets,
                                    double budget_bits,
                                    const PegasusConfig& config) {
+  // Zero is meaningful ("compress as far as the pipeline can"): it is
+  // what any ratio yields on an edgeless graph, whose SizeInBits() is 0.
+  if (std::isnan(budget_bits) || budget_bits < 0.0) {
+    return Status::InvalidArgument("budget_bits must be non-negative, got " +
+                                   std::to_string(budget_bits));
+  }
+  if (std::isnan(config.alpha) || config.alpha < 1.0) {
+    return Status::InvalidArgument("alpha must be >= 1, got " +
+                                   std::to_string(config.alpha));
+  }
+  if (std::isnan(config.beta) || config.beta < 0.0 || config.beta > 1.0) {
+    return Status::InvalidArgument("beta must be in [0, 1], got " +
+                                   std::to_string(config.beta));
+  }
+  if (config.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive, got " +
+                                   std::to_string(config.max_iterations));
+  }
+  if (config.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0, got " +
+                                   std::to_string(config.num_threads));
+  }
+  if (config.max_forced_rounds < 0) {
+    return Status::InvalidArgument("max_forced_rounds must be >= 0, got " +
+                                   std::to_string(config.max_forced_rounds));
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] >= graph.num_nodes()) {
+      return Status::OutOfRange(
+          "target " + std::to_string(i) + " (node " +
+          std::to_string(targets[i]) + ") out of range [0, " +
+          std::to_string(graph.num_nodes()) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<SummarizationResult> SummarizeGraph(
+    const Graph& graph, const std::vector<NodeId>& targets,
+    double budget_bits, const PegasusConfig& config) {
   return SummarizeGraphFrom(graph, targets, budget_bits,
                             SummaryGraph::Identity(graph), config);
 }
 
-SummarizationResult SummarizeGraphFrom(const Graph& graph,
-                                       const std::vector<NodeId>& targets,
-                                       double budget_bits,
-                                       SummaryGraph initial,
-                                       const PegasusConfig& config) {
+StatusOr<SummarizationResult> SummarizeGraphFrom(
+    const Graph& graph, const std::vector<NodeId>& targets,
+    double budget_bits, SummaryGraph initial, const PegasusConfig& config) {
+  if (Status s = ValidateSummarizationInputs(graph, targets, budget_bits,
+                                             config);
+      !s) {
+    return s;
+  }
+  if (initial.num_nodes() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "initial summary has " + std::to_string(initial.num_nodes()) +
+        " nodes, graph has " + std::to_string(graph.num_nodes()));
+  }
   Timer timer;
   SummarizationResult result;
   result.summary = std::move(initial);
@@ -134,10 +185,13 @@ SummarizationResult SummarizeGraphFrom(const Graph& graph,
   return result;
 }
 
-SummarizationResult SummarizeGraphToRatio(const Graph& graph,
-                                          const std::vector<NodeId>& targets,
-                                          double ratio,
-                                          const PegasusConfig& config) {
+StatusOr<SummarizationResult> SummarizeGraphToRatio(
+    const Graph& graph, const std::vector<NodeId>& targets, double ratio,
+    const PegasusConfig& config) {
+  if (std::isnan(ratio) || ratio <= 0.0 || ratio > 1.0) {
+    return Status::InvalidArgument("compression ratio must be in (0, 1], got " +
+                                   std::to_string(ratio));
+  }
   return SummarizeGraph(graph, targets, ratio * graph.SizeInBits(), config);
 }
 

@@ -23,6 +23,7 @@
 #include "src/core/summary_graph.h"
 #include "src/core/threshold.h"
 #include "src/graph/graph.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
@@ -80,29 +81,41 @@ struct SummarizationResult {
   double elapsed_seconds = 0.0;
 };
 
-// Runs PeGaSus (Alg. 1). `targets` empty means T = V (non-personalized).
-// `budget_bits` is the size budget k of Eq. (3); pass
-// ratio * graph.SizeInBits() for a target compression ratio.
-SummarizationResult SummarizeGraph(const Graph& graph,
+// Validates one summarization call's inputs against `graph`. Errors
+// (also returned by the entry points below, which call this first):
+//   * kInvalidArgument — budget_bits NaN or < 0; alpha < 1 or NaN;
+//                        beta outside [0, 1]; max_iterations <= 0;
+//                        num_threads < 0; max_forced_rounds < 0
+//   * kOutOfRange      — a target node >= graph.num_nodes()
+Status ValidateSummarizationInputs(const Graph& graph,
                                    const std::vector<NodeId>& targets,
                                    double budget_bits,
-                                   const PegasusConfig& config = {});
+                                   const PegasusConfig& config);
 
-// Convenience wrapper taking a compression ratio in (0, 1].
-SummarizationResult SummarizeGraphToRatio(const Graph& graph,
-                                          const std::vector<NodeId>& targets,
-                                          double ratio,
-                                          const PegasusConfig& config = {});
+// Runs PeGaSus (Alg. 1). `targets` empty means T = V (non-personalized).
+// `budget_bits` is the size budget k of Eq. (3); pass
+// ratio * graph.SizeInBits() for a target compression ratio. Fails with
+// the typed ValidateSummarizationInputs errors instead of silently
+// running on (or asserting about) nonsensical inputs.
+StatusOr<SummarizationResult> SummarizeGraph(
+    const Graph& graph, const std::vector<NodeId>& targets,
+    double budget_bits, const PegasusConfig& config = {});
+
+// Convenience wrapper taking a compression ratio; rejects ratios outside
+// (0, 1] with kInvalidArgument.
+StatusOr<SummarizationResult> SummarizeGraphToRatio(
+    const Graph& graph, const std::vector<NodeId>& targets, double ratio,
+    const PegasusConfig& config = {});
 
 // Runs the same pipeline starting from an existing summary of `graph`
 // instead of the identity summary — used to *continue coarsening* toward a
 // smaller budget (see SummaryHierarchy). The initial summary's partition
-// and superedges are taken as-is.
-SummarizationResult SummarizeGraphFrom(const Graph& graph,
-                                       const std::vector<NodeId>& targets,
-                                       double budget_bits,
-                                       SummaryGraph initial,
-                                       const PegasusConfig& config = {});
+// and superedges are taken as-is; a node-count mismatch between `initial`
+// and `graph` is kInvalidArgument.
+StatusOr<SummarizationResult> SummarizeGraphFrom(
+    const Graph& graph, const std::vector<NodeId>& targets,
+    double budget_bits, SummaryGraph initial,
+    const PegasusConfig& config = {});
 
 }  // namespace pegasus
 

@@ -21,7 +21,7 @@ uint64_t SparsifyToBudget(const Graph& graph, CostModel& cost,
   std::vector<Scored> scored;
   const uint32_t s = summary.num_supernodes();
   for (SupernodeId a : summary.ActiveSupernodes()) {
-    for (const auto& [b, w] : summary.superedges(a)) {
+    for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
       (void)w;
       if (b < a) continue;  // each unordered superedge once
       // Recover the pair aggregates: the stored weight is the real-edge
@@ -66,8 +66,15 @@ uint64_t SparsifyToBudget(const Graph& graph, CostModel& cost,
       sc.score = cost.BitsPerError() * e;
     }
   }
+  // Total order: ties on score break by superedge id, so the drop
+  // sequence (and with it the final summary) is independent of both the
+  // candidate enumeration order and the stdlib's sort implementation.
   std::sort(scored.begin(), scored.end(),
-            [](const Scored& x, const Scored& y) { return x.score < y.score; });
+            [](const Scored& x, const Scored& y) {
+              if (x.score != y.score) return x.score < y.score;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
 
   uint64_t dropped = 0;
   for (const Scored& sc : scored) {

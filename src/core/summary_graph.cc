@@ -92,6 +92,18 @@ SupernodeId SummaryGraph::MergeSupernodes(SupernodeId a, SupernodeId b) {
   return winner;
 }
 
+std::vector<SummaryGraph::CanonicalSuperedge> SummaryGraph::CanonicalSuperedges(
+    SupernodeId a) const {
+  std::vector<CanonicalSuperedge> out;
+  out.reserve(adjacency_[a].size());
+  for (const auto& [b, w] : adjacency_[a]) out.push_back({b, w});
+  std::sort(out.begin(), out.end(),
+            [](const CanonicalSuperedge& x, const CanonicalSuperedge& y) {
+              return x.neighbor < y.neighbor;
+            });
+  return out;
+}
+
 bool SummaryGraph::HasSuperedge(SupernodeId a, SupernodeId b) const {
   return adjacency_[a].contains(b);
 }

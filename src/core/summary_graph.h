@@ -24,6 +24,16 @@
 // serving path goes one step further: it snapshots an immutable
 // SummaryView (src/query/summary_view.h) and never touches this
 // structure while answering.
+//
+// Canonical order: the adjacency maps are hash maps, whose enumeration
+// order is a standard-library implementation detail. Every *read* path
+// whose output (or floating-point summation order) can depend on
+// enumeration order must therefore iterate CanonicalSuperedges() — the
+// ascending-neighbor-id snapshot — instead of superedges(). That is what
+// pins query scores, eval metrics, and serialized summaries to the data
+// alone, byte-identical across standard libraries. superedges() remains
+// for order-insensitive consumers (membership tests, counters, and the
+// summarizers' mutation bookkeeping).
 
 #ifndef PEGASUS_CORE_SUMMARY_GRAPH_H_
 #define PEGASUS_CORE_SUMMARY_GRAPH_H_
@@ -85,6 +95,19 @@ class SummaryGraph {
   // --- Superedges ----------------------------------------------------------
 
   const AdjacencyMap& superedges(SupernodeId a) const { return adjacency_[a]; }
+
+  // One superedge of the canonical (ascending-neighbor) adjacency order.
+  struct CanonicalSuperedge {
+    SupernodeId neighbor;
+    uint32_t weight;
+    friend bool operator==(const CanonicalSuperedge&,
+                           const CanonicalSuperedge&) = default;
+  };
+
+  // Snapshot of a's superedges sorted by ascending neighbor id — the one
+  // canonical enumeration order (see the header comment). All read paths
+  // that sum or emit per-neighbor values iterate this, never the hash map.
+  std::vector<CanonicalSuperedge> CanonicalSuperedges(SupernodeId a) const;
 
   // Number of superedges |P| (each unordered pair counted once; a
   // self-loop counts once).

@@ -29,20 +29,15 @@ Status SaveSummary(const SummaryGraph& summary, const std::string& path) {
     out << dense[summary.supernode_of(u)]
         << (u + 1 == summary.num_nodes() ? '\n' : ' ');
   }
-  // Superedges are emitted in sorted (a, b) order rather than adjacency
-  // hash-map order, so the same summary always serializes to the same
-  // bytes (and a load/save round trip is byte-stable).
-  std::vector<std::pair<SupernodeId, uint32_t>> row;
+  // Superedges are emitted in sorted (a, b) order — CanonicalSuperedges
+  // already ascends in neighbor id, and dense[] is monotone in original
+  // id — so the same summary always serializes to the same bytes (and a
+  // load/save round trip is byte-stable).
   for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
     if (!summary.alive(a)) continue;
-    row.clear();
-    for (const auto& [b, w] : summary.superedges(a)) {
-      if (b < a) continue;  // dense[] preserves id order, so this dedups
-      row.emplace_back(dense[b], w);
-    }
-    std::sort(row.begin(), row.end());
-    for (const auto& [b, w] : row) {
-      out << dense[a] << ' ' << b << ' ' << w << '\n';
+    for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
+      if (b < a) continue;  // each unordered pair once
+      out << dense[a] << ' ' << dense[b] << ' ' << w << '\n';
     }
   }
   if (!out) return Status::DataLoss("write failed: " + path);

@@ -1,5 +1,7 @@
 #include "src/distributed/cluster.h"
 
+#include <cassert>
+
 #include "src/query/summary_queries.h"
 
 namespace pegasus {
@@ -15,10 +17,10 @@ SummaryCluster SummaryCluster::Build(const Graph& graph,
   for (uint32_t i = 0; i < parts.size(); ++i) {
     PegasusConfig machine_config = config;
     machine_config.seed = SplitMix64(config.seed + i + 1);
-    cluster.summaries_.push_back(
-        SummarizeGraph(graph, parts[i], budget_bits_per_machine,
-                       machine_config)
-            .summary);
+    auto machine = SummarizeGraph(graph, parts[i], budget_bits_per_machine,
+                                  machine_config);
+    assert(machine.ok());
+    cluster.summaries_.push_back(std::move(*machine).summary);
   }
   return cluster;
 }

@@ -35,11 +35,12 @@ double PersonalizedError(const Graph& graph, const SummaryGraph& summary,
     }
   }
 
-  // Total pair weight spanned by superedges.
+  // Total pair weight spanned by superedges, accumulated in canonical
+  // order so the (floating-point) metric is stdlib-independent.
   double w_reconstructed = 0.0;
   for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
     if (!summary.alive(a)) continue;
-    for (const auto& [b, w] : summary.superedges(a)) {
+    for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
       (void)w;
       if (b < a) continue;
       if (a == b) {

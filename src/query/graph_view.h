@@ -45,10 +45,14 @@ class SummaryNeighborhoodView {
 
   NodeId num_nodes() const { return summary_.num_nodes(); }
 
+  // Enumeration order is canonical (ascending neighbor supernode id, then
+  // member order), so order-sensitive algorithms over the view — DFS
+  // preorder in particular — are fixed by the data, not the stdlib's
+  // hash-map layout.
   template <typename Fn>
   void ForEachNeighbor(NodeId u, Fn&& fn) const {
     const SupernodeId a = summary_.supernode_of(u);
-    for (const auto& [b, w] : summary_.superedges(a)) {
+    for (const auto& [b, w] : summary_.CanonicalSuperedges(a)) {
       (void)w;
       for (NodeId v : summary_.members(b)) {
         if (v != u) fn(v);

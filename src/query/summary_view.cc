@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "src/graph/bfs.h"
 
@@ -11,9 +10,6 @@ namespace pegasus {
 namespace {
 
 // Number of node pairs spanned by superedge {a, b} and its density.
-// These mirror reference_queries.cc operation-for-operation: the
-// per-edge densities precomputed here must be bit-identical to the
-// values the pre-view implementations recompute on the fly.
 double BlockPairs(const SummaryGraph& s, SupernodeId a, SupernodeId b) {
   const double na = static_cast<double>(s.members(a).size());
   if (a == b) return na * (na - 1.0) / 2.0;
@@ -33,9 +29,9 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
   num_nodes_ = summary.num_nodes();
   const SupernodeId bound = summary.id_bound();
 
-  // Densify supernode ids in ascending original-id order, so per-supernode
-  // sweeps visit exactly the sequence the pre-view code's
-  // `for (a = 0; a < bound; ++a) if (alive(a))` loops did.
+  // Densify supernode ids in ascending original-id order. Because the
+  // relabeling is monotone, ascending original neighbor id and ascending
+  // dense neighbor id are the same order — the canonical one.
   std::vector<uint32_t> dense(bound, UINT32_MAX);
   uint32_t next = 0;
   for (SupernodeId a = 0; a < bound; ++a) {
@@ -82,12 +78,12 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
     const double na = static_cast<double>(mem.size());
     member_count_[da] = na;
 
-    // Accumulate both member-degree modes in the adjacency map's own
-    // enumeration order — the order MemberDegree() summed in.
+    // Accumulate both member-degree modes in canonical ascending-neighbor
+    // order; the CSR slots are filled in the same pass, already sorted.
     double deg_w = 0.0;
     double deg_uw = 0.0;
     uint64_t pos = edge_begin_[da];
-    for (const auto& [b, w] : summary.superedges(a)) {
+    for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
       const double d = WeightedBlockDensity(summary, a, b, w);
       const double cnt = b == a
                              ? na - 1.0
@@ -106,30 +102,15 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
     member_deg_w_[da] = deg_w;
     member_deg_uw_[da] = deg_uw;
   }
-
-  // Per-supernode dst-sorted index for O(log deg) pair lookups.
-  sorted_edge_idx_.resize(edge_dst_.size());
-  std::iota(sorted_edge_idx_.begin(), sorted_edge_idx_.end(), 0u);
-  for (uint32_t a = 0; a < s; ++a) {
-    std::sort(sorted_edge_idx_.begin() + static_cast<ptrdiff_t>(edge_begin_[a]),
-              sorted_edge_idx_.begin() +
-                  static_cast<ptrdiff_t>(edge_begin_[a + 1]),
-              [&](uint32_t x, uint32_t y) {
-                return edge_dst_[x] < edge_dst_[y];
-              });
-  }
 }
 
 int64_t SummaryView::FindEdge(uint32_t a, uint32_t b) const {
-  const auto begin =
-      sorted_edge_idx_.begin() + static_cast<ptrdiff_t>(edge_begin_[a]);
+  const auto begin = edge_dst_.begin() + static_cast<ptrdiff_t>(edge_begin_[a]);
   const auto end =
-      sorted_edge_idx_.begin() + static_cast<ptrdiff_t>(edge_begin_[a + 1]);
-  const auto it = std::lower_bound(
-      begin, end, b,
-      [&](uint32_t idx, uint32_t dst) { return edge_dst_[idx] < dst; });
-  if (it == end || edge_dst_[*it] != b) return -1;
-  return static_cast<int64_t>(*it);
+      edge_dst_.begin() + static_cast<ptrdiff_t>(edge_begin_[a + 1]);
+  const auto it = std::lower_bound(begin, end, b);
+  if (it == end || *it != b) return -1;
+  return it - edge_dst_.begin();
 }
 
 uint32_t SummaryView::EdgeWeight(uint32_t a, uint32_t b) const {
@@ -378,9 +359,8 @@ std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,
     double prob;   // density of the superedge {A, id}
     double count;  // eligible members (excludes u itself for id == A)
   };
-  std::vector<NeighborGroup> groups;
-  std::vector<uint32_t> by_id;     // group positions sorted by id
-  std::vector<int64_t> slot_of;    // per group position: edge slot or -1
+  std::vector<NeighborGroup> groups;  // ascends in id (CSR edge order)
+  std::vector<int64_t> slot_of;       // per group position: edge slot or -1
 
   for (uint32_t a = 0; a < view.num_supernodes(); ++a) {
     if (view.edge_begin(a) == view.edge_end(a)) continue;
@@ -391,37 +371,28 @@ std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,
       if (count <= 0.0) continue;
       groups.push_back({dst[i], den[i], count});
     }
-    // Group positions ordered by neighbor id, computed once per supernode
-    // and merged below against each neighbor's dst-sorted edge index —
-    // replacing the per-pair binary search (O(deg_S(A)^2 log deg)) with
-    // linear merges (O(deg_S(A)^2 + Σ_B deg_S(B))).
-    by_id.resize(groups.size());
-    std::iota(by_id.begin(), by_id.end(), 0u);
-    std::sort(by_id.begin(), by_id.end(), [&](uint32_t x, uint32_t y) {
-      return groups[x].id < groups[y].id;
-    });
     slot_of.assign(groups.size(), -1);
 
     double closed = 0.0, wedges = 0.0;
     for (size_t i = 0; i < groups.size(); ++i) {
       // One merge pass: which superedges {groups[i].id, groups[j].id}
-      // exist, for every j at once. Both sequences ascend in dense id.
-      const auto slots = view.sorted_edge_slots(groups[i].id);
+      // exist, for every j at once — linear merges
+      // (O(deg_S(A)^2 + Σ_B deg_S(B))) instead of per-pair binary
+      // searches. Both sequences ascend in dense id: groups inherits the
+      // canonical CSR order of a, and the neighbor's CSR range is the
+      // same canonical order.
+      const uint64_t nb_begin = view.edge_begin(groups[i].id);
+      const uint64_t nb_end = view.edge_end(groups[i].id);
       size_t g = 0;
-      for (const uint32_t slot : slots) {
+      for (uint64_t slot = nb_begin; slot < nb_end; ++slot) {
         const uint32_t b = dst[slot];
-        while (g < by_id.size() && groups[by_id[g]].id < b) {
-          slot_of[by_id[g++]] = -1;
-        }
-        if (g < by_id.size() && groups[by_id[g]].id == b) {
-          slot_of[by_id[g++]] = slot;
+        while (g < groups.size() && groups[g].id < b) slot_of[g++] = -1;
+        if (g < groups.size() && groups[g].id == b) {
+          slot_of[g++] = static_cast<int64_t>(slot);
         }
       }
-      while (g < by_id.size()) slot_of[by_id[g++]] = -1;
+      while (g < groups.size()) slot_of[g++] = -1;
 
-      // The accumulation itself is unchanged (same pair order, same
-      // arithmetic), so the output stays byte-identical to the frozen
-      // reference implementation.
       for (size_t j = i; j < groups.size(); ++j) {
         const double pairs =
             i == j ? groups[i].count * (groups[i].count - 1.0) / 2.0

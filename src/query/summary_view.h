@@ -4,29 +4,27 @@
 // from three per-supernode quantities: the member count |A|, the shared
 // member degree of A in Ĝ, and the block density of each superedge. The
 // mutable SummaryGraph stores superedges as per-supernode hash maps, so
-// the pre-view implementations recomputed all of that state on every call
-// and paid hash-map traversal inside every power-iteration sweep. A
+// answering straight off it would recompute all of that state on every
+// call and pay hash-map traversal inside every power-iteration sweep. A
 // SummaryView is built once per (immutable) summary and amortizes that
 // work across an entire query stream:
 //
-//   * supernode ids are densified to [0, |S|) (ascending original id, so
-//     sweeps visit supernodes in exactly the order the pre-view code did),
+//   * supernode ids are densified to [0, |S|) (ascending original id),
 //   * superedges live in one CSR-style edge array with the weighted block
 //     density precomputed per edge,
 //   * member lists are a flat CSR as well, and
 //   * member degrees (weighted and unweighted), self-loop densities, and
 //     member counts are precomputed per supernode.
 //
-// Byte-identity contract: for every query family, the overloads on
-// SummaryView (summary_view.cc) return bit-for-bit the same vectors as
-// the frozen pre-view implementations (reference_queries.h) on the same
-// summary. To keep floating-point accumulation orders identical, the CSR
-// stores each supernode's edges in the enumeration order of the
-// SummaryGraph's adjacency hash map at snapshot time — the order the
-// pre-view code summed in. That order is stdlib-dependent, so query
-// *scores* are deterministic per process and per view but not pinned
-// across standard libraries (the summarizer's output, by contrast, is
-// machine-invariant; see ROADMAP open items).
+// Canonical-order contract: within a supernode's range
+// [edge_begin(a), edge_end(a)) edges are stored in ascending dense
+// neighbor id — the SummaryGraph::CanonicalSuperedges() order, and the
+// ONLY edge order in the view (pair lookups binary-search the CSR
+// directly; there is no side index). Every per-edge floating-point
+// summation in the query families therefore runs in an order fixed by
+// the data alone, so query scores are byte-identical across standard
+// libraries, thread counts, and processes — the cross-stdlib goldens in
+// tests/determinism_test.cc pin exactly this.
 //
 // Thread-safety: a SummaryView is deeply const after construction; any
 // number of threads may query it concurrently (the batched engine in
@@ -67,13 +65,14 @@ class SummaryView {
   // stream only what they touch: neighbor ids and one density array
   // selected per call (edge_density(weighted) hoists the weighted /
   // unweighted decision out of the per-edge loop). Within a supernode's
-  // range [edge_begin(a), edge_end(a)) edges keep snapshot enumeration
-  // order (the byte-identity contract above).
+  // range [edge_begin(a), edge_end(a)) edges ascend in dense neighbor id
+  // (the canonical-order contract above), which is what FindEdge
+  // binary-searches and what merge-style consumers stream.
 
   uint64_t edge_begin(uint32_t a) const { return edge_begin_[a]; }
   uint64_t edge_end(uint32_t a) const { return edge_begin_[a + 1]; }
 
-  // Neighbor supernode per edge slot (dense ids).
+  // Neighbor supernode per edge slot (dense ids, ascending per supernode).
   const uint32_t* edge_dst() const { return edge_dst_.data(); }
 
   // Represented input-edge count per edge slot.
@@ -85,7 +84,8 @@ class SummaryView {
     return weighted ? edge_density_w_.data() : edge_density_uw_.data();
   }
 
-  // Neighbor ids of supernode a (for neighborhood/BFS queries).
+  // Neighbor ids of supernode a, ascending (for neighborhood/BFS queries
+  // and merge-style consumers).
   std::span<const uint32_t> edge_dsts(uint32_t a) const {
     return {edge_dst_.data() + edge_begin_[a],
             edge_dst_.data() + edge_begin_[a + 1]};
@@ -104,17 +104,9 @@ class SummaryView {
     return weighted ? self_density_w_[a] : self_density_uw_[a];
   }
 
-  // Edge-array slots of supernode a ordered by ascending neighbor id
-  // (each slot indexes edge_dst()/edge_weight()/edge_density()). This is
-  // the index FindEdge binary-searches; merge-style consumers (the
-  // clustering wedge count) stream it directly.
-  std::span<const uint32_t> sorted_edge_slots(uint32_t a) const {
-    return {sorted_edge_idx_.data() + edge_begin_[a],
-            sorted_edge_idx_.data() + edge_begin_[a + 1]};
-  }
-
-  // Edge-array slot of superedge {a, b}, or -1 if absent. O(log deg(a)).
-  // The slot indexes edge_dst()/edge_weight()/edge_density().
+  // Edge-array slot of superedge {a, b}, or -1 if absent. O(log deg(a)),
+  // a binary search of a's (ascending) CSR range. The slot indexes
+  // edge_dst()/edge_weight()/edge_density().
   int64_t FindEdge(uint32_t a, uint32_t b) const;
 
   // Weight of superedge {a, b}; 0 if absent. O(log deg(a)).
@@ -131,13 +123,10 @@ class SummaryView {
   std::vector<uint64_t> member_begin_;   // CSR offsets into members_
   std::vector<NodeId> members_;
   std::vector<uint64_t> edge_begin_;     // CSR offsets into the edge arrays
-  std::vector<uint32_t> edge_dst_;
+  std::vector<uint32_t> edge_dst_;       // ascending within each supernode
   std::vector<uint32_t> edge_weight_;
   std::vector<double> edge_density_w_;
   std::vector<double> edge_density_uw_;  // all 1.0
-  // Per supernode: edge indices sorted by dst, for EdgeWeight/EdgeDensity
-  // binary search (the iteration CSR keeps snapshot order instead).
-  std::vector<uint32_t> sorted_edge_idx_;
 
   std::vector<double> member_count_;
   std::vector<double> member_deg_w_;

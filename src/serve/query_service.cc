@@ -49,12 +49,22 @@ std::shared_ptr<const std::vector<double>> GlobalResultCache::GetOrCompute(
     std::lock_guard<std::mutex> lock(mu_);
     auto [it, inserted] = entries_.try_emplace(key);
     if (inserted) {
-      it->second = std::make_shared<Entry>();
+      lru_.push_front(key);
+      it->second = {std::make_shared<Entry>(), lru_.begin()};
       ++computations_;
+      // Capacity bound: drop least-recently-used entries (never the one
+      // just inserted). An evicted in-flight computation still completes
+      // for the callers holding its Entry; the cache simply forgets it.
+      while (capacity_ != 0 && entries_.size() > capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+      }
     } else {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       ++hits_;
     }
-    entry = it->second;
+    entry = it->second.entry;
   }
   // Exactly-once compute outside the map lock: concurrent callers of the
   // same key block here until the first one publishes the value; callers
@@ -67,8 +77,16 @@ std::shared_ptr<const std::vector<double>> GlobalResultCache::GetOrCompute(
 
 void GlobalResultCache::EvictOtherEpochs(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    it = it->first.epoch == epoch ? std::next(it) : entries_.erase(it);
+  // Epoch turnover is not a capacity eviction: superseded entries can
+  // never be requested again, so dropping them is reclamation, not
+  // pressure — evictions_ counts only the LRU bound firing.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->epoch == epoch) {
+      ++it;
+    } else {
+      entries_.erase(*it);
+      it = lru_.erase(it);
+    }
   }
 }
 
@@ -80,6 +98,11 @@ uint64_t GlobalResultCache::hits() const {
 uint64_t GlobalResultCache::computations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return computations_;
+}
+
+uint64_t GlobalResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 size_t GlobalResultCache::size() const {
@@ -222,8 +245,9 @@ StatusOr<std::vector<QueryResult>> AnswerBatch(
   auto canonical = serve::CanonicalizeBatch(requests, view.num_nodes());
   if (!canonical) return canonical.status();
   // A transient cache still dedupes global queries within this batch; a
-  // QueryService keeps one alive across batches.
-  serve::GlobalResultCache cache;
+  // QueryService keeps one alive across batches. Unbounded: it lives for
+  // one batch, whose distinct parameterizations bound it already.
+  serve::GlobalResultCache cache(/*capacity=*/0);
   return serve::RunCanonicalBatch(view, *canonical, pool, cache,
                                   /*epoch=*/0, serve::kDefaultCheapGrain);
 }
@@ -237,7 +261,9 @@ StatusOr<std::vector<QueryResult>> AnswerBatch(
 }
 
 QueryService::QueryService(Options options)
-    : options_(options), pool_(QueryWorkerCount(options.num_threads)) {}
+    : options_(options),
+      pool_(QueryWorkerCount(options.num_threads)),
+      cache_(options.cache_capacity) {}
 
 QueryService::QueryService(const SummaryGraph& summary, Options options)
     : QueryService(options) {
@@ -326,7 +352,8 @@ StatusOr<QueryResult> QueryService::AnswerOne(const QueryRequest& request) {
 }
 
 QueryService::CacheStats QueryService::cache_stats() const {
-  return {cache_.hits(), cache_.computations()};
+  return {cache_.hits(), cache_.computations(), cache_.evictions(),
+          cache_.size()};
 }
 
 }  // namespace pegasus

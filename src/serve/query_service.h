@@ -12,7 +12,9 @@
 //   * a global-result cache keyed by (epoch, kind, canonical parameters)
 //     so whole-graph families — degree, PageRank, clustering — are
 //     computed at most once per epoch per parameterization regardless of
-//     batch composition, then served by copy.
+//     batch composition, then served by copy. The cache is bounded
+//     (Options::cache_capacity, LRU eviction) so a parameter-sweeping
+//     client cannot grow it without limit within an epoch.
 //
 // Epoch semantics: epochs are 1-based and monotonic; epoch 0 means
 // nothing has been published yet (Answer fails with kFailedPrecondition).
@@ -46,6 +48,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -68,12 +71,25 @@ namespace serve {
 // modest batches.
 inline constexpr size_t kDefaultCheapGrain = 16;
 
-// Thread-safe cache of whole-graph query results. Each key is computed
-// exactly once (std::call_once per entry) no matter how many threads ask
-// for it concurrently; values are immutable and shared by pointer, so
-// eviction never invalidates an answer already being copied out.
+// Default bound on live global-result cache entries. Distinct legitimate
+// parameterizations per epoch are few (kind × weighted × a handful of
+// params); the bound exists so a parameter-sweeping client cannot grow
+// the cache without limit within one epoch.
+inline constexpr size_t kDefaultCacheCapacity = 64;
+
+// Thread-safe, capacity-bounded (LRU) cache of whole-graph query
+// results. Each key is computed exactly once per *residency* — at most
+// once per key while the key stays cached (std::call_once per entry) no
+// matter how many threads ask concurrently; a key evicted by the LRU
+// bound and requested again is recomputed. Values are immutable and
+// shared by pointer, so eviction never invalidates an answer already
+// being computed or copied out.
 class GlobalResultCache {
  public:
+  // capacity = 0 means unbounded; otherwise at most `capacity` entries
+  // stay live, evicting least-recently-used first.
+  explicit GlobalResultCache(size_t capacity = kDefaultCacheCapacity)
+      : capacity_(capacity) {}
   struct Key {
     uint64_t epoch = 0;
     QueryKind kind = QueryKind::kDegree;
@@ -102,18 +118,27 @@ class GlobalResultCache {
 
   uint64_t hits() const;          // lookups served from an existing entry
   uint64_t computations() const;  // entries ever created (== cache misses)
+  uint64_t evictions() const;     // entries dropped by the capacity bound
   size_t size() const;            // live entries
+  size_t capacity() const { return capacity_; }
 
  private:
   struct Entry {
     std::once_flag once;
     std::shared_ptr<const std::vector<double>> value;
   };
+  struct Slot {
+    std::shared_ptr<Entry> entry;
+    std::list<Key>::iterator lru_it;  // position in lru_
+  };
 
+  const size_t capacity_;
   mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> entries_;
+  std::unordered_map<Key, Slot, KeyHash> entries_;
+  std::list<Key> lru_;  // most recently used first
   uint64_t hits_ = 0;
   uint64_t computations_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 // Canonicalizes every request (CanonicalizeRequest) or fails with the
@@ -142,6 +167,9 @@ class QueryService {
     int num_threads = 0;
     // Requests per unit for cheap families; 0 behaves as 1.
     size_t cheap_grain = serve::kDefaultCheapGrain;
+    // Bound on live global-result cache entries (LRU eviction); 0 means
+    // unbounded. Evictions are reported in cache_stats().
+    size_t cache_capacity = serve::kDefaultCacheCapacity;
   };
 
   QueryService() : QueryService(Options()) {}
@@ -189,6 +217,8 @@ class QueryService {
   struct CacheStats {
     uint64_t hits = 0;
     uint64_t computations = 0;
+    uint64_t evictions = 0;  // dropped by the capacity bound (LRU)
+    size_t entries = 0;      // live entries right now
   };
   CacheStats cache_stats() const;
 

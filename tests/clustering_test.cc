@@ -45,7 +45,7 @@ TEST(SummaryClusteringTest, IdentityMatchesExact) {
 
 TEST(SummaryClusteringTest, UnweightedMatchesReconstruction) {
   Graph g = GenerateBarabasiAlbert(70, 2, 98);
-  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0}, 0.5);
   Graph reconstructed = result.summary.Reconstruct();
   auto exact = ExactClusteringCoefficients(reconstructed);
   auto approx =
@@ -57,7 +57,7 @@ TEST(SummaryClusteringTest, UnweightedMatchesReconstruction) {
 
 TEST(SummaryClusteringTest, CollapsedCliqueStaysClustered) {
   Graph g = TwoCliquesGraph(5);
-  auto result = SummarizeGraphToRatio(g, {}, 0.6);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.6);
   auto approx = SummaryClusteringCoefficients(result.summary);
   // Clique members keep a high clustering estimate.
   double total = 0.0;
@@ -67,7 +67,7 @@ TEST(SummaryClusteringTest, CollapsedCliqueStaysClustered) {
 
 TEST(SummaryClusteringTest, ValuesInUnitInterval) {
   Graph g = GenerateBarabasiAlbert(150, 3, 99);
-  auto result = SummarizeGraphToRatio(g, {1}, 0.4);
+  auto result = *SummarizeGraphToRatio(g, {1}, 0.4);
   for (bool weighted : {false, true}) {
     for (double c : SummaryClusteringCoefficients(result.summary, weighted)) {
       EXPECT_GE(c, 0.0);

@@ -46,7 +46,7 @@ class LosslessRoundTripTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(LosslessRoundTripTest, RestoreIsExact) {
   Graph g = GenerateBarabasiAlbert(150, 3, 105);
-  auto result = SummarizeGraphToRatio(g, {0, 1}, GetParam());
+  auto result = *SummarizeGraphToRatio(g, {0, 1}, GetParam());
   auto corr = ComputeCorrections(g, result.summary);
   Graph restored = RestoreGraph(result.summary, corr);
   EXPECT_EQ(restored.CanonicalEdges(), g.CanonicalEdges())
@@ -58,7 +58,7 @@ INSTANTIATE_TEST_SUITE_P(Ratios, LosslessRoundTripTest,
 
 TEST(CorrectionsTest, RoundTripOnSsummOutput) {
   Graph g = GenerateBarabasiAlbert(120, 2, 106);
-  auto result = SsummSummarizeToRatio(g, 0.5);
+  auto result = *SsummSummarizeToRatio(g, 0.5);
   auto corr = ComputeCorrections(g, result.summary);
   Graph restored = RestoreGraph(result.summary, corr);
   EXPECT_EQ(restored.CanonicalEdges(), g.CanonicalEdges());
@@ -69,7 +69,7 @@ TEST(CorrectionsTest, CompressibleGraphCompressesLosslessly) {
   // should be smaller than the plain edge-list encoding.
   Dataset ds = MakeDataset(DatasetId::kCaida, DatasetScale::kTiny, 107);
   const Graph& g = ds.graph;
-  auto result = SsummSummarizeToRatio(g, 0.6);
+  auto result = *SsummSummarizeToRatio(g, 0.6);
   auto corr = ComputeCorrections(g, result.summary);
   EXPECT_LT(LosslessSizeInBits(result.summary, corr),
             g.SizeInBits() * 1.2);

@@ -1,4 +1,5 @@
-// Determinism suite for the threading model (ISSUE 2):
+// Determinism suite for the threading model (ISSUE 2) and the canonical
+// query order (ISSUE 5):
 //
 //  1. num_threads = 1 must reproduce the pre-parallel-engine serial
 //     output bit-for-bit — pinned here against golden fixtures captured
@@ -7,6 +8,12 @@
 //     every thread count of the parallel engine (num_threads in {2, 8}
 //     here; the broader sweep lives in parallel_engine_test.cc), and each
 //     setting must be run-to-run deterministic.
+//  3. Every query family's answer bytes must match checked-in golden
+//     hashes (tests/test_util.h). The canonical sorted-adjacency pipeline
+//     fixes every floating-point summation order by the data alone, so
+//     these hashes must agree across standard libraries (gcc/libstdc++
+//     and clang/libc++ both run this suite in CI), platforms, and thread
+//     counts.
 //
 // The golden numbers pin the serial merge *schedule*, which consumes one
 // shared Rng stream — any accidental reordering of draws or evaluations
@@ -20,11 +27,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 #include <tuple>
 #include <vector>
 
 #include "src/core/pegasus.h"
 #include "src/graph/generators.h"
+#include "src/query/query_engine.h"
+#include "src/query/summary_view.h"
+#include "tests/test_util.h"
 
 namespace pegasus {
 namespace {
@@ -56,7 +68,7 @@ SummarizationResult RunCase(const GoldenCase& c, int num_threads) {
   config.alpha = c.alpha;
   config.max_iterations = c.max_iterations;
   config.num_threads = num_threads;
-  return SummarizeGraphToRatio(g, c.targets, c.ratio, config);
+  return *SummarizeGraphToRatio(g, c.targets, c.ratio, config);
 }
 
 // Captured from the serial implementation at the commit introducing the
@@ -139,6 +151,28 @@ TEST(DeterminismTest, SerialScheduleIsPinnedIndependentlyOfParallel) {
   const SummarizationResult parallel = RunCase(kGoldenA, 2);
   EXPECT_NE(serial.merge_stats.evaluations,
             parallel.merge_stats.evaluations);
+}
+
+// --- Cross-stdlib query goldens (ISSUE 5) ---------------------------------
+
+std::string Hex(uint64_t h) {
+  std::ostringstream out;
+  out << "0x" << std::hex << std::setw(16) << std::setfill('0') << h;
+  return out.str();
+}
+
+TEST(DeterminismTest, QueryAnswersMatchCrossStdlibGoldens) {
+  const Graph g = ::pegasus::testing::QueryGoldenGraph();
+  const SummaryGraph summary = ::pegasus::testing::QueryGoldenSummary(g);
+  const SummaryView view(summary);
+  for (const auto& c : ::pegasus::testing::QueryGoldenCases()) {
+    auto canon = CanonicalizeRequest(c.request, view.num_nodes());
+    ASSERT_TRUE(canon.ok()) << c.name;
+    const uint64_t got =
+        ::pegasus::testing::HashQueryResult(AnswerQuery(view, *canon));
+    EXPECT_EQ(got, c.hash) << c.name << ": actual " << Hex(got)
+                           << " golden " << Hex(c.hash);
+  }
 }
 
 }  // namespace

@@ -115,5 +115,17 @@ TEST(DynamicSummaryTest, ExactNeighborsMatchFoldedGraph) {
   }
 }
 
+// Regression: an edgeless starting graph (SizeInBits() == 0, so any
+// ratio yields a zero bit budget) is a natural initial state for a
+// *dynamic* summary and must construct, not trip budget validation.
+TEST(DynamicSummaryTest, EdgelessGraphConstructs) {
+  Graph empty(std::vector<EdgeId>(11, 0), {});
+  DynamicSummary::Options options;
+  options.ratio = 0.5;
+  DynamicSummary dynamic(std::move(empty), {}, options);
+  EXPECT_TRUE(dynamic.AddEdge(0, 1));
+  EXPECT_EQ(dynamic.ApproximateNeighbors(0), std::vector<NodeId>{1});
+}
+
 }  // namespace
 }  // namespace pegasus

@@ -65,7 +65,7 @@ TEST(ExactOptimalTest, OptimalIsLowerBoundForGreedy) {
     config.alpha = 1.5;
     config.seed = seed;
     config.max_iterations = 10;
-    auto greedy = SummarizeGraph(g, targets, budget, config);
+    auto greedy = *SummarizeGraph(g, targets, budget, config);
     const double greedy_cost = PersonalizedCost(g, greedy.summary, w);
     EXPECT_GE(greedy_cost, optimal.cost - 1e-9) << "seed " << seed;
     EXPECT_LE(greedy.final_size_bits, budget + 1e-9);
@@ -86,7 +86,7 @@ TEST(ExactOptimalTest, GreedyIsWithinFactorOfOptimal) {
     PegasusConfig config;
     config.alpha = 1.25;
     config.seed = seed;
-    auto greedy = SummarizeGraph(g, {0}, budget, config);
+    auto greedy = *SummarizeGraph(g, {0}, budget, config);
     const double greedy_cost = PersonalizedCost(g, greedy.summary, w);
     EXPECT_LE(greedy_cost, 2.5 * optimal.cost + 1e-9) << "seed " << seed;
   }

@@ -24,7 +24,7 @@ TEST(GraphViewTest, BfsMatchesDirectBfs) {
 
 TEST(GraphViewTest, SummaryBfsMatchesSummaryQueries) {
   Graph g = GenerateBarabasiAlbert(120, 3, 102);
-  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0}, 0.5);
   SummaryNeighborhoodView view(result.summary);
   for (NodeId q : {0u, 33u, 119u}) {
     EXPECT_EQ(ViewBfsDistances(view, q),
@@ -45,7 +45,7 @@ TEST(GraphViewTest, DfsVisitsWholeComponent) {
 
 TEST(GraphViewTest, DfsOnSummaryVisitsReachableSet) {
   Graph g = GenerateBarabasiAlbert(80, 2, 103);
-  auto result = SummarizeGraphToRatio(g, {}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.5);
   SummaryNeighborhoodView view(result.summary);
   auto order = ViewDfsPreorder(view, 5);
   auto dist = FastSummaryHopDistances(result.summary, 5);

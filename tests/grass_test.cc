@@ -10,7 +10,7 @@ namespace {
 
 TEST(GrassTest, ReachesTargetSupernodeCount) {
   Graph g = GenerateBarabasiAlbert(120, 2, 8);
-  auto result = GrassSummarize(g, 40);
+  auto result = *GrassSummarize(g, 40);
   EXPECT_FALSE(result.timed_out);
   EXPECT_EQ(result.summary.num_supernodes(), 40u);
 }
@@ -18,7 +18,7 @@ TEST(GrassTest, ReachesTargetSupernodeCount) {
 TEST(GrassTest, OutputIsDense) {
   // GraSS keeps a superedge for every supernode pair with >= 1 real edge.
   Graph g = ::pegasus::testing::TwoCliquesGraph(4);
-  auto result = GrassSummarize(g, 4);
+  auto result = *GrassSummarize(g, 4);
   const SummaryGraph& s = result.summary;
   for (const Edge& e : g.CanonicalEdges()) {
     EXPECT_TRUE(
@@ -31,7 +31,7 @@ TEST(GrassTest, PrefersTwinMerges) {
   Graph g = ::pegasus::testing::Fig3Graph();
   // A high sampling constant makes SamplePairs effectively exhaustive on
   // this 5-node instance, so the greedy chooses the optimal merges.
-  auto result = GrassSummarize(g, 3, {.sample_pairs_c = 25.0, .seed = 2});
+  auto result = *GrassSummarize(g, 3, {.sample_pairs_c = 25.0, .seed = 2});
   // The error-minimizing 3-supernode partition co-clusters the twin pairs
   // {0,1} and {2,3} (zero-error merges), leaving {4} alone.
   const SummaryGraph& s = result.summary;
@@ -45,18 +45,28 @@ TEST(GrassTest, TimeLimitReported) {
   Graph g = GenerateBarabasiAlbert(2000, 3, 9);
   GrassConfig config;
   config.time_limit_seconds = 1e-6;
-  auto result = GrassSummarize(g, 10, config);
+  auto result = *GrassSummarize(g, 10, config);
   EXPECT_TRUE(result.timed_out);
 }
 
 TEST(GrassTest, ValidPartition) {
   Graph g = GenerateBarabasiAlbert(100, 2, 10);
-  auto result = GrassSummarize(g, 25);
+  auto result = *GrassSummarize(g, 25);
   std::vector<uint32_t> seen(g.num_nodes(), 0);
   for (SupernodeId a : result.summary.ActiveSupernodes()) {
     for (NodeId u : result.summary.members(a)) ++seen[u];
   }
   for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(seen[u], 1u);
+}
+
+TEST(GrassTest, InvalidInputsRejectedTyped) {
+  Graph g = GenerateBarabasiAlbert(30, 2, 10);
+  EXPECT_EQ(GrassSummarize(g, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  GrassConfig config;
+  config.sample_pairs_c = 0.0;
+  EXPECT_EQ(GrassSummarize(g, 5, config).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

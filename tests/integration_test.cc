@@ -33,7 +33,7 @@ TEST_P(BudgetSweepTest, MeetsBudgetWithValidOutput) {
   const Graph& g = ds.graph;
   PegasusConfig config;
   config.max_iterations = 10;
-  auto result = SummarizeGraphToRatio(g, {0, 1}, ratio, config);
+  auto result = *SummarizeGraphToRatio(g, {0, 1}, ratio, config);
   EXPECT_LE(result.final_size_bits, ratio * g.SizeInBits() + 1e-9);
 
   std::vector<uint32_t> seen(g.num_nodes(), 0);
@@ -64,7 +64,7 @@ TEST_P(AlphaSweepTest, SummarizesAndEvaluates) {
   config.alpha = alpha;
   config.max_iterations = 8;
   std::vector<NodeId> targets{0, 10, 20};
-  auto result = SummarizeGraphToRatio(g, targets, 0.5, config);
+  auto result = *SummarizeGraphToRatio(g, targets, 0.5, config);
   EXPECT_LE(result.final_size_bits, 0.5 * g.SizeInBits() + 1e-9);
   auto w = PersonalWeights::Compute(g, targets, alpha);
   EXPECT_GE(PersonalizedError(g, result.summary, w), 0.0);
@@ -82,7 +82,7 @@ TEST_P(BetaSweepTest, Summarizes) {
   PegasusConfig config;
   config.beta = GetParam();
   config.max_iterations = 8;
-  auto result = SummarizeGraphToRatio(g, {5}, 0.4, config);
+  auto result = *SummarizeGraphToRatio(g, {5}, 0.4, config);
   EXPECT_LE(result.final_size_bits, 0.4 * g.SizeInBits() + 1e-9);
 }
 
@@ -102,7 +102,7 @@ TEST(IntegrationTest, SummaryAnswersCorrelateWithTruth) {
   }
   PegasusConfig config;
   config.alpha = 1.25;
-  auto result = SummarizeGraphToRatio(g, queries, 0.5, config);
+  auto result = *SummarizeGraphToRatio(g, queries, 0.5, config);
   for (QueryType type : {QueryType::kRwr, QueryType::kHop, QueryType::kPhp}) {
     auto acc = MeasureSummaryAccuracy(g, result.summary, queries, type);
     EXPECT_GT(acc.spearman, 0.2) << "query type " << static_cast<int>(type);
@@ -124,8 +124,8 @@ TEST(IntegrationTest, PersonalizationImprovesTargetQueryAccuracy) {
   PegasusConfig config;
   config.alpha = 1.25;
   config.seed = 7;
-  auto personalized = SummarizeGraphToRatio(g, targets, 0.5, config);
-  auto plain = SsummSummarizeToRatio(g, 0.5, {.seed = 7});
+  auto personalized = *SummarizeGraphToRatio(g, targets, 0.5, config);
+  auto plain = *SsummSummarizeToRatio(g, 0.5, {.seed = 7});
 
   // Aggregate RWR + HOP SMAPE over the target nodes; the single-dataset,
   // single-seed comparison is deterministic.
@@ -142,7 +142,7 @@ TEST(IntegrationTest, PersonalizationImprovesTargetQueryAccuracy) {
 // queries agrees with BFS on the materialized reconstruction.
 TEST(IntegrationTest, SummaryBfsEqualsReconstructedBfs) {
   Graph g = GenerateBarabasiAlbert(120, 2, 75);
-  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0}, 0.5);
   Graph reconstructed = result.summary.Reconstruct();
   for (NodeId q : {0u, 17u, 63u}) {
     auto via_summary = FastSummaryHopDistances(result.summary, q);
@@ -161,7 +161,7 @@ TEST(IntegrationTest, ErrorMonotoneInBudget) {
   auto w = PersonalWeights::Compute(g, targets, config.alpha);
   double prev_error = -1.0;
   for (double ratio : {0.9, 0.5, 0.2}) {
-    auto result = SummarizeGraphToRatio(g, targets, ratio, config);
+    auto result = *SummarizeGraphToRatio(g, targets, ratio, config);
     const double err = PersonalizedError(g, result.summary, w);
     EXPECT_GE(err, prev_error) << "ratio " << ratio;
     prev_error = err;

@@ -52,7 +52,7 @@ SummarizationResult RunAt(const Graph& g, int threads, uint64_t seed = 77,
   PegasusConfig config;
   config.seed = seed;
   config.num_threads = threads;
-  return SummarizeGraphToRatio(g, {1, 2}, ratio, config);
+  return *SummarizeGraphToRatio(g, {1, 2}, ratio, config);
 }
 
 TEST(ParallelEngineTest, IdenticalSummaryForAnyWorkerCount) {
@@ -150,7 +150,7 @@ TEST(ParallelEngineTest, TightBudgetTerminatesAndSparsifies) {
   PegasusConfig config;
   config.max_iterations = 3;
   config.num_threads = 4;
-  const auto r = SummarizeGraphToRatio(g, {}, 0.05, config);
+  const auto r = *SummarizeGraphToRatio(g, {}, 0.05, config);
   EXPECT_LE(r.final_size_bits, 0.05 * g.SizeInBits() + 1e-9);
   EXPECT_EQ(r.summary.num_superedges(), 0u);
 }
@@ -160,7 +160,7 @@ TEST(ParallelEngineTest, TinyGraphTinyBudgetTerminates) {
   PegasusConfig config;
   config.max_iterations = 5;
   config.num_threads = 2;
-  const auto r = SummarizeGraph(g, {0}, /*budget_bits=*/1.0, config);
+  const auto r = *SummarizeGraph(g, {0}, /*budget_bits=*/1.0, config);
   EXPECT_EQ(r.summary.num_superedges(), 0u);
 }
 
@@ -173,11 +173,11 @@ TEST(ParallelEngineTest, PersonalizationReducesTargetError) {
   personalized.alpha = 1.5;
   personalized.seed = 5;
   personalized.num_threads = 4;
-  const auto p = SummarizeGraphToRatio(g, targets, 0.4, personalized);
+  const auto p = *SummarizeGraphToRatio(g, targets, 0.4, personalized);
 
   PegasusConfig plain = personalized;
   plain.alpha = 1.0;
-  const auto np = SummarizeGraphToRatio(g, {}, 0.4, plain);
+  const auto np = *SummarizeGraphToRatio(g, {}, 0.4, plain);
 
   const auto eval_weights = PersonalWeights::Compute(g, targets, 1.5);
   EXPECT_LT(PersonalizedError(g, p.summary, eval_weights),
@@ -191,8 +191,8 @@ TEST(ParallelEngineTest, WorksFromExistingSummary) {
   PegasusConfig coarse;
   coarse.seed = 4;
   coarse.num_threads = 2;
-  auto first = SummarizeGraphToRatio(g, {}, 0.7, coarse);
-  const auto cont = SummarizeGraphFrom(g, {}, 0.4 * g.SizeInBits(),
+  auto first = *SummarizeGraphToRatio(g, {}, 0.7, coarse);
+  const auto cont = *SummarizeGraphFrom(g, {}, 0.4 * g.SizeInBits(),
                                        std::move(first.summary), coarse);
   EXPECT_LE(cont.final_size_bits, 0.4 * g.SizeInBits() + 1e-9);
   EXPECT_LE(cont.summary.num_supernodes(), g.num_nodes());

@@ -67,8 +67,8 @@ TEST_P(PipelineSweepTest, BudgetPartitionAndDeterminism) {
   PegasusConfig config;
   config.seed = 13;
   config.max_iterations = 10;
-  auto r1 = SummarizeGraphToRatio(g, {0, 1}, ratio, config);
-  auto r2 = SummarizeGraphToRatio(g, {0, 1}, ratio, config);
+  auto r1 = *SummarizeGraphToRatio(g, {0, 1}, ratio, config);
+  auto r2 = *SummarizeGraphToRatio(g, {0, 1}, ratio, config);
 
   // Budget compliance.
   EXPECT_LE(r1.final_size_bits, ratio * g.SizeInBits() + 1e-9);
@@ -115,7 +115,7 @@ class SizeInvariantTest : public ::testing::TestWithParam<Family> {};
 
 TEST_P(SizeInvariantTest, IncrementalSizeMatchesRecount) {
   Graph g = MakeFamilyGraph(GetParam(), 99);
-  auto result = SummarizeGraphToRatio(g, {2}, 0.4);
+  auto result = *SummarizeGraphToRatio(g, {2}, 0.4);
   const SummaryGraph& s = result.summary;
   uint64_t superedges = 0;
   uint32_t supernodes = 0;
@@ -146,7 +146,7 @@ INSTANTIATE_TEST_SUITE_P(Families, SizeInvariantTest,
 TEST(PipelinePropertyTest, ExtremeBudgetsAlwaysMet) {
   Graph g = GenerateBarabasiAlbert(200, 3, 55);
   for (double ratio : {0.02, 0.05, 0.1}) {
-    auto result = SummarizeGraphToRatio(g, {0}, ratio);
+    auto result = *SummarizeGraphToRatio(g, {0}, ratio);
     EXPECT_LE(result.final_size_bits, ratio * g.SizeInBits() + 1e-9)
         << "ratio " << ratio;
   }
@@ -159,7 +159,7 @@ TEST(PipelinePropertyTest, ErrorsNonNegativeAcrossBudgets) {
   Graph g = GenerateCommunityRing(5, 40, 3, 6, 7, 0.5);
   auto w = PersonalWeights::Compute(g, {0}, 1.5);
   for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    auto result = SummarizeGraphToRatio(g, {0}, ratio);
+    auto result = *SummarizeGraphToRatio(g, {0}, ratio);
     EXPECT_GE(PersonalizedError(g, result.summary, w), 0.0);
   }
 }

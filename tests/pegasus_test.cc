@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/core/pegasus.h"
 #include "src/core/personal_weights.h"
 #include "src/util/bits.h"
@@ -18,7 +20,7 @@ Graph TestGraph(uint64_t seed = 3) {
 TEST(PegasusTest, MeetsBudget) {
   Graph g = TestGraph();
   for (double ratio : {0.3, 0.5, 0.8}) {
-    auto result = SummarizeGraphToRatio(g, {0, 1, 2}, ratio);
+    auto result = *SummarizeGraphToRatio(g, {0, 1, 2}, ratio);
     EXPECT_LE(result.final_size_bits, ratio * g.SizeInBits() + 1e-9)
         << "ratio " << ratio;
     EXPECT_LE(CompressionRatio(g, result.summary), ratio + 1e-9);
@@ -27,7 +29,7 @@ TEST(PegasusTest, MeetsBudget) {
 
 TEST(PegasusTest, OutputIsValidPartition) {
   Graph g = TestGraph();
-  auto result = SummarizeGraphToRatio(g, {5}, 0.4);
+  auto result = *SummarizeGraphToRatio(g, {5}, 0.4);
   const SummaryGraph& s = result.summary;
   // Every node belongs to exactly one alive supernode that lists it.
   std::vector<uint32_t> seen(g.num_nodes(), 0);
@@ -42,7 +44,7 @@ TEST(PegasusTest, OutputIsValidPartition) {
 
 TEST(PegasusTest, SuperedgesOnlyBetweenAliveSupernodes) {
   Graph g = TestGraph();
-  auto result = SummarizeGraphToRatio(g, {}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.5);
   const SummaryGraph& s = result.summary;
   for (SupernodeId a : s.ActiveSupernodes()) {
     for (const auto& [b, w] : s.superedges(a)) {
@@ -56,8 +58,8 @@ TEST(PegasusTest, DeterministicForSeed) {
   Graph g = TestGraph();
   PegasusConfig config;
   config.seed = 77;
-  auto r1 = SummarizeGraphToRatio(g, {1, 2}, 0.5, config);
-  auto r2 = SummarizeGraphToRatio(g, {1, 2}, 0.5, config);
+  auto r1 = *SummarizeGraphToRatio(g, {1, 2}, 0.5, config);
+  auto r2 = *SummarizeGraphToRatio(g, {1, 2}, 0.5, config);
   EXPECT_EQ(r1.summary.num_supernodes(), r2.summary.num_supernodes());
   EXPECT_EQ(r1.summary.num_superedges(), r2.summary.num_superedges());
   EXPECT_DOUBLE_EQ(r1.final_size_bits, r2.final_size_bits);
@@ -65,7 +67,7 @@ TEST(PegasusTest, DeterministicForSeed) {
 
 TEST(PegasusTest, StopsEarlyWhenBudgetGenerous) {
   Graph g = TestGraph();
-  auto result = SummarizeGraphToRatio(g, {}, 0.99);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.99);
   EXPECT_LT(result.iterations_run, 20);
 }
 
@@ -76,7 +78,7 @@ TEST(PegasusTest, RunsAllIterationsWhenBudgetTight) {
   Graph g = TestGraph();
   PegasusConfig config;
   config.max_iterations = 3;
-  auto result = SummarizeGraphToRatio(g, {}, 0.05, config);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.05, config);
   EXPECT_EQ(result.iterations_run, 3);
   EXPECT_EQ(result.summary.num_superedges(), 0u);
   // What remains is exactly the membership encoding |V| log2 |S|.
@@ -96,11 +98,11 @@ TEST(PegasusTest, PersonalizationReducesTargetError) {
   PegasusConfig personalized;
   personalized.alpha = 1.5;
   personalized.seed = 5;
-  auto p = SummarizeGraphToRatio(g, targets, 0.4, personalized);
+  auto p = *SummarizeGraphToRatio(g, targets, 0.4, personalized);
 
   PegasusConfig plain = personalized;
   plain.alpha = 1.0;
-  auto np = SummarizeGraphToRatio(g, {}, 0.4, plain);
+  auto np = *SummarizeGraphToRatio(g, {}, 0.4, plain);
 
   auto eval_weights = PersonalWeights::Compute(g, targets, 1.5);
   const double err_p = PersonalizedError(g, p.summary, eval_weights);
@@ -112,7 +114,7 @@ TEST(PegasusTest, AlphaOneMatchesUniformObjective) {
   // With alpha = 1 the personalized error equals the plain reconstruction
   // error for any summary.
   Graph g = TestGraph(9);
-  auto result = SummarizeGraphToRatio(g, {0, 1}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0, 1}, 0.5);
   auto uniform = PersonalWeights::Compute(g, {}, 1.0);
   EXPECT_NEAR(PersonalizedError(g, result.summary, uniform),
               ReconstructionError(g, result.summary), 1e-6);
@@ -122,7 +124,7 @@ TEST(PegasusTest, AbsoluteScoreAblationRuns) {
   Graph g = TestGraph(13);
   PegasusConfig config;
   config.merge_score = MergeScore::kAbsolute;
-  auto result = SummarizeGraphToRatio(g, {2}, 0.5, config);
+  auto result = *SummarizeGraphToRatio(g, {2}, 0.5, config);
   EXPECT_LE(result.final_size_bits, 0.5 * g.SizeInBits());
 }
 
@@ -130,16 +132,71 @@ TEST(PegasusTest, TinyBudgetStillTerminates) {
   Graph g = ::pegasus::testing::TwoCliquesGraph(6);
   PegasusConfig config;
   config.max_iterations = 5;
-  auto result = SummarizeGraph(g, {0}, /*budget_bits=*/1.0, config);
+  auto result = *SummarizeGraph(g, {0}, /*budget_bits=*/1.0, config);
   EXPECT_EQ(result.summary.num_superedges(), 0u);
 }
 
 TEST(PegasusTest, MergeStatsPopulated) {
   Graph g = TestGraph(15);
-  auto result = SummarizeGraphToRatio(g, {}, 0.3);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.3);
   EXPECT_GT(result.merge_stats.merges, 0u);
   EXPECT_GT(result.merge_stats.evaluations, result.merge_stats.merges);
   EXPECT_GT(result.elapsed_seconds, 0.0);
+}
+
+// The pipeline entry points return typed Status errors instead of
+// asserting (or silently mis-running) on bad inputs (ISSUE 5).
+TEST(PegasusTest, InvalidInputsRejectedTyped) {
+  Graph g = TestGraph(12);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // Ratio outside (0, 1].
+  for (double ratio : {0.0, -0.5, 1.5, nan}) {
+    const auto r = SummarizeGraphToRatio(g, {}, ratio);
+    ASSERT_FALSE(r.ok()) << ratio;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << ratio;
+  }
+  // Negative budget (zero stays valid: it is what any ratio yields on an
+  // edgeless graph, and means "compress as far as possible").
+  EXPECT_EQ(SummarizeGraph(g, {}, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(SummarizeGraph(g, {}, 0.0).ok());
+  // Bad config fields.
+  PegasusConfig bad_alpha;
+  bad_alpha.alpha = 0.5;
+  EXPECT_EQ(SummarizeGraph(g, {}, 100.0, bad_alpha).status().code(),
+            StatusCode::kInvalidArgument);
+  PegasusConfig bad_beta;
+  bad_beta.beta = 1.5;
+  EXPECT_EQ(SummarizeGraph(g, {}, 100.0, bad_beta).status().code(),
+            StatusCode::kInvalidArgument);
+  PegasusConfig bad_iters;
+  bad_iters.max_iterations = 0;
+  EXPECT_EQ(SummarizeGraph(g, {}, 100.0, bad_iters).status().code(),
+            StatusCode::kInvalidArgument);
+  PegasusConfig bad_threads;
+  bad_threads.num_threads = -2;
+  EXPECT_EQ(SummarizeGraph(g, {}, 100.0, bad_threads).status().code(),
+            StatusCode::kInvalidArgument);
+  // Target out of range; the message names the offender.
+  const auto bad_target = SummarizeGraph(g, {g.num_nodes()}, 100.0);
+  ASSERT_FALSE(bad_target.ok());
+  EXPECT_EQ(bad_target.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(bad_target.status().message().find("target 0"),
+            std::string::npos)
+      << bad_target.status().message();
+  // Initial-summary node-count mismatch.
+  Graph small = ::pegasus::testing::PathGraph(5);
+  EXPECT_EQ(SummarizeGraphFrom(g, {}, 100.0,
+                               SummaryGraph::Identity(small))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Boundary values that must stay accepted.
+  PegasusConfig boundary;
+  boundary.beta = 0.0;
+  boundary.alpha = 1.0;
+  EXPECT_TRUE(SummarizeGraphToRatio(g, {}, 1.0, boundary).ok());
 }
 
 }  // namespace

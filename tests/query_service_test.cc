@@ -31,13 +31,14 @@
 #include "src/graph/generators.h"
 #include "src/query/query_engine.h"
 #include "src/query/summary_view.h"
+#include "tests/test_util.h"
 
 namespace pegasus {
 namespace {
 
 SummaryGraph MakeSummary(const Graph& g, double ratio,
                          std::vector<NodeId> targets = {}) {
-  return SummarizeGraphToRatio(g, targets, ratio).summary;
+  return SummarizeGraphToRatio(g, targets, ratio)->summary;
 }
 
 // A batch covering every family, with defaulted and explicit params.
@@ -305,6 +306,74 @@ TEST(QueryServiceTest, PublishesDynamicSummaryRebuilds) {
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->epoch, 2u);
   ExpectSameResults(after->results, Expected(view2, requests), "epoch2");
+}
+
+// The serving path must reproduce the cross-stdlib goldens bit-for-bit:
+// the same constants determinism_test asserts through a single-threaded
+// SummaryView, served here through a multi-threaded QueryService batch
+// (pool fan-out, global-result cache, cheap-grain chunking and all).
+TEST(QueryServiceTest, ServedAnswersMatchCrossStdlibGoldens) {
+  const Graph g = ::pegasus::testing::QueryGoldenGraph();
+  const SummaryGraph summary = ::pegasus::testing::QueryGoldenSummary(g);
+  const auto cases = ::pegasus::testing::QueryGoldenCases();
+  std::vector<QueryRequest> requests;
+  for (const auto& c : cases) requests.push_back(c.request);
+
+  QueryService service(summary, {.num_threads = 4, .cheap_grain = 3});
+  const auto batch = service.Answer(requests);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(::pegasus::testing::HashQueryResult(batch->results[i]),
+              cases[i].hash)
+        << cases[i].name;
+  }
+}
+
+// The global-result cache must not grow without bound within an epoch: a
+// parameter-sweeping client stays within cache_capacity entries, with
+// evictions counted, and an evicted parameterization is recomputed (not
+// wrong) when it comes back.
+TEST(QueryServiceTest, GlobalResultCacheIsBoundedWithLruEviction) {
+  Graph g = GenerateBarabasiAlbert(80, 2, 418);
+  const SummaryGraph summary = MakeSummary(g, 0.5);
+  // Serial service: with >1 worker the ParallelFor scheduling would make
+  // the LRU insertion order (and so *which* keys survive) nondeterministic
+  // — the capacity/eviction accounting needs no parallelism to be proven.
+  QueryService service(summary,
+                       {.num_threads = 1, .cache_capacity = 4});
+
+  // Sweep 12 distinct pagerank dampings: 3x the capacity.
+  std::vector<QueryRequest> sweep;
+  for (int i = 0; i < 12; ++i) {
+    sweep.push_back(
+        {QueryKind::kPageRank, 0, 0.05 + 0.07 * i, true, {}});
+  }
+  const auto first = service.Answer(sweep);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto stats = service.cache_stats();
+  EXPECT_EQ(stats.computations, 12u);
+  EXPECT_EQ(stats.evictions, 8u);
+  EXPECT_LE(stats.entries, 4u);
+
+  // The most recent parameterization survived; asking again is a hit.
+  ASSERT_TRUE(service.AnswerOne(sweep.back()).ok());
+  EXPECT_EQ(service.cache_stats().computations, 12u);
+
+  // An evicted one is recomputed — and still byte-identical.
+  const SummaryView view(summary);
+  const auto recomputed = service.AnswerOne(sweep.front());
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_EQ(service.cache_stats().computations, 13u);
+  auto canon = CanonicalizeRequest(sweep.front(), view.num_nodes());
+  ASSERT_TRUE(canon.ok());
+  EXPECT_EQ(recomputed->scores, AnswerQuery(view, *canon).scores);
+
+  // Unbounded mode (capacity 0) keeps every entry.
+  QueryService unbounded(summary, {.num_threads = 1, .cache_capacity = 0});
+  ASSERT_TRUE(unbounded.Answer(sweep).ok());
+  EXPECT_EQ(unbounded.cache_stats().evictions, 0u);
+  EXPECT_EQ(unbounded.cache_stats().entries, 12u);
 }
 
 // The TSan-exercised hammer: concurrent batches while Publish swaps

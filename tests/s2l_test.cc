@@ -10,7 +10,7 @@ namespace {
 
 TEST(S2lTest, ProducesRequestedClusterCountAtMost) {
   Graph g = GenerateBarabasiAlbert(150, 2, 15);
-  auto result = S2lSummarize(g, 30);
+  auto result = *S2lSummarize(g, 30);
   ASSERT_FALSE(result.timed_out);
   EXPECT_LE(result.summary.num_supernodes(), 30u);
   EXPECT_GE(result.summary.num_supernodes(), 2u);
@@ -18,7 +18,7 @@ TEST(S2lTest, ProducesRequestedClusterCountAtMost) {
 
 TEST(S2lTest, ValidPartition) {
   Graph g = GenerateBarabasiAlbert(120, 2, 16);
-  auto result = S2lSummarize(g, 20);
+  auto result = *S2lSummarize(g, 20);
   ASSERT_FALSE(result.timed_out);
   std::vector<uint32_t> seen(g.num_nodes(), 0);
   for (SupernodeId a : result.summary.ActiveSupernodes()) {
@@ -32,7 +32,7 @@ TEST(S2lTest, ClustersIdenticalRowsTogether) {
   // identical; with k = 3, k-median must co-cluster at least one twin pair
   // (zero distance to its twin seed).
   Graph g = ::pegasus::testing::Fig3Graph();
-  auto result = S2lSummarize(g, 3, {.seed = 4});
+  auto result = *S2lSummarize(g, 3, {.seed = 4});
   ASSERT_FALSE(result.timed_out);
   const SummaryGraph& s = result.summary;
   const bool twins01 = s.supernode_of(0) == s.supernode_of(1);
@@ -42,7 +42,7 @@ TEST(S2lTest, ClustersIdenticalRowsTogether) {
 
 TEST(S2lTest, DenseCoverage) {
   Graph g = ::pegasus::testing::TwoCliquesGraph(4);
-  auto result = S2lSummarize(g, 3);
+  auto result = *S2lSummarize(g, 3);
   ASSERT_FALSE(result.timed_out);
   const SummaryGraph& s = result.summary;
   for (const Edge& e : g.CanonicalEdges()) {
@@ -53,8 +53,14 @@ TEST(S2lTest, DenseCoverage) {
 TEST(S2lTest, OversizedProblemReportsTimeout) {
   // n * k above the guard must report o.o.t./o.o.m. like the paper.
   Graph g = GenerateBarabasiAlbert(70000, 2, 17);
-  auto result = S2lSummarize(g, 10000);
+  auto result = *S2lSummarize(g, 10000);
   EXPECT_TRUE(result.timed_out);
+}
+
+TEST(S2lTest, InvalidInputsRejectedTyped) {
+  Graph g = GenerateBarabasiAlbert(30, 2, 17);
+  EXPECT_EQ(S2lSummarize(g, 0).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

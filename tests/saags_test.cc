@@ -9,14 +9,14 @@ namespace {
 
 TEST(SaagsTest, ReachesTargetSupernodeCount) {
   Graph g = GenerateBarabasiAlbert(200, 2, 11);
-  auto result = SaagsSummarize(g, 50);
+  auto result = *SaagsSummarize(g, 50);
   EXPECT_FALSE(result.timed_out);
   EXPECT_EQ(result.summary.num_supernodes(), 50u);
 }
 
 TEST(SaagsTest, ValidPartition) {
   Graph g = GenerateBarabasiAlbert(150, 3, 12);
-  auto result = SaagsSummarize(g, 30);
+  auto result = *SaagsSummarize(g, 30);
   std::vector<uint32_t> seen(g.num_nodes(), 0);
   for (SupernodeId a : result.summary.ActiveSupernodes()) {
     for (NodeId u : result.summary.members(a)) ++seen[u];
@@ -26,7 +26,7 @@ TEST(SaagsTest, ValidPartition) {
 
 TEST(SaagsTest, DenseCoverage) {
   Graph g = ::pegasus::testing::TwoCliquesGraph(5);
-  auto result = SaagsSummarize(g, 4);
+  auto result = *SaagsSummarize(g, 4);
   const SummaryGraph& s = result.summary;
   for (const Edge& e : g.CanonicalEdges()) {
     EXPECT_TRUE(s.HasSuperedge(s.supernode_of(e.u), s.supernode_of(e.v)));
@@ -37,8 +37,8 @@ TEST(SaagsTest, DeterministicForSeed) {
   Graph g = GenerateBarabasiAlbert(100, 2, 13);
   SaagsConfig config;
   config.seed = 5;
-  auto a = SaagsSummarize(g, 20, config);
-  auto b = SaagsSummarize(g, 20, config);
+  auto a = *SaagsSummarize(g, 20, config);
+  auto b = *SaagsSummarize(g, 20, config);
   EXPECT_EQ(a.summary.num_superedges(), b.summary.num_superedges());
 }
 
@@ -46,8 +46,18 @@ TEST(SaagsTest, TimeLimitReported) {
   Graph g = GenerateBarabasiAlbert(3000, 3, 14);
   SaagsConfig config;
   config.time_limit_seconds = 1e-6;
-  auto result = SaagsSummarize(g, 10, config);
+  auto result = *SaagsSummarize(g, 10, config);
   EXPECT_TRUE(result.timed_out);
+}
+
+TEST(SaagsTest, InvalidInputsRejectedTyped) {
+  Graph g = GenerateBarabasiAlbert(30, 2, 14);
+  EXPECT_EQ(SaagsSummarize(g, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  SaagsConfig config;
+  config.sketch_width = 0;
+  EXPECT_EQ(SaagsSummarize(g, 5, config).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -11,14 +11,14 @@ namespace {
 TEST(SsummTest, MeetsBudget) {
   Graph g = GenerateBarabasiAlbert(300, 3, 4);
   for (double ratio : {0.3, 0.6}) {
-    auto result = SsummSummarizeToRatio(g, ratio);
+    auto result = *SsummSummarizeToRatio(g, ratio);
     EXPECT_LE(result.final_size_bits, ratio * g.SizeInBits() + 1e-9);
   }
 }
 
 TEST(SsummTest, ProducesValidPartition) {
   Graph g = GenerateBarabasiAlbert(200, 2, 5);
-  auto result = SsummSummarizeToRatio(g, 0.5);
+  auto result = *SsummSummarizeToRatio(g, 0.5);
   std::vector<uint32_t> seen(g.num_nodes(), 0);
   for (SupernodeId a : result.summary.ActiveSupernodes()) {
     for (NodeId u : result.summary.members(a)) ++seen[u];
@@ -30,8 +30,8 @@ TEST(SsummTest, ErrorGrowsAsBudgetShrinks) {
   Graph g = GenerateBarabasiAlbert(300, 3, 6);
   SsummConfig config;
   config.seed = 3;
-  auto tight = SsummSummarizeToRatio(g, 0.2, config);
-  auto loose = SsummSummarizeToRatio(g, 0.8, config);
+  auto tight = *SsummSummarizeToRatio(g, 0.2, config);
+  auto loose = *SsummSummarizeToRatio(g, 0.8, config);
   EXPECT_GE(ReconstructionError(g, tight.summary),
             ReconstructionError(g, loose.summary));
 }
@@ -40,8 +40,8 @@ TEST(SsummTest, DeterministicForSeed) {
   Graph g = GenerateBarabasiAlbert(150, 2, 7);
   SsummConfig config;
   config.seed = 21;
-  auto a = SsummSummarizeToRatio(g, 0.5, config);
-  auto b = SsummSummarizeToRatio(g, 0.5, config);
+  auto a = *SsummSummarizeToRatio(g, 0.5, config);
+  auto b = *SsummSummarizeToRatio(g, 0.5, config);
   EXPECT_EQ(a.summary.num_supernodes(), b.summary.num_supernodes());
   EXPECT_DOUBLE_EQ(a.final_size_bits, b.final_size_bits);
 }
@@ -49,8 +49,20 @@ TEST(SsummTest, DeterministicForSeed) {
 TEST(SsummTest, CollapsesTwinsExactly) {
   Graph g = ::pegasus::testing::Fig3Graph();
   // Generous budget: SSumM should find the lossless twin merges.
-  auto result = SsummSummarize(g, g.SizeInBits());
+  auto result = *SsummSummarize(g, g.SizeInBits());
   EXPECT_LE(ReconstructionError(g, result.summary), 4.0);
+}
+
+TEST(SsummTest, InvalidInputsRejectedTyped) {
+  Graph g = ::pegasus::testing::Fig3Graph();
+  EXPECT_EQ(SsummSummarize(g, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SsummSummarizeToRatio(g, 1.5).status().code(),
+            StatusCode::kInvalidArgument);
+  SsummConfig config;
+  config.max_iterations = 0;
+  EXPECT_EQ(SsummSummarize(g, 100.0, config).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ TEST(SummaryDegreesTest, IdentityMatchesGraphDegrees) {
 
 TEST(SummaryDegreesTest, MatchesReconstructionDegrees) {
   Graph g = GenerateBarabasiAlbert(80, 2, 92);
-  auto result = SummarizeGraphToRatio(g, {0}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0}, 0.5);
   Graph reconstructed = result.summary.Reconstruct();
   auto deg = SummaryDegrees(result.summary, /*weighted=*/false);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
@@ -39,7 +39,7 @@ TEST(SummaryDegreesTest, MatchesReconstructionDegrees) {
 
 TEST(SummaryDegreesTest, WeightedNeverExceedsUnweighted) {
   Graph g = GenerateBarabasiAlbert(120, 3, 93);
-  auto result = SummarizeGraphToRatio(g, {}, 0.4);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.4);
   auto weighted = SummaryDegrees(result.summary, true);
   auto unweighted = SummaryDegrees(result.summary, false);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
@@ -59,14 +59,14 @@ TEST(SummaryPageRankTest, IdentityMatchesExact) {
 
 TEST(SummaryPageRankTest, SumsToOne) {
   Graph g = GenerateBarabasiAlbert(200, 3, 95);
-  auto result = SummarizeGraphToRatio(g, {5}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {5}, 0.5);
   auto pr = SummaryPageRank(result.summary);
   EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-6);
 }
 
 TEST(SummaryPageRankTest, CoMembersShareScores) {
   Graph g = GenerateBarabasiAlbert(150, 2, 96);
-  auto result = SummarizeGraphToRatio(g, {}, 0.3);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.3);
   const SummaryGraph& s = result.summary;
   auto pr = SummaryPageRank(s);
   for (SupernodeId a : s.ActiveSupernodes()) {

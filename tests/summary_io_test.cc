@@ -31,7 +31,7 @@ TEST(SummaryIoTest, RoundTripIdentity) {
 
 TEST(SummaryIoTest, RoundTripPreservesQueries) {
   Graph g = GenerateBarabasiAlbert(150, 3, 90);
-  auto result = SummarizeGraphToRatio(g, {0, 1}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {0, 1}, 0.5);
   const std::string path = TempPath("summary.summary");
   ASSERT_TRUE(SaveSummary(result.summary, path));
   auto loaded = LoadSummary(path);
@@ -142,7 +142,7 @@ TEST(SummaryIoTest, SaveLoadSaveIsByteStable) {
   for (uint64_t seed : {11u, 12u, 13u}) {
     Graph g = GenerateBarabasiAlbert(120, 3, seed);
     auto result =
-        SummarizeGraphToRatio(g, {0}, seed % 2 == 0 ? 0.4 : 0.6);
+        *SummarizeGraphToRatio(g, {0}, seed % 2 == 0 ? 0.4 : 0.6);
     const std::string path1 = TempPath("stable1.summary");
     const std::string path2 = TempPath("stable2.summary");
     ASSERT_TRUE(SaveSummary(result.summary, path1));

@@ -74,7 +74,7 @@ TEST(SummaryHopTest, FastMatchesFaithfulOnIdentity) {
 
 TEST(SummaryHopTest, FastMatchesFaithfulOnSummarized) {
   Graph g = GenerateBarabasiAlbert(120, 3, 20);
-  auto result = SummarizeGraphToRatio(g, {0}, 0.4);
+  auto result = *SummarizeGraphToRatio(g, {0}, 0.4);
   for (NodeId q : {0u, 7u, 42u, 111u}) {
     EXPECT_EQ(SummaryHopDistances(result.summary, q),
               FastSummaryHopDistances(result.summary, q))
@@ -128,7 +128,7 @@ TEST(SummaryRwrTest, IdentityMatchesExact) {
 
 TEST(SummaryRwrTest, SumsToAtMostOne) {
   Graph g = GenerateBarabasiAlbert(150, 3, 22);
-  auto result = SummarizeGraphToRatio(g, {3}, 0.4);
+  auto result = *SummarizeGraphToRatio(g, {3}, 0.4);
   auto r = SummaryRwrScores(result.summary, 3);
   const double total = std::accumulate(r.begin(), r.end(), 0.0);
   EXPECT_LE(total, 1.0 + 1e-6);
@@ -139,7 +139,7 @@ TEST(SummaryRwrTest, QueryNodeScoreWellAboveAverage) {
   // The restart mass concentrates near q (q itself need not be the global
   // maximum — a hub adjacent to a low-degree q can score higher).
   Graph g = GenerateBarabasiAlbert(100, 2, 23);
-  auto result = SummarizeGraphToRatio(g, {7}, 0.5);
+  auto result = *SummarizeGraphToRatio(g, {7}, 0.5);
   auto r = SummaryRwrScores(result.summary, 7);
   const double mean =
       std::accumulate(r.begin(), r.end(), 0.0) / static_cast<double>(r.size());
@@ -148,7 +148,7 @@ TEST(SummaryRwrTest, QueryNodeScoreWellAboveAverage) {
 
 TEST(SummaryRwrTest, CoMembersShareScores) {
   Graph g = GenerateBarabasiAlbert(100, 2, 24);
-  auto result = SummarizeGraphToRatio(g, {}, 0.3);
+  auto result = *SummarizeGraphToRatio(g, {}, 0.3);
   const SummaryGraph& s = result.summary;
   auto r = SummaryRwrScores(s, 7);
   for (SupernodeId a : s.ActiveSupernodes()) {
@@ -172,7 +172,7 @@ TEST(SummaryPhpTest, IdentityMatchesExact) {
 
 TEST(SummaryPhpTest, QueryIsOneOthersBelow) {
   Graph g = GenerateBarabasiAlbert(120, 3, 26);
-  auto result = SummarizeGraphToRatio(g, {9}, 0.4);
+  auto result = *SummarizeGraphToRatio(g, {9}, 0.4);
   auto p = SummaryPhpScores(result.summary, 9);
   EXPECT_DOUBLE_EQ(p[9], 1.0);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {

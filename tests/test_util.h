@@ -3,12 +3,111 @@
 #ifndef PEGASUS_TESTS_TEST_UTIL_H_
 #define PEGASUS_TESTS_TEST_UTIL_H_
 
+#include <bit>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/graph/graph_builder.h"
+#include "src/query/query_engine.h"
 
 namespace pegasus::testing {
+
+// --- Byte-identity hashing -------------------------------------------------
+//
+// FNV-1a 64 over a word stream, used by the cross-stdlib query goldens:
+// doubles are hashed by bit pattern (std::bit_cast), so two builds agree
+// on a hash iff every score is bit-for-bit identical. Word-based (not
+// memcpy-based) so the hash is independent of host endianness.
+
+inline constexpr uint64_t kFnvOffset64 = 14695981039346656037ULL;
+inline constexpr uint64_t kFnvPrime64 = 1099511628211ULL;
+
+inline uint64_t HashWord(uint64_t h, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xff;
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+inline uint64_t HashScores(const std::vector<double>& scores) {
+  uint64_t h = HashWord(kFnvOffset64, scores.size());
+  for (double d : scores) h = HashWord(h, std::bit_cast<uint64_t>(d));
+  return h;
+}
+
+inline uint64_t HashU32s(const std::vector<uint32_t>& values) {
+  uint64_t h = HashWord(kFnvOffset64, values.size());
+  for (uint32_t v : values) h = HashWord(h, v);
+  return h;
+}
+
+// Order-sensitive hash of one answer, covering every payload vector.
+inline uint64_t HashQueryResult(const QueryResult& result) {
+  uint64_t h = HashWord(kFnvOffset64, static_cast<uint64_t>(result.kind));
+  h = HashWord(h, HashU32s(result.neighbors));
+  h = HashWord(h, HashU32s(result.hops));
+  h = HashWord(h, HashScores(result.scores));
+  return h;
+}
+
+// --- Cross-stdlib query goldens --------------------------------------------
+//
+// One summary fixture and one request per query-family parameterization,
+// with the FNV hash of the exact answer bytes checked in. The fixtures
+// are asserted through the SummaryView path (determinism_test) AND
+// through a multi-threaded QueryService batch (query_service_test): a
+// hash mismatch on any standard library, platform, or thread count means
+// the canonical-order guarantee broke. To regenerate after an intentional
+// scoring change: run determinism_test — each failure message prints the
+// actual hash as "actual 0x..." — and paste the new constants here (the
+// procedure is also recorded in ROADMAP.md).
+
+inline Graph QueryGoldenGraph() { return GenerateBarabasiAlbert(200, 3, 901); }
+
+inline SummaryGraph QueryGoldenSummary(const Graph& graph) {
+  PegasusConfig config;
+  config.seed = 77;  // serial engine: the machine-invariant schedule
+  return std::move(*SummarizeGraphToRatio(graph, {1, 2}, 0.4, config)).summary;
+}
+
+struct QueryGoldenCase {
+  const char* name;
+  QueryRequest request;
+  uint64_t hash;
+};
+
+inline std::vector<QueryGoldenCase> QueryGoldenCases() {
+  constexpr NodeId q = 5;
+  constexpr double d = kQueryParamUseDefault;
+  return {
+      {"neighbors_q5", {QueryKind::kNeighbors, q, d, true, {}},
+       0x72846d91edc5e309ULL},
+      {"hop_q5", {QueryKind::kHop, q, d, true, {}}, 0x0aa2ae9624411e2fULL},
+      {"rwr_q5_w", {QueryKind::kRwr, q, d, true, {}}, 0x73e67395401da1ceULL},
+      {"rwr_q5_uw", {QueryKind::kRwr, q, d, false, {}},
+       0xb54792d13f74800aULL},
+      {"php_q5_w", {QueryKind::kPhp, q, d, true, {}}, 0xf04ebb0b9a423c5dULL},
+      {"php_q5_uw", {QueryKind::kPhp, q, d, false, {}},
+       0x99307c974350d7edULL},
+      {"degree_w", {QueryKind::kDegree, 0, d, true, {}},
+       0x0145037b88f4868cULL},
+      {"degree_uw", {QueryKind::kDegree, 0, d, false, {}},
+       0x6967b000ccc57ae5ULL},
+      {"pagerank_w", {QueryKind::kPageRank, 0, d, true, {}},
+       0x3563e4bea343c7bdULL},
+      {"pagerank_uw", {QueryKind::kPageRank, 0, d, false, {}},
+       0x5ea435120ffbefcfULL},
+      {"clustering_w", {QueryKind::kClustering, 0, d, true, {}},
+       0x1704a3bb17153ffcULL},
+      {"clustering_uw", {QueryKind::kClustering, 0, d, false, {}},
+       0xfcd8845df0f61fa2ULL},
+  };
+}
 
 // A path graph 0-1-2-...-(n-1).
 inline Graph PathGraph(NodeId n) {

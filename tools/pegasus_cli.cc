@@ -24,9 +24,11 @@
 // the pending batch through the service, and the directives
 //   publish <summary-path>   swap in a new summary (epoch bump, no stall)
 //   epoch                    print the current epoch
-//   stats                    print cache hits/computations
-// manage the resident service. Malformed lines are reported on stderr
-// without killing the server.
+//   stats                    print cache hits/computations/evictions
+// manage the resident service. Malformed lines — unknown kinds, bad
+// parameters, AND malformed directives (missing/trailing tokens) — are
+// rejected on stderr with "stdin:<line>:" context, like batch-file
+// errors, without killing the server.
 // Exit code 0 on success, 1 on usage errors, 2 on I/O errors.
 
 #include <algorithm>
@@ -228,7 +230,15 @@ int CmdSummarize(const Args& args) {
   std::vector<NodeId> targets;
   if (auto t = args.Flag("targets")) targets = ParseTargets(*t);
 
-  auto result = SummarizeGraphToRatio(*graph, targets, ratio, config);
+  // Flags are untrusted input: surface the typed validation error
+  // (bad ratio/alpha/beta/tmax/threads/targets) instead of dereferencing.
+  auto summarized = SummarizeGraphToRatio(*graph, targets, ratio, config);
+  if (!summarized) {
+    std::fprintf(stderr, "error: %s\n",
+                 summarized.status().ToString().c_str());
+    return 1;
+  }
+  auto result = *std::move(summarized);
   if (!SaveSummary(result.summary, args.positional[1])) {
     std::fprintf(stderr, "error: cannot write %s\n",
                  args.positional[1].c_str());
@@ -476,50 +486,78 @@ int CmdServe(const Args& args) {
   };
 
   std::string line;
+  size_t line_no = 0;
+  // Every rejection names the offending stdin line, mirroring the
+  // "file:line:" context batch files get — a scripted client can log
+  // "stdin:17: ..." and know exactly which directive it mis-sent.
+  const auto Reject = [&line_no](const std::string& message) {
+    std::fprintf(stderr, "error: stdin:%zu: %s\n", line_no, message.c_str());
+  };
   while (std::getline(std::cin, line)) {
+    ++line_no;
     std::istringstream ls(line);
     std::string first;
     ls >> first;
+    // A directive with trailing tokens is malformed, never silently
+    // half-applied.
+    const auto NoTrailing = [&](const char* directive) {
+      std::string extra;
+      if (ls >> extra) {
+        Reject(std::string(directive) + ": unexpected trailing token '" +
+               extra + "'");
+        return false;
+      }
+      return true;
+    };
     if (first.empty()) {
       Flush();
     } else if (first[0] == '#') {
       continue;
     } else if (first == "publish") {
+      // Validate fully (and load the summary) BEFORE flushing: a
+      // rejected directive must leave server state — including the
+      // pending batch — untouched, like the epoch/stats branches.
+      std::string path;
+      if (!(ls >> path)) {
+        Reject("publish needs a summary path");
+        continue;
+      }
+      if (!NoTrailing("publish")) continue;
+      auto next = LoadSummary(path);
+      if (!next) {
+        Reject(next.status().ToString());
+        continue;
+      }
       // Queries buffered before the swap are answered against the epoch
       // that was live when they were issued.
       Flush();
-      std::string path;
-      if (!(ls >> path)) {
-        std::fprintf(stderr, "error: publish needs a summary path\n");
-        continue;
-      }
-      auto next = LoadSummary(path);
-      if (!next) {
-        std::fprintf(stderr, "error: %s\n", next.status().ToString().c_str());
-        continue;
-      }
       const uint64_t epoch = service.Publish(*next);
       std::printf("epoch %llu published (%u supernodes)\n",
                   static_cast<unsigned long long>(epoch),
                   next->num_supernodes());
       std::fflush(stdout);
     } else if (first == "epoch") {
+      if (!NoTrailing("epoch")) continue;
       Flush();
       std::printf("epoch %llu\n",
                   static_cast<unsigned long long>(service.epoch()));
       std::fflush(stdout);
     } else if (first == "stats") {
+      if (!NoTrailing("stats")) continue;
       Flush();
       const auto stats = service.cache_stats();
-      std::printf("epoch %llu cache_hits %llu computations %llu\n",
+      std::printf("epoch %llu cache_hits %llu computations %llu "
+                  "evictions %llu entries %zu\n",
                   static_cast<unsigned long long>(service.epoch()),
                   static_cast<unsigned long long>(stats.hits),
-                  static_cast<unsigned long long>(stats.computations));
+                  static_cast<unsigned long long>(stats.computations),
+                  static_cast<unsigned long long>(stats.evictions),
+                  stats.entries);
       std::fflush(stdout);
     } else {
       QueryRequest request;
       if (Status s = ParseQueryLine(line, &request); !s) {
-        std::fprintf(stderr, "error: %s\n", s.message().c_str());
+        Reject(s.message() + "; directives: publish <path>, epoch, stats");
         continue;
       }
       // Semantic validation per line too (node range, params), so one
@@ -527,8 +565,7 @@ int CmdServe(const Args& args) {
       // flush. The publish-flushes-first rule above means the epoch
       // validated against is the epoch the query will be served from.
       if (auto canon = CanonicalizeRequest(request, view_nodes()); !canon) {
-        std::fprintf(stderr, "error: %s\n",
-                     canon.status().ToString().c_str());
+        Reject(canon.status().ToString());
         continue;
       }
       pending.push_back(request);
