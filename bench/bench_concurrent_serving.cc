@@ -1,0 +1,274 @@
+// Concurrent serving benchmark (satellite of ISSUE 6).
+//
+// N client threads hammer one QueryService with mixed-family batches in
+// two dispatch modes:
+//
+//   * serialized — clients funnel through one mutex around Answer(), the
+//     one-batch-at-a-time admission the serving layer had before the
+//     work-stealing executor;
+//   * concurrent — clients call Answer() directly, so batches are
+//     independent submissions that overlap on the shared executor.
+//
+// Reported per mode: aggregate QPS, p50/p99 batch latency, and the
+// service's max_inflight_batches high-water mark — the direct evidence
+// that concurrent batches actually overlap (serialized mode pins it at
+// 1). Timing numbers are informational on few-core hosts; what *fails*
+// the bench (and tools/run_benchmarks.sh and CI with it) is byte
+// identity: every answer in every mode must equal the single-threaded
+// reference for the same batch, per the executor determinism contract.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
+#include "src/query/query_engine.h"
+#include "src/query/summary_view.h"
+#include "src/serve/query_service.h"
+#include "src/util/parallel.h"
+
+namespace pegasus::bench {
+namespace {
+
+bool SameResults(const std::vector<QueryResult>& a,
+                 const std::vector<QueryResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].neighbors != b[i].neighbors || a[i].hops != b[i].hops ||
+        a[i].scores != b[i].scores) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// One client's batch for a given round: every family, query nodes varied
+// per (client, round) so batches differ but are fully deterministic.
+std::vector<QueryRequest> MixedBatch(const Graph& g, int client, int round,
+                                     size_t node_queries) {
+  std::vector<QueryRequest> requests;
+  const std::vector<NodeId> nodes = SampleNodes(
+      g, node_queries, 1000003ULL * static_cast<uint64_t>(client) +
+                           static_cast<uint64_t>(round));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId q = nodes[i];
+    switch (i % 4) {
+      case 0:
+        requests.push_back({QueryKind::kNeighbors, q, kQueryParamUseDefault,
+                            true, {}});
+        break;
+      case 1:
+        requests.push_back({QueryKind::kHop, q, kQueryParamUseDefault,
+                            true, {}});
+        break;
+      case 2:
+        requests.push_back({QueryKind::kRwr, q, 0.1, true, {}});
+        break;
+      default:
+        requests.push_back({QueryKind::kPhp, q, kQueryParamUseDefault,
+                            false, {}});
+        break;
+    }
+  }
+  // Whole-graph families ride along so the per-epoch cache is contended.
+  requests.push_back(
+      {QueryKind::kDegree, 0, kQueryParamUseDefault, true, {}});
+  requests.push_back(
+      {QueryKind::kPageRank, 0, kQueryParamUseDefault, true, {}});
+  return requests;
+}
+
+struct ModeStats {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int max_inflight = 0;
+  bool identical = true;
+};
+
+// Runs `clients` threads, each answering its per-round batches in order,
+// optionally serialized through one mutex. Latencies are per batch;
+// identity is checked against `expected` after the clock stops.
+ModeStats RunMode(QueryService& service,
+                  const std::vector<std::vector<std::vector<QueryRequest>>>&
+                      batches,
+                  const std::vector<std::vector<std::vector<QueryResult>>>&
+                      expected,
+                  bool serialized) {
+  const int clients = static_cast<int>(batches.size());
+  std::mutex admission;  // the PR-5 bottleneck, restaged client-side
+  std::vector<std::vector<double>> latencies(batches.size());
+  std::vector<std::vector<std::vector<QueryResult>>> got(batches.size());
+  const int before_inflight = service.serving_stats().max_inflight_batches;
+  size_t total_requests = 0;
+  for (const auto& rounds : batches) {
+    for (const auto& batch : rounds) total_requests += batch.size();
+  }
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const auto& rounds = batches[static_cast<size_t>(c)];
+      for (const auto& batch : rounds) {
+        Timer t;
+        auto result = [&]() -> StatusOr<QueryService::BatchResult> {
+          if (serialized) {
+            std::lock_guard<std::mutex> lock(admission);
+            return service.Answer(batch);
+          }
+          return service.Answer(batch);
+        }();
+        latencies[static_cast<size_t>(c)].push_back(t.ElapsedMillis());
+        if (!result.ok()) {
+          std::printf("Answer failed: %s\n",
+                      result.status().ToString().c_str());
+        }
+        got[static_cast<size_t>(c)].push_back(
+            result.ok() ? std::move(result->results)
+                        : std::vector<QueryResult>());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = wall.ElapsedSeconds();
+
+  ModeStats stats;
+  stats.qps = secs > 0 ? static_cast<double>(total_requests) / secs : 0.0;
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    stats.p50_ms = all[all.size() / 2];
+    stats.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  stats.max_inflight =
+      std::max(service.serving_stats().max_inflight_batches, before_inflight);
+  for (size_t c = 0; c < batches.size(); ++c) {
+    for (size_t r = 0; r < batches[c].size(); ++r) {
+      if (!SameResults(got[c][r], expected[c][r])) stats.identical = false;
+    }
+  }
+  return stats;
+}
+
+int Run() {
+  Banner("bench_concurrent_serving",
+         "concurrent batch serving: N clients, concurrent admission on the "
+         "work-stealing executor vs serialized one-batch-at-a-time "
+         "dispatch");
+  const DatasetScale scale = BenchScaleFromEnv();
+  NodeId synth_nodes = 0;
+  size_t node_queries = 0;
+  int rounds = 0;
+  switch (scale) {
+    case DatasetScale::kTiny:
+      synth_nodes = 2000;
+      node_queries = 24;
+      rounds = 4;
+      break;
+    case DatasetScale::kSmall:
+      synth_nodes = 10000;
+      node_queries = 48;
+      rounds = 6;
+      break;
+    case DatasetScale::kDefault:
+      synth_nodes = 50000;
+      node_queries = 64;
+      rounds = 8;
+      break;
+    case DatasetScale::kPaper:
+      synth_nodes = 250000;
+      node_queries = 96;
+      rounds = 8;
+      break;
+  }
+
+  Graph graph = GenerateBarabasiAlbert(synth_nodes, 5, 21);
+  PegasusConfig config;
+  config.seed = 5;
+  auto summarized =
+      *SummarizeGraphToRatio(graph, SampleNodes(graph, 50, 23), 0.5, config);
+  const SummaryGraph& summary = summarized.summary;
+  std::printf("graph: BA, %u nodes, %llu edges; summary: %u supernodes; "
+              "hardware threads: %d\n\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              summary.num_supernodes(), ResolveThreadCount(0));
+
+  bool all_identical = true;
+  Table table({"clients", "mode", "batches", "QPS", "p50_ms", "p99_ms",
+               "max_inflight", "identical"});
+
+  for (int clients : {2, 4}) {
+    // Fresh service per client count so inflight high-water marks and
+    // cache stats are per-configuration.
+    QueryService service(summary);
+    const SummaryView& view = *service.view();
+
+    // Pre-build every batch and its single-threaded reference answers.
+    std::vector<std::vector<std::vector<QueryRequest>>> batches(
+        static_cast<size_t>(clients));
+    std::vector<std::vector<std::vector<QueryResult>>> expected(
+        static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      for (int r = 0; r < rounds; ++r) {
+        auto raw = MixedBatch(graph, c, r, node_queries);
+        // Answer() canonicalizes internally, so the service gets the raw
+        // batch; the reference runs the canonical form single-threaded.
+        auto canonical = serve::CanonicalizeBatch(raw, view.num_nodes());
+        if (!canonical.ok()) {
+          std::printf("FATAL: batch canonicalization failed: %s\n",
+                      canonical.status().ToString().c_str());
+          return 1;
+        }
+        std::vector<QueryResult> reference;
+        reference.reserve(canonical->size());
+        for (const QueryRequest& request : *canonical) {
+          reference.push_back(AnswerQuery(view, request));
+        }
+        batches[static_cast<size_t>(c)].push_back(std::move(raw));
+        expected[static_cast<size_t>(c)].push_back(std::move(reference));
+      }
+    }
+
+    for (bool serialized : {true, false}) {
+      const ModeStats stats = RunMode(service, batches, expected, serialized);
+      all_identical = all_identical && stats.identical;
+      table.AddRow({std::to_string(clients),
+                    serialized ? "serialized" : "concurrent",
+                    std::to_string(clients * rounds),
+                    FormatDouble(stats.qps, 1), FormatDouble(stats.p50_ms, 2),
+                    FormatDouble(stats.p99_ms, 2),
+                    std::to_string(stats.max_inflight),
+                    stats.identical ? "yes" : "NO"});
+    }
+  }
+  Finish(table);
+
+  std::printf("\nmax_inflight > 1 in concurrent mode is the overlap proof; "
+              "QPS deltas are\nmeaningful only with >= 4 hardware threads "
+              "(this host: %d).\n",
+              ResolveThreadCount(0));
+  if (!all_identical) {
+    std::printf("\nFATAL: concurrent answers diverged from the "
+                "single-threaded reference.\n");
+    return 1;
+  }
+  std::printf("determinism: all batches byte-identical to the "
+              "single-threaded reference.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() { return pegasus::bench::Run(); }

@@ -63,7 +63,7 @@ void Run() {
         PegasusConfig config;
         config.alpha = 1.25;
         config.seed = 8;
-        auto cluster = SummaryCluster::Build(g, louvain, budget, config);
+        auto cluster = *SummaryCluster::Build(g, louvain, budget, config);
         auto rwr =
             MeasureClusterAccuracy(g, cluster, queries, QueryType::kRwr, &truth_rwr);
         auto hop =

@@ -38,7 +38,7 @@ namespace {
 // per ParallelFor index at grain 1, no global-result dedup.
 std::vector<QueryResult> Pr3Dispatch(const SummaryView& view,
                                      const std::vector<QueryRequest>& requests,
-                                     ThreadPool& pool) {
+                                     Executor& pool) {
   std::vector<QueryResult> results(requests.size());
   pool.ParallelFor(requests.size(), /*grain=*/1,
                    [&](int /*worker*/, size_t begin, size_t end) {
@@ -141,7 +141,7 @@ int Run() {
     const std::vector<QueryRequest> requests(global_repeats, proto);
     const double count = static_cast<double>(requests.size());
 
-    ThreadPool pool(QueryWorkerCount(0));
+    Executor pool(QueryWorkerCount(0));
     std::vector<QueryResult> reference;
     const double recompute_secs = BestSeconds(
         kReps, [&] { reference = Pr3Dispatch(view, requests, pool); });
@@ -199,7 +199,7 @@ int Run() {
     neighbor_batch.push_back({QueryKind::kNeighbors, nodes[i % nodes.size()],
                               kQueryParamUseDefault, true, {}});
   }
-  ThreadPool pr3_pool(QueryWorkerCount(0));
+  Executor pr3_pool(QueryWorkerCount(0));
   std::vector<QueryResult> neighbor_reference =
       Pr3Dispatch(view, neighbor_batch, pr3_pool);  // warmup + reference
 

@@ -194,7 +194,7 @@ int Run() {
       // does (on a 1-core runner every batch column measures the same
       // 1-worker engine); the pool lives outside the timed region so
       // thread spawn is not billed to the batch.
-      ThreadPool pool(QueryWorkerCount(threads));
+      Executor pool(QueryWorkerCount(threads));
       double batch_secs = 0.0;
       for (int rep = 0; rep < kReps; ++rep) {
         Timer batch_timer;

@@ -33,7 +33,7 @@ int main() {
   config.max_iterations = 10;
   std::printf("building %u personalized summaries (%.0f kbit each)...\n",
               machines, budget / 1000.0);
-  auto summaries = SummaryCluster::Build(graph, partition, budget, config);
+  auto summaries = *SummaryCluster::Build(graph, partition, budget, config);
   auto subgraphs = SubgraphCluster::Build(graph, partition, budget);
 
   // 50 random query nodes, routed by shard.

@@ -110,7 +110,7 @@ std::vector<std::vector<SupernodeId>> GenerateCandidateGroups(
 
 std::vector<std::vector<SupernodeId>> GenerateCandidateGroupsParallel(
     const Graph& graph, const SummaryGraph& summary, uint64_t iteration_seed,
-    const CandidateGroupsOptions& options, ThreadPool& pool) {
+    const CandidateGroupsOptions& options, Executor& pool) {
   std::vector<std::vector<SupernodeId>> done;
   // Level-synchronous splitting: `level` holds the groups still to split
   // at the current depth. All of them share one hash seed (as in the

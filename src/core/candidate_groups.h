@@ -47,7 +47,7 @@ std::vector<std::vector<SupernodeId>> GenerateCandidateGroups(
 // (level-synchronous instead of depth-first).
 std::vector<std::vector<SupernodeId>> GenerateCandidateGroupsParallel(
     const Graph& graph, const SummaryGraph& summary, uint64_t iteration_seed,
-    const CandidateGroupsOptions& options, ThreadPool& pool);
+    const CandidateGroupsOptions& options, Executor& pool);
 
 // One-hop min-hash of a single node under hash seed `hash_seed`:
 // min over v in N(u) ∪ {u} of f(v). Exposed for tests.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "src/graph/graph_builder.h"
 #include "src/query/summary_queries.h"
@@ -14,17 +15,22 @@ Edge Canonical(NodeId u, NodeId v) {
 }
 }  // namespace
 
-DynamicSummary::DynamicSummary(Graph graph, std::vector<NodeId> targets,
-                               Options options)
-    : graph_(std::move(graph)),
-      targets_(std::move(targets)),
-      options_(options) {
-  auto result = SummarizeGraphToRatio(graph_, targets_, options_.ratio,
-                                      options_.config);
-  // Options carries a ratio/config validated by the caller's contract; a
-  // failure here is a programming error.
-  assert(result.ok());
-  summary_ = std::move(*result).summary;
+StatusOr<DynamicSummary> DynamicSummary::Create(Graph graph,
+                                                std::vector<NodeId> targets,
+                                                Options options) {
+  // The summarizer validates ratio/config/targets; rebuild_fraction is
+  // consumed only here, so it gets its own check. Any non-negative finite
+  // value is meaningful (0 rebuilds on nearly every update).
+  if (!(options.rebuild_fraction >= 0.0) ||
+      !std::isfinite(options.rebuild_fraction)) {
+    return Status::InvalidArgument(
+        "rebuild_fraction must be finite and >= 0");
+  }
+  auto result =
+      SummarizeGraphToRatio(graph, targets, options.ratio, options.config);
+  if (!result) return result.status();
+  return DynamicSummary(std::move(graph), std::move(targets), options,
+                        std::move(*result).summary);
 }
 
 bool DynamicSummary::AddEdge(NodeId u, NodeId v) {
@@ -114,6 +120,8 @@ void DynamicSummary::Rebuild() {
                                              (rebuild_count_ + 1));
   auto result = SummarizeGraphToRatio(graph_, targets_, options_.ratio,
                                       config);
+  // Create() validated ratio/config/targets and the node count never
+  // changes, so a rebuild cannot fail; anything else is a library bug.
   assert(result.ok());
   summary_ = std::move(*result).summary;
   ++rebuild_count_;

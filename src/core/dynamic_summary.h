@@ -22,6 +22,7 @@
 #include "src/core/pegasus.h"
 #include "src/core/summary_graph.h"
 #include "src/graph/graph.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
@@ -36,7 +37,13 @@ class DynamicSummary {
   };
 
   // Builds the initial summary of `graph` personalized to `targets`.
-  DynamicSummary(Graph graph, std::vector<NodeId> targets, Options options);
+  // Errors: kInvalidArgument for a non-finite or negative
+  // rebuild_fraction, plus whatever the summarizer rejects (ratio outside
+  // (0, 1], bad config, out-of-range targets). Once created, every later
+  // rebuild reuses the validated inputs and cannot fail.
+  static StatusOr<DynamicSummary> Create(Graph graph,
+                                         std::vector<NodeId> targets,
+                                         Options options);
 
   // Applies an update. Returns true if the update changed the graph (i.e.,
   // the edge was actually missing/present). Node ids must be in range;
@@ -70,6 +77,13 @@ class DynamicSummary {
   void Rebuild();
 
  private:
+  DynamicSummary(Graph graph, std::vector<NodeId> targets, Options options,
+                 SummaryGraph summary)
+      : graph_(std::move(graph)),
+        targets_(std::move(targets)),
+        options_(options),
+        summary_(std::move(summary)) {}
+
   void MaybeRebuild();
 
   Graph graph_;  // base graph (delta not folded in)

@@ -1,20 +1,25 @@
 #include "src/core/hierarchy.h"
 
-#include <cassert>
+#include <string>
 
 #include "src/util/rng.h"
 
 namespace pegasus {
 
-SummaryHierarchy SummaryHierarchy::Build(const Graph& graph,
-                                         const std::vector<NodeId>& targets,
-                                         const std::vector<double>& ratios,
-                                         const PegasusConfig& config) {
-  assert(!ratios.empty());
+StatusOr<SummaryHierarchy> SummaryHierarchy::Build(
+    const Graph& graph, const std::vector<NodeId>& targets,
+    const std::vector<double>& ratios, const PegasusConfig& config) {
+  if (ratios.empty()) {
+    return Status::InvalidArgument("hierarchy needs at least one ratio");
+  }
   SummaryHierarchy hierarchy;
   hierarchy.levels_.reserve(ratios.size());
   for (size_t i = 0; i < ratios.size(); ++i) {
-    assert(i == 0 || ratios[i] < ratios[i - 1]);
+    if (i > 0 && !(ratios[i] < ratios[i - 1])) {
+      return Status::InvalidArgument(
+          "ratios must be strictly decreasing: ratio " + std::to_string(i) +
+          " is not below its predecessor");
+    }
     PegasusConfig level_config = config;
     level_config.seed = SplitMix64(config.seed + 0x9e3779b97f4a7c15ULL * i);
     const double budget = ratios[i] * graph.SizeInBits();
@@ -23,9 +28,11 @@ SummaryHierarchy SummaryHierarchy::Build(const Graph& graph,
                              : hierarchy.levels_.back();
     auto level = SummarizeGraphFrom(graph, targets, budget, std::move(start),
                                     level_config);
-    // Build's own contract (asserted ratios, caller-validated config)
-    // guarantees valid inputs; a failure here is a programming error.
-    assert(level.ok());
+    if (!level) {
+      return Status(level.status().code(), "level " + std::to_string(i) +
+                                               ": " +
+                                               level.status().message());
+    }
     hierarchy.levels_.push_back(std::move(*level).summary);
   }
   return hierarchy;

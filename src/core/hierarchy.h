@@ -18,18 +18,21 @@
 #include "src/core/pegasus.h"
 #include "src/core/summary_graph.h"
 #include "src/graph/graph.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
 class SummaryHierarchy {
  public:
-  // Builds one summary per entry of `ratios` (must be strictly
-  // decreasing). Level i + 1 continues coarsening level i's partition, so
-  // co-members at a fine level remain co-members at every coarser level.
-  static SummaryHierarchy Build(const Graph& graph,
-                                const std::vector<NodeId>& targets,
-                                const std::vector<double>& ratios,
-                                const PegasusConfig& config = {});
+  // Builds one summary per entry of `ratios`. Level i + 1 continues
+  // coarsening level i's partition, so co-members at a fine level remain
+  // co-members at every coarser level. Errors: kInvalidArgument for an
+  // empty or non-strictly-decreasing ratio sequence, plus whatever the
+  // summarizer rejects (bad config, ratios outside (0, 1]), prefixed
+  // with the offending level.
+  static StatusOr<SummaryHierarchy> Build(
+      const Graph& graph, const std::vector<NodeId>& targets,
+      const std::vector<double>& ratios, const PegasusConfig& config = {});
 
   size_t num_levels() const { return levels_.size(); }
 

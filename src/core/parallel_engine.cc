@@ -287,7 +287,7 @@ void GroupMergePlanner::ComputeReselection(
 ParallelEngine::ParallelEngine(const Graph& graph, SummaryGraph& summary,
                                CostModel& cost, MergeScore score,
                                const CandidateGroupsOptions& groups,
-                               ThreadPool& pool)
+                               Executor& pool)
     : graph_(graph),
       summary_(summary),
       cost_(cost),

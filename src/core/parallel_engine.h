@@ -168,7 +168,7 @@ class ParallelEngine {
  public:
   ParallelEngine(const Graph& graph, SummaryGraph& summary, CostModel& cost,
                  MergeScore score, const CandidateGroupsOptions& groups,
-                 ThreadPool& pool);
+                 Executor& pool);
 
   // Runs one candidate->plan->apply->reselect round. `round_seed` derives
   // the candidate hashes and the per-group Rng streams; rejected scores
@@ -183,7 +183,7 @@ class ParallelEngine {
   SummaryGraph& summary_;
   CostModel& cost_;
   CandidateGroupsOptions group_options_;
-  ThreadPool& pool_;
+  Executor& pool_;
   MergeEngine engine_;
   std::vector<GroupMergePlanner> planners_;  // one per pool worker
 };

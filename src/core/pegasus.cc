@@ -147,7 +147,7 @@ StatusOr<SummarizationResult> SummarizeGraphFrom(
   // single-core machine) so that "auto" results are machine-independent;
   // 1 (or a nonsensical negative) keeps the historical serial schedule.
   if (config.num_threads == 0 || config.num_threads > 1) {
-    ThreadPool pool(config.num_threads);
+    Executor pool(config.num_threads);
     ParallelEngine engine(graph, summary, cost, config.merge_score,
                           config.groups, pool);
     DriveToBudget(graph, budget_bits, config, cost, summary, result,

@@ -1,15 +1,19 @@
 #include "src/distributed/cluster.h"
 
-#include <cassert>
+#include <string>
 
 #include "src/query/summary_queries.h"
 
 namespace pegasus {
 
-SummaryCluster SummaryCluster::Build(const Graph& graph,
-                                     const Partition& partition,
-                                     double budget_bits_per_machine,
-                                     const PegasusConfig& config) {
+StatusOr<SummaryCluster> SummaryCluster::Build(
+    const Graph& graph, const Partition& partition,
+    double budget_bits_per_machine, const PegasusConfig& config) {
+  if (partition.part_of.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "partition covers " + std::to_string(partition.part_of.size()) +
+        " nodes, graph has " + std::to_string(graph.num_nodes()));
+  }
   SummaryCluster cluster;
   cluster.partition_ = partition;
   const auto parts = partition.Parts();
@@ -19,7 +23,11 @@ SummaryCluster SummaryCluster::Build(const Graph& graph,
     machine_config.seed = SplitMix64(config.seed + i + 1);
     auto machine = SummarizeGraph(graph, parts[i], budget_bits_per_machine,
                                   machine_config);
-    assert(machine.ok());
+    if (!machine) {
+      return Status(machine.status().code(),
+                    "machine " + std::to_string(i) + ": " +
+                        machine.status().message());
+    }
     cluster.summaries_.push_back(std::move(*machine).summary);
   }
   return cluster;

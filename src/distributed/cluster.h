@@ -18,6 +18,7 @@
 #include "src/graph/graph.h"
 #include "src/partition/partition.h"
 #include "src/query/exact_queries.h"
+#include "src/util/status.h"
 
 namespace pegasus {
 
@@ -25,10 +26,14 @@ class SummaryCluster {
  public:
   // Builds one personalized summary per part: machine i gets
   // PeGaSus(graph, k = budget_bits_per_machine, T = V_i) (Alg. 3 lines
-  // 1-4). `config.alpha` etc. apply to every machine.
-  static SummaryCluster Build(const Graph& graph, const Partition& partition,
-                              double budget_bits_per_machine,
-                              const PegasusConfig& config = {});
+  // 1-4). `config.alpha` etc. apply to every machine. Errors:
+  // kInvalidArgument when the partition does not cover the graph's nodes,
+  // plus whatever the summarizer rejects (bad budget/config), prefixed
+  // with the offending machine.
+  static StatusOr<SummaryCluster> Build(const Graph& graph,
+                                        const Partition& partition,
+                                        double budget_bits_per_machine,
+                                        const PegasusConfig& config = {});
 
   uint32_t num_machines() const {
     return static_cast<uint32_t>(summaries_.size());

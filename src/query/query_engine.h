@@ -140,7 +140,7 @@ QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request);
 // instead — it keeps the pool and the cache alive across batches.
 StatusOr<std::vector<QueryResult>> AnswerBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
-    ThreadPool& pool);
+    Executor& pool);
 
 // Convenience overload owning a pool of QueryWorkerCount(num_threads)
 // workers for the call.

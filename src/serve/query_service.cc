@@ -126,7 +126,7 @@ StatusOr<std::vector<QueryRequest>> CanonicalizeBatch(
 
 std::vector<QueryResult> RunCanonicalBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
-    ThreadPool& pool, GlobalResultCache& cache, uint64_t epoch,
+    Executor& pool, GlobalResultCache& cache, uint64_t epoch,
     size_t cheap_grain) {
   const size_t n = requests.size();
   std::vector<QueryResult> results(n);
@@ -241,7 +241,7 @@ std::vector<QueryResult> RunCanonicalBatch(
 // here so the query layer does not depend back on serve).
 StatusOr<std::vector<QueryResult>> AnswerBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
-    ThreadPool& pool) {
+    Executor& pool) {
   auto canonical = serve::CanonicalizeBatch(requests, view.num_nodes());
   if (!canonical) return canonical.status();
   // A transient cache still dedupes global queries within this batch; a
@@ -256,7 +256,7 @@ StatusOr<std::vector<QueryResult>> AnswerBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
     int num_threads) {
   // Callers that really want oversubscription can pass their own pool.
-  ThreadPool pool(QueryWorkerCount(num_threads));
+  Executor pool(QueryWorkerCount(num_threads));
   return AnswerBatch(view, requests, pool);
 }
 
@@ -320,17 +320,32 @@ StatusOr<QueryService::BatchResult> QueryService::Answer(
 
   BatchResult out;
   out.epoch = snap.epoch;
-  {
-    // The pool admits one ParallelFor at a time; concurrent Answer()
-    // calls take turns. Each batch still runs against the snapshot it
-    // captured above, so a Publish between (or during) turns never mixes
-    // epochs within a batch.
-    std::lock_guard<std::mutex> lock(batch_mu_);
-    out.results = serve::RunCanonicalBatch(*snap.view, *canonical, pool_,
-                                           cache_, snap.epoch,
-                                           options_.cheap_grain);
+  // Concurrent batches overlap: each RunCanonicalBatch is an independent
+  // Executor submission, and every batch answers against the snapshot it
+  // captured above, so a Publish landing mid-flight never mixes epochs
+  // within a batch. The in-flight counters make the overlap observable
+  // (serving_stats, the serve `stats` directive, and the concurrent
+  // serving bench).
+  total_batches_.fetch_add(1, std::memory_order_relaxed);
+  const int inflight = inflight_batches_.fetch_add(1,
+                                                   std::memory_order_relaxed) +
+                       1;
+  int high = max_inflight_batches_.load(std::memory_order_relaxed);
+  while (inflight > high &&
+         !max_inflight_batches_.compare_exchange_weak(
+             high, inflight, std::memory_order_relaxed)) {
   }
+  out.results = serve::RunCanonicalBatch(*snap.view, *canonical, pool_,
+                                         cache_, snap.epoch,
+                                         options_.cheap_grain);
+  inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
   return out;
+}
+
+QueryService::ServingStats QueryService::serving_stats() const {
+  return {inflight_batches_.load(std::memory_order_relaxed),
+          max_inflight_batches_.load(std::memory_order_relaxed),
+          total_batches_.load(std::memory_order_relaxed)};
 }
 
 StatusOr<QueryResult> QueryService::AnswerOne(const QueryRequest& request) {

@@ -3,7 +3,7 @@
 // A QueryService is a long-lived object a server process holds for its
 // whole lifetime. It owns
 //
-//   * a ThreadPool sized once at construction,
+//   * an Executor sized once at construction,
 //   * an *epoch-swapped* `std::shared_ptr<const SummaryView>`: Publish()
 //     builds a fresh view and swaps it in atomically while in-flight
 //     batches keep answering from the epoch they captured (readers never
@@ -39,13 +39,16 @@
 // the bytes a single-threaded run against epoch E's view returns.
 //
 // Thread-safety: all public methods may be called concurrently from any
-// thread. Batches are executed one at a time over the shared pool (the
-// ThreadPool contract); concurrent Answer() calls queue on an internal
-// mutex.
+// thread. Concurrent Answer() calls overlap: each batch is an independent
+// submission to the shared work-stealing Executor, so small batches from
+// many clients interleave across the workers instead of queueing behind
+// one another. serving_stats() exposes the in-flight batch count so the
+// overlap is observable.
 
 #ifndef PEGASUS_SERVE_QUERY_SERVICE_H_
 #define PEGASUS_SERVE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -154,7 +157,7 @@ StatusOr<std::vector<QueryRequest>> CanonicalizeBatch(
 // every worker count and every cheap_grain.
 std::vector<QueryResult> RunCanonicalBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
-    ThreadPool& pool, GlobalResultCache& cache, uint64_t epoch,
+    Executor& pool, GlobalResultCache& cache, uint64_t epoch,
     size_t cheap_grain);
 
 }  // namespace serve
@@ -222,6 +225,13 @@ class QueryService {
   };
   CacheStats cache_stats() const;
 
+  struct ServingStats {
+    int inflight_batches = 0;       // Answer() calls currently executing
+    int max_inflight_batches = 0;   // high-water mark since construction
+    uint64_t total_batches = 0;     // Answer() calls ever admitted
+  };
+  ServingStats serving_stats() const;
+
   int num_workers() const { return pool_.num_workers(); }
 
  private:
@@ -232,14 +242,16 @@ class QueryService {
   Snapshot CurrentSnapshot() const;
 
   const Options options_;
-  ThreadPool pool_;
+  Executor pool_;
   serve::GlobalResultCache cache_;
 
   mutable std::mutex view_mu_;  // guards view_ / epoch_
   std::shared_ptr<const SummaryView> view_;
   uint64_t epoch_ = 0;
 
-  std::mutex batch_mu_;  // serializes pool use across concurrent batches
+  std::atomic<int> inflight_batches_{0};
+  std::atomic<int> max_inflight_batches_{0};
+  std::atomic<uint64_t> total_batches_{0};
 };
 
 }  // namespace pegasus

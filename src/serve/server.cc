@@ -1,0 +1,248 @@
+#include "src/serve/server.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/core/summary_io.h"
+#include "src/serve/text_serving.h"
+
+namespace pegasus::serve {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+// publish bodies may carry stray whitespace/newlines from line-oriented
+// clients; the path itself is taken verbatim otherwise.
+std::string Trimmed(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status s = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status s = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  const bool was_stopping = stopping_.exchange(true);
+  if (!was_stopping && listen_fd_ >= 0) {
+    // Unblock accept(); on Linux a shut-down listener fails the pending
+    // accept immediately.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::list<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (const auto& conn : connections) ::shutdown(conn->fd, SHUT_RDWR);
+  for (const auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+}
+
+void Server::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listener down (or the socket died); either way
+      // the accept loop is over.
+      return;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ReapFinishedLocked();
+      conn->id = ++accepted_;
+      connections_.push_back(conn);
+    }
+    conn->thread = std::thread([this, conn] {
+      Handle(*conn);
+      conn->finished.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::Handle(Connection& conn) {
+  for (;;) {
+    auto frame = ReadFrame(conn.fd);
+    if (!frame) {
+      // Oversized/short frames are protocol corruption: report once
+      // (best effort) and drop the connection. Clean EOF and socket
+      // errors just end the loop.
+      if (frame.status().code() == StatusCode::kInvalidArgument) {
+        (void)WriteFrame(conn.fd, FrameType::kError,
+                         frame.status().ToString());
+      }
+      return;
+    }
+    std::string response;
+    const Status status = Dispatch(*frame, conn, &response);
+    const Status write =
+        status ? WriteFrame(conn.fd, FrameType::kOk, response)
+               : WriteFrame(conn.fd, FrameType::kError, status.ToString());
+    if (!write) return;
+  }
+}
+
+Status Server::Dispatch(const Frame& frame, Connection& conn,
+                        std::string* response) {
+  if (frame.version != kWireVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(frame.version) +
+        "; this server speaks version " + std::to_string(kWireVersion));
+  }
+  switch (frame.type) {
+    case FrameType::kBatch:
+      return HandleBatch(frame.body, conn, response);
+    case FrameType::kPublish:
+      return HandlePublish(frame.body, response);
+    case FrameType::kStats:
+      *response = FormatServiceStats(service_) + StatsText();
+      return Status::Ok();
+    case FrameType::kEpoch:
+      *response = "epoch " + std::to_string(service_.epoch()) + "\n";
+      return Status::Ok();
+    case FrameType::kOk:
+    case FrameType::kError:
+      break;  // response types are not requests
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "unknown frame type 0x%02x",
+                static_cast<unsigned>(frame.type));
+  return Status::InvalidArgument(buf);
+}
+
+Status Server::HandleBatch(const std::string& body, Connection& conn,
+                           std::string* response) {
+  const auto view = service_.view();
+  if (!view) {
+    return Status::FailedPrecondition(
+        "no summary published; call Publish() first");
+  }
+  auto requests = ParseBatchText(body, view->num_nodes());
+  if (!requests) return requests.status();
+  conn.inflight.fetch_add(1, std::memory_order_relaxed);
+  auto batch = service_.Answer(*requests);
+  conn.inflight.fetch_sub(1, std::memory_order_relaxed);
+  if (!batch) return batch.status();
+  *response = FormatBatchResponse(*requests, *batch, options_.top);
+  return Status::Ok();
+}
+
+Status Server::HandlePublish(const std::string& body,
+                             std::string* response) {
+  const std::string path = Trimmed(body);
+  if (path.empty()) {
+    return Status::InvalidArgument("publish needs a summary path");
+  }
+  auto summary = LoadSummary(path);
+  if (!summary) return summary.status();
+  const uint64_t epoch = service_.Publish(*summary);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "epoch %llu published (%u supernodes)\n",
+                static_cast<unsigned long long>(epoch),
+                summary->num_supernodes());
+  *response = buf;
+  return Status::Ok();
+}
+
+Server::Stats Server::stats() const {
+  Stats stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.accepted = accepted_;
+  for (const auto& conn : connections_) {
+    if (conn->finished.load(std::memory_order_acquire)) continue;
+    ++stats.open;
+    stats.connections.push_back(
+        {conn->id, conn->inflight.load(std::memory_order_relaxed)});
+  }
+  return stats;
+}
+
+std::string Server::StatsText() const {
+  const Stats stats = this->stats();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "connections_open %zu connections_accepted %llu\n",
+                stats.open, static_cast<unsigned long long>(stats.accepted));
+  std::string out = buf;
+  for (const auto& conn : stats.connections) {
+    std::snprintf(buf, sizeof(buf), "conn %llu inflight %d\n",
+                  static_cast<unsigned long long>(conn.id),
+                  conn.inflight_batches);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace pegasus::serve

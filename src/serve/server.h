@@ -1,0 +1,118 @@
+// Socket front end over a resident QueryService.
+//
+// A Server listens on loopback TCP, speaks the framing in
+// src/serve/wire.h, and serves each connection from its own thread. All
+// connections share one QueryService, so concurrent batch frames overlap
+// on the work-stealing executor exactly like concurrent Answer() calls —
+// the server adds transport, not scheduling. Request bodies reuse the
+// `pegasus serve` text grammar (src/serve/text_serving.h) and responses
+// are byte-identical to what the stdin loop prints for the same input,
+// minus the timing line, so the stdin mode really is just a degenerate
+// client of the same service.
+//
+// Malformed *requests* (bad version byte, unknown type, bad query lines)
+// get a kError frame and the connection stays open; malformed *frames*
+// (oversized length prefix, mid-frame EOF) end the connection. The
+// listener binds 127.0.0.1 only — there is no authentication layer, so
+// non-local exposure is deliberately not configurable here.
+//
+// Lifecycle: Start() binds and spawns the accept thread; Stop() (also run
+// by the destructor) shuts the listener down, unblocks every connection
+// thread, and joins them. port() reports the bound port, which is the way
+// to use an ephemeral listen port (Options::port = 0).
+
+#ifndef PEGASUS_SERVE_SERVER_H_
+#define PEGASUS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/query_service.h"
+#include "src/serve/wire.h"
+#include "src/util/status.h"
+
+namespace pegasus::serve {
+
+class Server {
+ public:
+  struct Options {
+    uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+    int backlog = 64;
+    size_t top = 10;    // answers per query line in batch responses
+  };
+
+  Server(QueryService& service, Options options)
+      : service_(service), options_(options) {}
+  ~Server() { Stop(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds 127.0.0.1:options.port, starts listening, and spawns the accept
+  // thread. kInternal with the errno text on any socket failure.
+  Status Start();
+
+  // Stops accepting, unblocks and joins every connection thread, closes
+  // all sockets. Idempotent; safe to call from any thread except a
+  // connection handler's own.
+  void Stop();
+
+  // The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  struct ConnectionStats {
+    uint64_t id = 0;
+    int inflight_batches = 0;
+  };
+  struct Stats {
+    uint64_t accepted = 0;  // connections ever accepted
+    size_t open = 0;        // currently serving
+    std::vector<ConnectionStats> connections;  // one entry per open conn
+  };
+  Stats stats() const;
+
+  // The server-side lines of the `stats` directive: open/accepted
+  // connection counts plus per-connection in-flight batch counts.
+  std::string StatsText() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::thread thread;
+    std::atomic<int> inflight{0};
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void Handle(Connection& conn);
+  // Routes one request frame; on OK *response is the kOk body.
+  Status Dispatch(const Frame& frame, Connection& conn,
+                  std::string* response);
+  Status HandleBatch(const std::string& body, Connection& conn,
+                     std::string* response);
+  Status HandlePublish(const std::string& body, std::string* response);
+  // Joins and closes connections whose handler has returned.
+  void ReapFinishedLocked();
+
+  QueryService& service_;
+  const Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;  // guards connections_ / accepted_
+  std::list<std::shared_ptr<Connection>> connections_;
+  uint64_t accepted_ = 0;
+};
+
+}  // namespace pegasus::serve
+
+#endif  // PEGASUS_SERVE_SERVER_H_

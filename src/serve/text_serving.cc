@@ -1,0 +1,179 @@
+#include "src/serve/text_serving.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace pegasus::serve {
+
+namespace {
+
+void AppendFormat(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendFormat(std::string& out, const char* fmt, ...) {
+  char buf[96];
+  va_list ap;
+  va_start(ap, fmt);
+  const int len = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (len > 0) out.append(buf, std::min<size_t>(static_cast<size_t>(len),
+                                                sizeof(buf) - 1));
+}
+
+}  // namespace
+
+Status ParseQueryLine(const std::string& line, QueryRequest* request) {
+  std::istringstream ls(line);
+  std::string kind_name;
+  ls >> kind_name;
+  const auto kind = ParseQueryKind(kind_name);
+  if (!kind) {
+    return Status::InvalidArgument("unknown query kind '" + kind_name +
+                                   "'; valid kinds: " + QueryKindList());
+  }
+  request->kind = *kind;
+  if (IsNodeQuery(*kind)) {
+    uint64_t node = 0;
+    if (!(ls >> node)) {
+      return Status::InvalidArgument(std::string(QueryKindName(*kind)) +
+                                     " needs a query node");
+    }
+    request->node = static_cast<NodeId>(node);
+  }
+  double param = kQueryParamUseDefault;
+  if (ls >> param) {
+    // An explicitly written parameter must be a real one: a negative
+    // value (including -1, the in-memory use-the-default sentinel) or
+    // NaN on the wire is a mistake, never a default request — omitting
+    // the token is how a line asks for the default.
+    if (!(param >= 0.0)) {
+      return Status::InvalidArgument(
+          std::string(QueryKindName(request->kind)) +
+          ": explicit parameter must be in [0, 1); omit it for the "
+          "default");
+    }
+    request->param = param;
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<QueryRequest>> ParseBatchText(const std::string& text,
+                                                   NodeId num_nodes) {
+  std::vector<QueryRequest> requests;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream probe(line);
+    std::string first;
+    probe >> first;
+    if (first.empty() || first[0] == '#') continue;
+    QueryRequest request;
+    const auto WithLine = [&](const Status& s) {
+      return Status(s.code(),
+                    "line " + std::to_string(line_no) + ": " + s.message());
+    };
+    if (Status s = ParseQueryLine(line, &request); !s) return WithLine(s);
+    // Semantic validation per line, so an error names the line instead of
+    // a batch index that skips comments and blanks.
+    if (auto canon = CanonicalizeRequest(request, num_nodes); !canon) {
+      return WithLine(canon.status());
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+std::string FormatAnswer(const QueryRequest& request,
+                         const QueryResult& result, size_t top) {
+  std::string out;
+  if (IsNodeQuery(request.kind)) {
+    AppendFormat(out, "%s(%u):", QueryKindName(request.kind), request.node);
+  } else {
+    AppendFormat(out, "%s:", QueryKindName(request.kind));
+  }
+  if (request.kind == QueryKind::kNeighbors) {
+    const size_t k = std::min(top, result.neighbors.size());
+    for (size_t i = 0; i < k; ++i) {
+      AppendFormat(out, " %u", result.neighbors[i]);
+    }
+    if (k < result.neighbors.size()) {
+      AppendFormat(out, " ... (%zu total)", result.neighbors.size());
+    }
+    out += '\n';
+    return out;
+  }
+
+  // Rank by score; hop distances rank ascending with unreachable nodes
+  // strictly last (-inf), never tied with real 1-hop neighbors.
+  std::vector<double> scores;
+  if (request.kind == QueryKind::kHop) {
+    scores.reserve(result.hops.size());
+    for (uint32_t h : result.hops) {
+      scores.push_back(h == UINT32_MAX
+                           ? -std::numeric_limits<double>::infinity()
+                           : -static_cast<double>(h));
+    }
+  } else {
+    scores = result.scores;
+  }
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t k = std::min(top, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
+                    order.end(),
+                    [&](NodeId a, NodeId b) { return scores[a] > scores[b]; });
+  for (size_t i = 0; i < k; ++i) {
+    if (request.kind == QueryKind::kHop) {
+      if (result.hops[order[i]] == UINT32_MAX) {
+        AppendFormat(out, " %u(unreachable)", order[i]);
+      } else {
+        AppendFormat(out, " %u(%u)", order[i], result.hops[order[i]]);
+      }
+    } else {
+      AppendFormat(out, " %u(%.6g)", order[i], scores[order[i]]);
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+std::string FormatBatchResponse(const std::vector<QueryRequest>& requests,
+                                const QueryService::BatchResult& batch,
+                                size_t top) {
+  std::string out;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    out += FormatAnswer(requests[i], batch.results[i], top);
+  }
+  AppendFormat(out, "epoch %llu\n",
+               static_cast<unsigned long long>(batch.epoch));
+  return out;
+}
+
+std::string FormatServiceStats(const QueryService& service) {
+  const auto cache = service.cache_stats();
+  const auto serving = service.serving_stats();
+  std::string out;
+  AppendFormat(out,
+               "epoch %llu cache_hits %llu computations %llu "
+               "evictions %llu entries %zu\n",
+               static_cast<unsigned long long>(service.epoch()),
+               static_cast<unsigned long long>(cache.hits),
+               static_cast<unsigned long long>(cache.computations),
+               static_cast<unsigned long long>(cache.evictions),
+               cache.entries);
+  AppendFormat(out,
+               "inflight_batches %d max_inflight_batches %d "
+               "total_batches %llu\n",
+               serving.inflight_batches, serving.max_inflight_batches,
+               static_cast<unsigned long long>(serving.total_batches));
+  return out;
+}
+
+}  // namespace pegasus::serve

@@ -1,0 +1,57 @@
+// Text grammar shared by every serving front end.
+//
+// The stdin loop of `pegasus serve`, the `--queries` batch mode, and the
+// socket server (src/serve/server.h) all speak the same line-oriented
+// query grammar — "<kind> <node> [param]" for node-level kinds,
+// "<kind> [param]" for whole-graph kinds, '#' comments, params in [0, 1).
+// This header is the single definition of that grammar's parser and of
+// the answer formatting, so a batch answered over a socket is
+// byte-identical to the same batch answered over stdin.
+
+#ifndef PEGASUS_SERVE_TEXT_SERVING_H_
+#define PEGASUS_SERVE_TEXT_SERVING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/query/query_engine.h"
+#include "src/serve/query_service.h"
+#include "src/util/status.h"
+
+namespace pegasus::serve {
+
+// Parses one query line — "<kind> [node] [param]" — into *request.
+// Structural errors (unknown kind, missing node token) are reported here
+// with the valid-kind list; semantic validation (ranges, NaN) is
+// CanonicalizeRequest, surfaced by the caller.
+Status ParseQueryLine(const std::string& line, QueryRequest* request);
+
+// Parses a whole batch: one query per line, blank lines and '#' comments
+// skipped, every line canonicalized against a view of `num_nodes` nodes.
+// The first bad line fails the batch with "line <n>: " context (1-based,
+// counting every line including skipped ones).
+StatusOr<std::vector<QueryRequest>> ParseBatchText(const std::string& text,
+                                                   NodeId num_nodes);
+
+// One answer line (terminated by '\n'): the top-K nodes by score for
+// scored families, hop counts for hop (unreachable strictly last), the
+// first K ids for neighbors. Identical to what `pegasus serve` prints.
+std::string FormatAnswer(const QueryRequest& request,
+                         const QueryResult& result, size_t top);
+
+// The socket batch-response body: one FormatAnswer line per request in
+// request order, then "epoch <E>\n". Deterministic — no timing line — so
+// clients can assert byte-identity across connections and worker counts.
+std::string FormatBatchResponse(const std::vector<QueryRequest>& requests,
+                                const QueryService::BatchResult& batch,
+                                size_t top);
+
+// The `stats` directive body shared by stdin and socket serving: epoch,
+// global-result cache counters, and the in-flight batch counters that
+// make concurrent-batch overlap observable.
+std::string FormatServiceStats(const QueryService& service);
+
+}  // namespace pegasus::serve
+
+#endif  // PEGASUS_SERVE_TEXT_SERVING_H_

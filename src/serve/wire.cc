@@ -1,0 +1,104 @@
+#include "src/serve/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pegasus::serve {
+
+namespace {
+
+// Sends the whole buffer, restarting on EINTR. MSG_NOSIGNAL so a peer
+// that closed mid-write surfaces as EPIPE instead of killing the process
+// with SIGPIPE.
+Status SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::DataLoss(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Receives exactly len bytes. `*clean_eof` is set when the peer closed
+// before the first byte — a frame-boundary EOF, not corruption.
+Status RecvAll(int fd, char* data, size_t len, bool* clean_eof) {
+  size_t got = 0;
+  if (clean_eof != nullptr) *clean_eof = false;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::DataLoss(std::string("recv failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::NotFound("connection closed");
+      }
+      return Status::DataLoss("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view body) {
+  const uint32_t payload_len = static_cast<uint32_t>(body.size() + 2);
+  std::string out;
+  out.reserve(4 + payload_len);
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((payload_len >> shift) & 0xff));
+  }
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  out.append(body);
+  return out;
+}
+
+StatusOr<Frame> ReadFrame(int fd, uint32_t max_payload) {
+  char prefix[4];
+  bool clean_eof = false;
+  if (Status s = RecvAll(fd, prefix, sizeof(prefix), &clean_eof); !s) {
+    return s;
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(static_cast<unsigned char>(prefix[i]))
+                   << (8 * i);
+  }
+  if (payload_len < 2) {
+    return Status::InvalidArgument("frame payload shorter than its header");
+  }
+  if (payload_len > max_payload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload_len) +
+        " bytes exceeds the " + std::to_string(max_payload) + "-byte cap");
+  }
+  std::string payload(payload_len, '\0');
+  if (Status s = RecvAll(fd, payload.data(), payload.size(), nullptr); !s) {
+    return s;
+  }
+  Frame frame;
+  frame.version = static_cast<uint8_t>(payload[0]);
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(payload[1]));
+  frame.body = payload.substr(2);
+  return frame;
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view body) {
+  const std::string encoded = EncodeFrame(type, body);
+  return SendAll(fd, encoded.data(), encoded.size());
+}
+
+}  // namespace pegasus::serve

@@ -1,0 +1,70 @@
+// Length-prefixed, versioned framing for the pegasus serving socket.
+//
+// Every frame on the wire is
+//
+//   uint32 length (little-endian)   — byte count of the payload
+//   payload[length]                 — version byte, type byte, body
+//
+// so payload[0] is the protocol version (kWireVersion, currently 1) and
+// payload[1] the frame type; everything after is the UTF-8 body. Requests
+// and responses use disjoint type ranges (responses have the high bit
+// set) so a frame is self-describing in captures:
+//
+//   0x01 kBatch    body = query lines in the `pegasus serve` grammar
+//   0x02 kPublish  body = server-local summary path to swap in
+//   0x03 kStats    body empty
+//   0x04 kEpoch    body empty
+//   0x81 kOk       body = text response (batch answers, stats, ...)
+//   0xE1 kError    body = "<CODE>: <message>" (Status::ToString form)
+//
+// A request with an unsupported version or an unknown type is answered
+// with a kError frame and the connection stays open; only a malformed
+// *frame* (short read, oversized length) closes it. Length is capped at
+// kMaxFramePayload so a corrupt or hostile prefix cannot make the server
+// allocate gigabytes.
+
+#ifndef PEGASUS_SERVE_WIRE_H_
+#define PEGASUS_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace pegasus::serve {
+
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+enum class FrameType : uint8_t {
+  kBatch = 0x01,
+  kPublish = 0x02,
+  kStats = 0x03,
+  kEpoch = 0x04,
+  kOk = 0x81,
+  kError = 0xE1,
+};
+
+struct Frame {
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kError;
+  std::string body;
+};
+
+// The full wire encoding (length prefix included) of one frame.
+std::string EncodeFrame(FrameType type, std::string_view body);
+
+// Blocking socket I/O. WriteFrame sends one whole frame; kDataLoss if the
+// peer vanished mid-write. ReadFrame returns the next frame, tolerating
+// any version byte (the caller decides how to answer a version it does
+// not speak); errors:
+//   kNotFound   clean EOF at a frame boundary (peer closed politely)
+//   kDataLoss   EOF or socket error inside a frame
+//   kInvalidArgument  length prefix above max_payload
+StatusOr<Frame> ReadFrame(int fd, uint32_t max_payload = kMaxFramePayload);
+Status WriteFrame(int fd, FrameType type, std::string_view body);
+
+}  // namespace pegasus::serve
+
+#endif  // PEGASUS_SERVE_WIRE_H_

@@ -1,6 +1,7 @@
 #include "src/util/parallel.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace pegasus {
 
@@ -11,50 +12,178 @@ int ResolveThreadCount(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-ThreadPool::ThreadPool(int num_threads)
+Executor::Executor(int num_threads)
     : num_workers_(std::max(1, ResolveThreadCount(num_threads))) {
   threads_.reserve(static_cast<size_t>(num_workers_ - 1));
   for (int id = 1; id < num_workers_; ++id) {
-    threads_.emplace_back([this, id] { WorkerLoop(id); });
+    threads_.emplace_back(
+        [this, id] { WorkerLoop(static_cast<size_t>(id)); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return active_.empty(); });
     shutdown_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::RunChunks(int worker_id) {
-  const size_t n = job_n_;
-  const size_t grain = job_grain_;
-  const auto& fn = *job_fn_;
-  for (size_t begin = next_.fetch_add(grain, std::memory_order_relaxed);
-       begin < n; begin = next_.fetch_add(grain, std::memory_order_relaxed)) {
-    fn(worker_id, begin, std::min(begin + grain, n));
+std::shared_ptr<Executor::Job> Executor::Submit(
+    std::function<void(int, size_t, size_t)> fn, size_t n, size_t grain,
+    std::function<void()> on_complete) {
+  auto job = std::make_shared<Job>();
+  job->fn = std::move(fn);
+  job->n = n;
+  job->grain = grain == 0 ? 1 : grain;
+  job->max_slots = num_workers_;
+  job->on_complete = std::move(on_complete);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(job);
+    ++version_;
   }
+  work_cv_.notify_all();
+  return job;
 }
 
-void ThreadPool::WorkerLoop(int worker_id) {
-  uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+bool Executor::RunChunks(Job& job, int slot,
+                         const std::function<bool()>* stop) {
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || job_generation_ != seen_generation;
-    });
-    if (shutdown_) return;
-    seen_generation = job_generation_;
-    lock.unlock();
-    RunChunks(worker_id);
-    lock.lock();
-    if (--workers_running_ == 0) done_cv_.notify_one();
+    // A helper abandons the theft between chunks once its own wait is
+    // over; the chunks it leaves behind stay claimable by everyone else
+    // (including the job's own submitter, who never abandons).
+    if (stop != nullptr && (*stop)()) return false;
+    const size_t begin = job.next.fetch_add(job.grain,
+                                            std::memory_order_relaxed);
+    if (begin >= job.n) return false;
+    const size_t end = std::min(begin + job.grain, job.n);
+    if (!job.cancelled.load(std::memory_order_acquire)) {
+      try {
+        job.fn(slot, begin, end);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(job.mu);
+          if (!job.error) job.error = std::current_exception();
+        }
+        job.cancelled.store(true, std::memory_order_release);
+      }
+    }
+    // acq_rel so the participant that completes the final chunk observes
+    // (and, via Finish under job.mu, republishes to the joiner) every
+    // other participant's writes.
+    const size_t done_count =
+        job.completed.fetch_add(end - begin, std::memory_order_acq_rel) +
+        (end - begin);
+    if (done_count == job.n) return true;
   }
 }
 
-void ThreadPool::ParallelFor(
+void Executor::Finish(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(std::find(active_.begin(), active_.end(), job));
+    if (active_.empty()) drain_cv_.notify_all();
+  }
+  std::function<void()> on_complete;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->done = true;
+    on_complete = std::move(job->on_complete);
+  }
+  job->cv.notify_all();
+  if (on_complete) on_complete();
+}
+
+bool Executor::HelpOnce(const Job* exclude,
+                        const std::function<bool()>& stop) {
+  std::shared_ptr<Job> job;
+  int slot = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& candidate : active_) {
+      if (candidate.get() == exclude) continue;
+      if (!HasClaimableWork(*candidate)) continue;
+      const int s = candidate->slots.fetch_add(1, std::memory_order_relaxed);
+      if (s >= candidate->max_slots) {
+        candidate->slots.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      job = candidate;
+      slot = s;
+      break;
+    }
+  }
+  if (!job) return false;
+  if (RunChunks(*job, slot, &stop)) Finish(job);
+  return true;
+}
+
+void Executor::Join(const std::shared_ptr<Job>& job) {
+  // Drive our own job's chunks first: this makes nested ParallelFor
+  // deadlock-free, because a joiner only blocks once every chunk of its
+  // own job is claimed by threads that are themselves making progress.
+  if (RunChunks(*job, /*slot=*/0, nullptr)) {
+    Finish(job);
+  } else {
+    const std::function<bool()> own_done = [&job] {
+      std::lock_guard<std::mutex> lock(job->mu);
+      return job->done;
+    };
+    while (!own_done()) {
+      // Steal from other jobs while waiting; sleep only when the whole
+      // executor is out of claimable work.
+      if (!HelpOnce(job.get(), own_done)) {
+        std::unique_lock<std::mutex> lock(job->mu);
+        job->cv.wait(lock, [&] { return job->done; });
+        break;
+      }
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void Executor::WorkerLoop(size_t worker_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t scan = worker_index;  // stagger scan starts across workers
+  for (;;) {
+    std::shared_ptr<Job> job;
+    int slot = -1;
+    const size_t count = active_.size();
+    for (size_t i = 0; i < count && !job; ++i) {
+      const auto& candidate = active_[(scan + i) % count];
+      if (!HasClaimableWork(*candidate)) continue;
+      const int s = candidate->slots.fetch_add(1, std::memory_order_relaxed);
+      if (s >= candidate->max_slots) {
+        candidate->slots.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      job = candidate;
+      slot = s;
+    }
+    if (job) {
+      ++scan;
+      lock.unlock();
+      const bool finished = RunChunks(*job, slot, nullptr);
+      if (finished) Finish(job);
+      job.reset();
+      lock.lock();
+      continue;
+    }
+    if (shutdown_) return;
+    const uint64_t seen = version_;
+    work_cv_.wait(lock, [&] { return shutdown_ || version_ != seen; });
+  }
+}
+
+void Executor::ParallelFor(
     size_t n, size_t grain,
     const std::function<void(int, size_t, size_t)>& fn) {
   if (n == 0) return;
@@ -63,20 +192,59 @@ void ThreadPool::ParallelFor(
     fn(0, 0, n);
     return;
   }
+  // std::cref avoids copying fn's closure; the wrapper only has to
+  // outlive Join, and fn outlives this frame by contract.
+  Join(Submit(std::cref(fn), n, grain, /*on_complete=*/nullptr));
+}
+
+void TaskGroup::Run(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_fn_ = &fn;
-    job_n_ = n;
-    job_grain_ = grain;
-    next_.store(0, std::memory_order_relaxed);
-    workers_running_ = num_workers_ - 1;
-    ++job_generation_;
+    ++outstanding_;
   }
-  work_cv_.notify_all();
-  RunChunks(/*worker_id=*/0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return workers_running_ == 0; });
-  job_fn_ = nullptr;
+  auto wrapped = [this, task = std::move(task)](int, size_t, size_t) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  };
+  auto on_complete = [this] {
+    // Notify under the lock: once outstanding_ hits 0 a waiter may
+    // destroy the group, so the cv must not be touched after unlocking.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  };
+  if (executor_.num_workers() == 1) {
+    wrapped(0, 0, 1);
+    on_complete();
+    return;
+  }
+  executor_.Submit(std::move(wrapped), /*n=*/1, /*grain=*/1,
+                   std::move(on_complete));
+}
+
+void TaskGroup::Wait() {
+  const std::function<bool()> group_done = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outstanding_ == 0;
+  };
+  while (!group_done()) {
+    // Help the executor drain rather than idling this thread; our tasks
+    // might be queued behind other jobs' chunks.
+    if (!executor_.HelpOnce(/*exclude=*/nullptr, group_done)) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return outstanding_ == 0; });
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace pegasus

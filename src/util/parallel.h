@@ -1,18 +1,33 @@
 // Shared-memory parallelism primitives.
 //
-// A small fixed-size thread pool exposing one operation: a blocking
-// ParallelFor over an index range, with dynamic chunk self-scheduling.
-// This is the substrate of the parallel summarization engine
-// (src/core/parallel_engine.h) and of the batched query engine
-// (src/query/query_engine.h); it deliberately has no task graph, no
-// futures, and no nesting — every use in this library is a data-parallel
-// sweep between two sequential barriers.
+// A fixed-size work-stealing executor exposing two operations: a blocking
+// ParallelFor over an index range with dynamic chunk self-scheduling, and
+// a TaskGroup for detached single tasks. Unlike the original single-job
+// thread pool, any number of threads may submit work concurrently: each
+// submission becomes an independent job in a shared registry, idle workers
+// steal chunks from whichever job has them, and a submitter blocked on its
+// own join helps drain other jobs instead of going idle. This is the
+// substrate of the parallel summarization engine
+// (src/core/parallel_engine.h), the batched query engine
+// (src/query/query_engine.h), and the concurrent serving path
+// (src/serve/query_service.h).
 //
-// Determinism contract: ParallelFor itself guarantees nothing about which
-// worker runs which chunk. Callers that need scheduling-independent
-// results (all of src/core does) must write chunk outputs to
-// index-addressed slots and do any cross-chunk reduction after the call
-// returns, in index order.
+// Determinism contract: scheduling decides only *when* a chunk runs and on
+// which thread, never what it computes. ParallelFor guarantees every index
+// in [0, n) is processed exactly once and that worker ids passed to fn are
+// unique per concurrent participant and confined to [0, num_workers()).
+// Callers that need scheduling-independent results (all of src/core does)
+// must write chunk outputs to index-addressed slots and do any cross-chunk
+// reduction after the call returns, in index order. Under that discipline
+// results are byte-identical for any worker count and any interleaving of
+// concurrent submissions — pinned by the FNV golden hashes in tests/.
+//
+// Nesting and blocking: ParallelFor may be called from inside a running
+// chunk (the nested call claims chunks of its own job first, so the wait
+// chain always makes progress), and from many threads at once. A joiner
+// whose chunks have all been claimed steals from other jobs while it
+// waits, so a blocked submitter never idles a core while the executor has
+// runnable work.
 
 #ifndef PEGASUS_UTIL_PARALLEL_H_
 #define PEGASUS_UTIL_PARALLEL_H_
@@ -21,7 +36,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,50 +50,130 @@ namespace pegasus {
 // negatives clamp to 1 (the serial convention of PegasusConfig).
 int ResolveThreadCount(int requested);
 
-class ThreadPool {
+class Executor {
  public:
-  // A pool with `num_threads` total workers (0 = hardware concurrency).
-  // The thread calling ParallelFor participates as worker 0, so only
-  // num_threads - 1 OS threads are spawned; a pool of 1 spawns none and
-  // runs everything inline.
-  explicit ThreadPool(int num_threads = 0);
-  ~ThreadPool();
+  // An executor with `num_threads` total workers (0 = hardware
+  // concurrency). The thread calling ParallelFor participates as a worker,
+  // so only num_threads - 1 OS threads are spawned; an executor of 1
+  // spawns none and runs everything inline.
+  explicit Executor(int num_threads = 0);
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  // Drains every in-flight job (including detached TaskGroup tasks), then
+  // stops and joins the workers. Destroying the executor from inside one
+  // of its own tasks is undefined.
+  ~Executor();
 
-  // Total worker count, including the calling thread.
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Total worker count, including calling threads.
   int num_workers() const { return num_workers_; }
 
   // Runs fn(worker_id, begin, end) over disjoint chunks covering [0, n),
   // each at most `grain` long, and returns when every index has been
   // processed. worker_id is in [0, num_workers()) and is stable for the
-  // duration of one call — per-worker scratch indexed by it is safe.
-  // fn must not throw and must not call back into the pool (no nesting).
-  // Only one thread may call ParallelFor at a time.
+  // duration of one participant's involvement in one call — per-worker
+  // scratch indexed by it is safe. Any number of threads may call
+  // ParallelFor concurrently, including from inside a running chunk. If fn
+  // throws, the first exception is rethrown here after the remaining
+  // chunks have been skipped.
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(int, size_t, size_t)>& fn);
 
  private:
-  void WorkerLoop(int worker_id);
-  void RunChunks(int worker_id);
+  friend class TaskGroup;
+
+  // One submission. Chunks are claimed by atomically advancing `next`;
+  // completion is tracked by `completed` reaching n. Participants receive
+  // worker slots from `slots` (the submitter reserves slot 0), capped at
+  // `max_slots` so worker ids stay inside [0, num_workers()).
+  struct Job {
+    std::function<void(int, size_t, size_t)> fn;
+    size_t n = 0;
+    size_t grain = 1;
+    int max_slots = 1;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::atomic<int> slots{1};
+    std::atomic<bool> cancelled{false};
+
+    std::mutex mu;
+    std::condition_variable cv;   // signals `done`
+    std::exception_ptr error;     // first exception, guarded by mu
+    bool done = false;
+    std::function<void()> on_complete;  // detached-task accounting
+  };
+
+  std::shared_ptr<Job> Submit(std::function<void(int, size_t, size_t)> fn,
+                              size_t n, size_t grain,
+                              std::function<void()> on_complete);
+  // Claims and runs chunks of `job` as participant `slot` until none are
+  // left unclaimed (or `stop` returns true). Returns true iff this call
+  // completed the job's final chunk — the caller must then Finish() it.
+  static bool RunChunks(Job& job, int slot,
+                        const std::function<bool()>* stop);
+  // Removes a completed job from the registry and signals its joiner.
+  void Finish(const std::shared_ptr<Job>& job);
+  // Submitter-side join: drive own chunks, then steal elsewhere or sleep.
+  void Join(const std::shared_ptr<Job>& job);
+  // Steals one job's worth of chunks from any active job other than
+  // `exclude`, abandoning the theft once `stop` returns true. Returns
+  // false when no job had claimable work.
+  bool HelpOnce(const Job* exclude, const std::function<bool()>& stop);
+  void WorkerLoop(size_t worker_index);
+
+  static bool HasClaimableWork(const Job& job) {
+    return job.next.load(std::memory_order_relaxed) < job.n;
+  }
 
   const int num_workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals a new job generation
-  std::condition_variable done_cv_;   // signals workers_running_ == 0
-  uint64_t job_generation_ = 0;       // bumped once per ParallelFor
-  int workers_running_ = 0;
+  std::mutex mu_;                    // guards active_, version_, shutdown_
+  std::condition_variable work_cv_;  // wakes workers on new submissions
+  std::condition_variable drain_cv_; // wakes ~Executor on active_ empty
+  std::vector<std::shared_ptr<Job>> active_;
+  uint64_t version_ = 0;             // bumped once per Submit
   bool shutdown_ = false;
+};
 
-  // Current job; written under mu_ before the generation bump, read by
-  // workers after they observe the bump (release/acquire via mu_).
-  const std::function<void(int, size_t, size_t)>* job_fn_ = nullptr;
-  size_t job_n_ = 0;
-  size_t job_grain_ = 1;
-  std::atomic<size_t> next_{0};
+// A group of detached single tasks running on an Executor. Run() returns
+// immediately; Wait() blocks until every task submitted so far has
+// finished, helping the executor drain while it waits, and rethrows the
+// first exception any task raised. A TaskGroup may not outlive its
+// executor, and Wait() (or the destructor) must be reached on the
+// submitting thread before the group is destroyed.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor& executor) : executor_(executor) {}
+
+  // Drains outstanding tasks; swallows a pending exception if Wait() was
+  // never reached (destructors must not throw).
+  ~TaskGroup() {
+    try {
+      Wait();
+    } catch (...) {
+    }
+  }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Schedules task() to run on some worker. On a single-worker executor
+  // the task runs inline before Run returns.
+  void Run(std::function<void()> task);
+
+  // Blocks until all tasks have completed; rethrows the first captured
+  // exception (clearing it, so a subsequent Wait — e.g. from the
+  // destructor — does not throw again).
+  void Wait();
+
+ private:
+  Executor& executor_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+  std::exception_ptr error_;
 };
 
 }  // namespace pegasus

@@ -25,9 +25,10 @@ TEST(SummaryClusterTest, BuildsOneSummaryPerMachine) {
   config.max_iterations = 5;
   auto cluster = SummaryCluster::Build(f.graph, f.partition,
                                        0.4 * f.graph.SizeInBits(), config);
-  EXPECT_EQ(cluster.num_machines(), 4u);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  EXPECT_EQ(cluster->num_machines(), 4u);
   for (uint32_t i = 0; i < 4; ++i) {
-    EXPECT_LE(cluster.summary(i).SizeInBits(),
+    EXPECT_LE(cluster->summary(i).SizeInBits(),
               0.4 * f.graph.SizeInBits() + 1e-9);
   }
 }
@@ -38,8 +39,9 @@ TEST(SummaryClusterTest, RoutesByPartition) {
   config.max_iterations = 3;
   auto cluster = SummaryCluster::Build(f.graph, f.partition,
                                        0.5 * f.graph.SizeInBits(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
   for (NodeId q : {0u, 50u, 100u, 200u}) {
-    EXPECT_EQ(cluster.MachineOf(q), f.partition.part_of[q]);
+    EXPECT_EQ(cluster->MachineOf(q), f.partition.part_of[q]);
   }
 }
 
@@ -49,15 +51,35 @@ TEST(SummaryClusterTest, AnswersAllQueryTypes) {
   config.max_iterations = 3;
   auto cluster = SummaryCluster::Build(f.graph, f.partition,
                                        0.5 * f.graph.SizeInBits(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
   const NodeId q = 10;
-  auto hop = cluster.AnswerHop(q);
-  auto rwr = cluster.AnswerRwr(q);
-  auto php = cluster.AnswerPhp(q);
+  auto hop = cluster->AnswerHop(q);
+  auto rwr = cluster->AnswerRwr(q);
+  auto php = cluster->AnswerPhp(q);
   EXPECT_EQ(hop.size(), f.graph.num_nodes());
   EXPECT_EQ(rwr.size(), f.graph.num_nodes());
   EXPECT_EQ(php.size(), f.graph.num_nodes());
   EXPECT_EQ(hop[q], 0u);
   EXPECT_DOUBLE_EQ(php[q], 1.0);
+}
+
+TEST(SummaryClusterTest, BuildRejectsBadInputs) {
+  DistributedFixture f;
+  // A partition over the wrong node count is a typed error, not an
+  // assert: the factory completes the construction-path Status sweep.
+  Partition wrong;
+  wrong.part_of.assign(f.graph.num_nodes() - 1, 0);
+  auto mismatched = SummaryCluster::Build(f.graph, wrong, 1000.0);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+
+  PegasusConfig bad;
+  bad.alpha = -1.0;  // per-machine summarizer validation propagates
+  auto bad_config = SummaryCluster::Build(f.graph, f.partition,
+                                          0.5 * f.graph.SizeInBits(), bad);
+  ASSERT_FALSE(bad_config.ok());
+  EXPECT_NE(bad_config.status().message().find("machine 0"),
+            std::string::npos);
 }
 
 TEST(SubgraphClusterTest, RespectsEdgeBudget) {
@@ -124,8 +146,9 @@ TEST(MeasureAccuracyTest, SummaryClusterBeatsBlindGuess) {
   config.max_iterations = 10;
   auto cluster = SummaryCluster::Build(f.graph, f.partition,
                                        0.5 * f.graph.SizeInBits(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
   std::vector<NodeId> queries{3, 60, 150, 210};
-  auto acc = MeasureClusterAccuracy(f.graph, cluster, queries,
+  auto acc = MeasureClusterAccuracy(f.graph, *cluster, queries,
                                     QueryType::kHop);
   EXPECT_LT(acc.smape, 0.5);
   EXPECT_GT(acc.spearman, 0.3);

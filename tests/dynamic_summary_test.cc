@@ -14,8 +14,10 @@ DynamicSummary MakeDynamic(double rebuild_fraction = 0.5) {
   options.rebuild_fraction = rebuild_fraction;
   options.config.seed = 9;
   options.config.max_iterations = 5;
-  return DynamicSummary(GenerateBarabasiAlbert(120, 2, 41), {0, 1},
-                        options);
+  auto dynamic = DynamicSummary::Create(GenerateBarabasiAlbert(120, 2, 41),
+                                        {0, 1}, options);
+  EXPECT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+  return *std::move(dynamic);
 }
 
 TEST(DynamicSummaryTest, AddEdgeVisibleImmediately) {
@@ -122,9 +124,30 @@ TEST(DynamicSummaryTest, EdgelessGraphConstructs) {
   Graph empty(std::vector<EdgeId>(11, 0), {});
   DynamicSummary::Options options;
   options.ratio = 0.5;
-  DynamicSummary dynamic(std::move(empty), {}, options);
+  auto created = DynamicSummary::Create(std::move(empty), {}, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  DynamicSummary dynamic = *std::move(created);
   EXPECT_TRUE(dynamic.AddEdge(0, 1));
   EXPECT_EQ(dynamic.ApproximateNeighbors(0), std::vector<NodeId>{1});
+}
+
+// The factory rejects bad inputs with typed errors instead of asserting:
+// the construction-path sweep that Status/StatusOr started now covers
+// DynamicSummary too.
+TEST(DynamicSummaryTest, CreateRejectsBadOptions) {
+  DynamicSummary::Options options;
+  options.rebuild_fraction = -0.1;
+  auto negative = DynamicSummary::Create(GenerateBarabasiAlbert(40, 2, 1),
+                                         {}, options);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  options.rebuild_fraction = 0.05;
+  options.ratio = 1.5;  // summarizer's own validation propagates
+  auto bad_ratio = DynamicSummary::Create(GenerateBarabasiAlbert(40, 2, 1),
+                                          {}, options);
+  ASSERT_FALSE(bad_ratio.ok());
+  EXPECT_EQ(bad_ratio.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

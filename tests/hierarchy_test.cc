@@ -13,7 +13,22 @@ SummaryHierarchy MakeHierarchy(const Graph& g) {
   PegasusConfig config;
   config.seed = 17;
   config.max_iterations = 8;
-  return SummaryHierarchy::Build(g, {0, 1}, {0.8, 0.5, 0.3, 0.15}, config);
+  auto h = SummaryHierarchy::Build(g, {0, 1}, {0.8, 0.5, 0.3, 0.15}, config);
+  EXPECT_TRUE(h.ok()) << h.status().ToString();
+  return *std::move(h);
+}
+
+TEST(HierarchyTest, BuildRejectsBadRatios) {
+  Graph g = GenerateBarabasiAlbertTails(100, 3, 0.5, 60);
+  auto empty = SummaryHierarchy::Build(g, {}, {});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  auto increasing = SummaryHierarchy::Build(g, {}, {0.3, 0.5});
+  ASSERT_FALSE(increasing.ok());
+  EXPECT_EQ(increasing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(increasing.status().message().find("strictly decreasing"),
+            std::string::npos);
 }
 
 TEST(HierarchyTest, AllLevelsMeetTheirBudgets) {

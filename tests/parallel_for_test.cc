@@ -25,7 +25,7 @@ TEST(ResolveThreadCountTest, ZeroMeansAtLeastOne) {
 }
 
 TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
-  ThreadPool pool(4);
+  Executor pool(4);
   constexpr size_t kN = 10000;
   std::vector<std::atomic<uint32_t>> visits(kN);
   pool.ParallelFor(kN, /*grain=*/7, [&](int, size_t begin, size_t end) {
@@ -39,7 +39,7 @@ TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
 }
 
 TEST(ParallelForTest, WorkerIdsAreInRange) {
-  ThreadPool pool(3);
+  Executor pool(3);
   EXPECT_EQ(pool.num_workers(), 3);
   std::atomic<bool> out_of_range{false};
   pool.ParallelFor(1000, 1, [&](int worker, size_t, size_t) {
@@ -51,7 +51,7 @@ TEST(ParallelForTest, WorkerIdsAreInRange) {
 TEST(ParallelForTest, PerWorkerSlotsReduceToTotal) {
   // The engine's pattern: per-worker scratch indexed by worker id, reduced
   // serially after the barrier.
-  ThreadPool pool(4);
+  Executor pool(4);
   constexpr size_t kN = 5000;
   std::vector<uint64_t> per_worker(static_cast<size_t>(pool.num_workers()), 0);
   pool.ParallelFor(kN, 16, [&](int worker, size_t begin, size_t end) {
@@ -65,14 +65,14 @@ TEST(ParallelForTest, PerWorkerSlotsReduceToTotal) {
 }
 
 TEST(ParallelForTest, ZeroItemsIsANoop) {
-  ThreadPool pool(2);
+  Executor pool(2);
   bool called = false;
   pool.ParallelFor(0, 1, [&](int, size_t, size_t) { called = true; });
   EXPECT_FALSE(called);
 }
 
 TEST(ParallelForTest, SingleWorkerRunsInline) {
-  ThreadPool pool(1);
+  Executor pool(1);
   EXPECT_EQ(pool.num_workers(), 1);
   std::vector<int> order;
   pool.ParallelFor(5, 2, [&](int worker, size_t begin, size_t end) {
@@ -83,7 +83,7 @@ TEST(ParallelForTest, SingleWorkerRunsInline) {
 }
 
 TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
-  ThreadPool pool(4);
+  Executor pool(4);
   std::atomic<int> calls{0};
   pool.ParallelFor(3, 100, [&](int worker, size_t begin, size_t end) {
     EXPECT_EQ(worker, 0);
@@ -95,7 +95,7 @@ TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
 }
 
 TEST(ParallelForTest, ZeroGrainIsTreatedAsOne) {
-  ThreadPool pool(2);
+  Executor pool(2);
   std::atomic<uint64_t> sum{0};
   pool.ParallelFor(100, 0, [&](int, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
@@ -108,7 +108,7 @@ TEST(ParallelForTest, ZeroGrainIsTreatedAsOne) {
 TEST(ParallelForTest, ReusableAcrossManyCalls) {
   // The engine issues several ParallelFor barriers per iteration; make
   // sure job generations never cross wires under rapid reuse.
-  ThreadPool pool(4);
+  Executor pool(4);
   for (int round = 0; round < 200; ++round) {
     std::atomic<uint64_t> sum{0};
     const size_t n = static_cast<size_t>(round % 37) + 1;
@@ -124,7 +124,7 @@ TEST(ParallelForTest, ReusableAcrossManyCalls) {
 TEST(ParallelForTest, OversubscribedPoolStillCorrect) {
   // More workers than cores (and than chunks) must not lose or duplicate
   // work — idle workers just see an exhausted counter.
-  ThreadPool pool(16);
+  Executor pool(16);
   std::vector<std::atomic<uint32_t>> visits(8);
   pool.ParallelFor(8, 1, [&](int, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {

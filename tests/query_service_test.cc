@@ -284,7 +284,7 @@ TEST(QueryServiceTest, PublishesDynamicSummaryRebuilds) {
   Graph g = GenerateBarabasiAlbert(100, 3, 416);
   DynamicSummary::Options options;
   options.ratio = 0.5;
-  DynamicSummary dynamic(g, {}, options);
+  DynamicSummary dynamic = *DynamicSummary::Create(g, {}, options);
 
   QueryService service;
   EXPECT_EQ(service.Publish(dynamic), 1u);

@@ -333,7 +333,7 @@ TEST(AnswerBatchTest, MatchesSingleQueryAnswers) {
 TEST(AnswerBatchTest, EmptyBatchAndSharedPool) {
   Graph g = ::pegasus::testing::PathGraph(5);
   SummaryView view(SummaryGraph::Identity(g));
-  ThreadPool pool(3);
+  Executor pool(3);
   EXPECT_TRUE(AnswerBatch(view, {}, pool)->empty());
   // The same pool serves consecutive batches.
   const auto r1 = AnswerBatch(view, MixedBatch(5), pool);

@@ -8,6 +8,7 @@
 //   pegasus query      <summary> <kind> <node> [--top K]
 //   pegasus query      <summary> --queries <file> [--threads N] [--top K]
 //   pegasus serve      <summary> [--threads N] [--top K] [--grain G]
+//                      [--port P]
 //   pegasus evaluate   <edgelist> <summary> [--alpha A] [--targets a,b,c]
 //
 // `generate` kinds: ba, ws, er, grid, community-ring.
@@ -29,6 +30,13 @@
 // parameters, AND malformed directives (missing/trailing tokens) — are
 // rejected on stderr with "stdin:<line>:" context, like batch-file
 // errors, without killing the server.
+//
+// With --port P, `serve` additionally listens on 127.0.0.1:P (0 picks an
+// ephemeral port, reported on stdout as "listening on 127.0.0.1:<port>")
+// speaking the length-prefixed framing of src/serve/wire.h; socket
+// clients and the stdin loop share one QueryService, so publishes from
+// either side are visible to both and concurrent batches overlap on the
+// executor. stdin EOF stops the listener and exits.
 // Exit code 0 on success, 1 on usage errors, 2 on I/O errors.
 
 #include <algorithm>
@@ -56,6 +64,8 @@
 #include "src/query/query_engine.h"
 #include "src/query/summary_view.h"
 #include "src/serve/query_service.h"
+#include "src/serve/server.h"
+#include "src/serve/text_serving.h"
 #include "src/util/status.h"
 #include "src/util/timer.h"
 
@@ -124,7 +134,8 @@ int Usage() {
       "pagerank|clustering> <node> [--top K]\n"
       "  pegasus query     <summary> --queries <file> [--threads N]"
       " [--top K]\n"
-      "  pegasus serve     <summary> [--threads N] [--top K] [--grain G]\n"
+      "  pegasus serve     <summary> [--threads N] [--top K] [--grain G]"
+      " [--port P]\n"
       "  pegasus evaluate  <edgelist> <summary> [--alpha A]"
       " [--targets a,b,c]\n"
       "  pegasus compress  <edgelist> <out.summary> [--tmax T] [--seed S]\n");
@@ -253,95 +264,12 @@ int CmdSummarize(const Args& args) {
   return 0;
 }
 
-// Prints a one-line answer for one query: the top-K nodes by score for
-// scored families, hop counts for hop, the first K ids for neighbors.
+// Prints a one-line answer for one query through the shared serving
+// formatter (src/serve/text_serving.h) — socket responses and this CLI
+// produce identical bytes for identical answers.
 void PrintAnswer(const QueryRequest& request, const QueryResult& result,
                  size_t top) {
-  if (IsNodeQuery(request.kind)) {
-    std::printf("%s(%u):", QueryKindName(request.kind), request.node);
-  } else {
-    std::printf("%s:", QueryKindName(request.kind));
-  }
-  if (request.kind == QueryKind::kNeighbors) {
-    const size_t k = std::min(top, result.neighbors.size());
-    for (size_t i = 0; i < k; ++i) std::printf(" %u", result.neighbors[i]);
-    if (k < result.neighbors.size()) {
-      std::printf(" ... (%zu total)", result.neighbors.size());
-    }
-    std::printf("\n");
-    return;
-  }
-
-  // Rank by score; hop distances rank ascending with unreachable nodes
-  // strictly last (-inf), never tied with real 1-hop neighbors.
-  std::vector<double> scores;
-  if (request.kind == QueryKind::kHop) {
-    scores.reserve(result.hops.size());
-    for (uint32_t h : result.hops) {
-      scores.push_back(h == UINT32_MAX
-                           ? -std::numeric_limits<double>::infinity()
-                           : -static_cast<double>(h));
-    }
-  } else {
-    scores = result.scores;
-  }
-  std::vector<NodeId> order(scores.size());
-  std::iota(order.begin(), order.end(), 0);
-  const size_t k = std::min(top, order.size());
-  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
-                    order.end(),
-                    [&](NodeId a, NodeId b) { return scores[a] > scores[b]; });
-  for (size_t i = 0; i < k; ++i) {
-    if (request.kind == QueryKind::kHop) {
-      if (result.hops[order[i]] == UINT32_MAX) {
-        std::printf(" %u(unreachable)", order[i]);
-      } else {
-        std::printf(" %u(%u)", order[i], result.hops[order[i]]);
-      }
-    } else {
-      std::printf(" %u(%.6g)", order[i], scores[order[i]]);
-    }
-  }
-  std::printf("\n");
-}
-
-// Parses one query line — "<kind> [node] [param]" — into *request.
-// Structural errors (unknown kind, missing node token) are reported here
-// with the valid-kind list; semantic validation (ranges, NaN) is the
-// service's CanonicalizeRequest, surfaced by the caller.
-Status ParseQueryLine(const std::string& line, QueryRequest* request) {
-  std::istringstream ls(line);
-  std::string kind_name;
-  ls >> kind_name;
-  const auto kind = ParseQueryKind(kind_name);
-  if (!kind) {
-    return Status::InvalidArgument("unknown query kind '" + kind_name +
-                                   "'; valid kinds: " + QueryKindList());
-  }
-  request->kind = *kind;
-  if (IsNodeQuery(*kind)) {
-    uint64_t node = 0;
-    if (!(ls >> node)) {
-      return Status::InvalidArgument(std::string(QueryKindName(*kind)) +
-                                     " needs a query node");
-    }
-    request->node = static_cast<NodeId>(node);
-  }
-  double param = kQueryParamUseDefault;
-  if (ls >> param) {
-    // An explicitly written parameter must be a real one: a negative
-    // value (including -1, the in-memory use-the-default sentinel) or
-    // NaN on the wire is a mistake, never a default request — omitting
-    // the token is how a line asks for the default.
-    if (!(param >= 0.0)) {
-      return Status::InvalidArgument(
-          std::string(QueryKindName(request->kind)) +
-          ": explicit parameter must be in [0, 1); omit it for the "
-          "default");
-    }
-    request->param = param;
-  }
-  return Status::Ok();
+  std::fputs(serve::FormatAnswer(request, result, top).c_str(), stdout);
 }
 
 // Answers `requests` through the resident service and prints one line per
@@ -386,7 +314,7 @@ int RunQueryBatch(QueryService& service, const std::string& queries_path,
     probe >> first;
     if (first.empty() || first[0] == '#') continue;
     QueryRequest request;
-    if (Status s = ParseQueryLine(line, &request); !s) {
+    if (Status s = serve::ParseQueryLine(line, &request); !s) {
       std::fprintf(stderr, "error: %s:%zu: %s\n", queries_path.c_str(),
                    line_no, s.message().c_str());
       return 1;
@@ -470,6 +398,28 @@ int CmdServe(const Args& args) {
               static_cast<unsigned long long>(service.epoch()),
               service.num_workers());
 
+  // --port mounts the socket front end on the same service; the stdin
+  // loop below keeps running as a local client, and its EOF is what
+  // stops the listener.
+  std::optional<serve::Server> server;
+  if (const int64_t port = args.FlagInt("port", -1); port >= 0) {
+    if (port > 65535) {
+      std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+      return 1;
+    }
+    serve::Server::Options server_options;
+    server_options.port = static_cast<uint16_t>(port);
+    server_options.top = top;
+    server.emplace(service, server_options);
+    if (Status s = server->Start(); !s) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    // Parse-friendly: with --port 0 this line is how a client learns the
+    // ephemeral port (see tools/serve_smoke.py).
+    std::printf("listening on 127.0.0.1:%u\n", server->port());
+  }
+
   std::fflush(stdout);
   const auto view_nodes = [&] { return service.view()->num_nodes(); };
 
@@ -545,18 +495,14 @@ int CmdServe(const Args& args) {
     } else if (first == "stats") {
       if (!NoTrailing("stats")) continue;
       Flush();
-      const auto stats = service.cache_stats();
-      std::printf("epoch %llu cache_hits %llu computations %llu "
-                  "evictions %llu entries %zu\n",
-                  static_cast<unsigned long long>(service.epoch()),
-                  static_cast<unsigned long long>(stats.hits),
-                  static_cast<unsigned long long>(stats.computations),
-                  static_cast<unsigned long long>(stats.evictions),
-                  stats.entries);
+      // Shared formatter (epoch, cache counters, in-flight batches), plus
+      // the per-connection view when the socket listener is mounted.
+      std::fputs(serve::FormatServiceStats(service).c_str(), stdout);
+      if (server) std::fputs(server->StatsText().c_str(), stdout);
       std::fflush(stdout);
     } else {
       QueryRequest request;
-      if (Status s = ParseQueryLine(line, &request); !s) {
+      if (Status s = serve::ParseQueryLine(line, &request); !s) {
         Reject(s.message() + "; directives: publish <path>, epoch, stats");
         continue;
       }
