@@ -1,0 +1,395 @@
+#include "src/core/psb_format.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pegasus::psb {
+
+namespace {
+
+constexpr const char* kSectionNames[kSectionCount] = {
+    "node_to_super", "member_begin",   "members",        "edge_begin",
+    "edge_dst",      "edge_weight",    "edge_density_w", "edge_density_uw",
+    "member_count",  "member_deg_w",   "member_deg_uw",  "self_density_w",
+    "self_density_uw",
+};
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::DataLoss(path + ": " + what);
+}
+
+std::string SectionLabel(uint32_t id) {
+  return "section " + std::to_string(id) + " (" + SectionName(id) + ")";
+}
+
+// Decodes one integer section into out[0..count) as u64 values (the
+// caller narrows). Raw: elementwise little-endian; varint-delta: zigzag
+// deltas of consecutive elements.
+Status DecodeIntegerSection(const uint8_t* payload, const SectionEntry& s,
+                            uint64_t count, ElementType type,
+                            const std::string& path,
+                            std::vector<uint64_t>* out) {
+  out->resize(count);
+  const size_t width = ElementWidth(type);
+  if (s.encoding == static_cast<uint32_t>(SectionEncoding::kRaw)) {
+    for (uint64_t i = 0; i < count; ++i) {
+      (*out)[i] = width == 4 ? GetU32(payload + i * 4) : GetU64(payload + i * 8);
+    }
+    return Status::Ok();
+  }
+  const uint8_t* p = payload;
+  const uint8_t* end = payload + s.length;
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t z = 0;
+    if (!GetVarint(&p, end, &z)) {
+      return Corrupt(path, SectionLabel(s.id) + ": truncated varint at element " +
+                               std::to_string(i));
+    }
+    prev += ZigZagDecode(z);
+    if (prev < 0 ||
+        (width == 4 && static_cast<uint64_t>(prev) > UINT32_MAX)) {
+      return Corrupt(path, SectionLabel(s.id) + ": element " +
+                               std::to_string(i) + " out of range");
+    }
+    (*out)[i] = static_cast<uint64_t>(prev);
+  }
+  if (p != end) {
+    return Corrupt(path, SectionLabel(s.id) + ": trailing bytes after " +
+                             std::to_string(count) + " elements");
+  }
+  return Status::Ok();
+}
+
+void NarrowU32(const std::vector<uint64_t>& wide, std::vector<uint32_t>* out) {
+  out->resize(wide.size());
+  for (size_t i = 0; i < wide.size(); ++i) {
+    out->at(i) = static_cast<uint32_t>(wide[i]);
+  }
+}
+
+void DecodeF64Section(const uint8_t* payload, uint64_t count,
+                      std::vector<double>* out) {
+  out->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t bits = GetU64(payload + i * 8);
+    double d;
+    static_assert(sizeof(d) == sizeof(bits));
+    std::memcpy(&d, &bits, sizeof(d));
+    (*out)[i] = d;
+  }
+}
+
+}  // namespace
+
+const char* SectionName(uint32_t id) {
+  if (id < 1 || id > kSectionCount) return "unknown";
+  return kSectionNames[id - 1];
+}
+
+ElementType SectionElementType(uint32_t id) {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kNodeToSuper:
+    case SectionId::kMembers:
+    case SectionId::kEdgeDst:
+    case SectionId::kEdgeWeight:
+      return ElementType::kU32;
+    case SectionId::kMemberBegin:
+    case SectionId::kEdgeBegin:
+      return ElementType::kU64;
+    case SectionId::kEdgeDensityW:
+    case SectionId::kEdgeDensityUw:
+    case SectionId::kMemberCount:
+    case SectionId::kMemberDegW:
+    case SectionId::kMemberDegUw:
+    case SectionId::kSelfDensityW:
+    case SectionId::kSelfDensityUw:
+      return ElementType::kF64;
+  }
+  assert(false && "SectionElementType: id out of range");
+  return ElementType::kU32;
+}
+
+uint64_t SectionElementCount(uint32_t id, uint64_t nodes, uint64_t supernodes,
+                             uint64_t edge_slots) {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kNodeToSuper:
+    case SectionId::kMembers:
+      return nodes;
+    case SectionId::kMemberBegin:
+    case SectionId::kEdgeBegin:
+      return supernodes + 1;
+    case SectionId::kEdgeDst:
+    case SectionId::kEdgeWeight:
+    case SectionId::kEdgeDensityW:
+    case SectionId::kEdgeDensityUw:
+      return edge_slots;
+    case SectionId::kMemberCount:
+    case SectionId::kMemberDegW:
+    case SectionId::kMemberDegUw:
+    case SectionId::kSelfDensityW:
+    case SectionId::kSelfDensityUw:
+      return supernodes;
+  }
+  assert(false && "SectionElementCount: id out of range");
+  return 0;
+}
+
+std::string SerializeHeader(const PsbHeader& header) {
+  assert(header.sections.size() == kSectionCount);
+  std::string out;
+  out.reserve(kTablePrefixBytes);
+  out.append(reinterpret_cast<const char*>(kMagic), 4);
+  out.push_back(static_cast<char>(header.endianness));
+  out.push_back(static_cast<char>(header.version));
+  out.push_back(0);
+  out.push_back(0);
+  PutU64(&out, header.num_nodes);
+  PutU64(&out, header.num_supernodes);
+  PutU64(&out, header.num_superedges);
+  PutU64(&out, header.num_edge_slots);
+  PutU32(&out, kSectionCount);
+  PutU32(&out, 0);
+  PutU64(&out, 0);  // header checksum, patched below
+  PutU64(&out, 0);
+  for (const SectionEntry& s : header.sections) {
+    PutU32(&out, s.id);
+    PutU32(&out, s.encoding);
+    PutU64(&out, s.offset);
+    PutU64(&out, s.length);
+    PutU64(&out, s.decoded_length);
+    PutU64(&out, s.checksum);
+  }
+  assert(out.size() == kTablePrefixBytes);
+  // Checksum over the whole prefix with the checksum field itself zero
+  // (it is zero right now), then patch it in, little-endian.
+  const uint64_t checksum =
+      Fnv1a(reinterpret_cast<const uint8_t*>(out.data()), out.size());
+  for (int i = 0; i < 8; ++i) {
+    out[48 + i] = static_cast<char>(checksum >> (8 * i));
+  }
+  return out;
+}
+
+StatusOr<PsbHeader> ParsePsbHeader(const uint8_t* data, size_t size,
+                                   uint64_t file_size,
+                                   const std::string& path) {
+  if (size < kTablePrefixBytes || file_size < kTablePrefixBytes) {
+    return Corrupt(path, "file too small for a PSB1 header (" +
+                             std::to_string(file_size) + " bytes, need " +
+                             std::to_string(kTablePrefixBytes) + ")");
+  }
+  if (std::memcmp(data, kMagic, 4) != 0) {
+    return Corrupt(path, "not a PSB1 file (bad magic)");
+  }
+  PsbHeader header;
+  header.endianness = data[4];
+  header.version = data[5];
+  if (header.endianness != kLittleEndianTag) {
+    return Corrupt(path, "unsupported endianness tag 0x" +
+                             std::to_string(header.endianness));
+  }
+  if (header.version != kPsbVersion) {
+    return Corrupt(path, "unsupported PSB version " +
+                             std::to_string(header.version) +
+                             " (this reader implements version " +
+                             std::to_string(kPsbVersion) + ")");
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    return Corrupt(path, "reserved header bytes 6-7 are not zero");
+  }
+  header.num_nodes = GetU64(data + 8);
+  header.num_supernodes = GetU64(data + 16);
+  header.num_superedges = GetU64(data + 24);
+  header.num_edge_slots = GetU64(data + 32);
+  const uint32_t section_count = GetU32(data + 40);
+  if (section_count != kSectionCount) {
+    return Corrupt(path, "section count " + std::to_string(section_count) +
+                             " (version 1 defines exactly " +
+                             std::to_string(kSectionCount) + ")");
+  }
+  if (GetU32(data + 44) != 0 || GetU64(data + 56) != 0) {
+    return Corrupt(path, "reserved header fields are not zero");
+  }
+  header.header_checksum = GetU64(data + 48);
+  // Recompute with the checksum field zeroed.
+  std::string prefix(reinterpret_cast<const char*>(data), kTablePrefixBytes);
+  for (int i = 0; i < 8; ++i) prefix[48 + i] = 0;
+  const uint64_t computed =
+      Fnv1a(reinterpret_cast<const uint8_t*>(prefix.data()), prefix.size());
+  if (computed != header.header_checksum) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "header checksum mismatch (stored 0x%016llx, computed "
+                  "0x%016llx)",
+                  static_cast<unsigned long long>(header.header_checksum),
+                  static_cast<unsigned long long>(computed));
+    return Corrupt(path, buf);
+  }
+  // Supernode/node ids must fit the in-memory 32-bit id types.
+  if (header.num_nodes > UINT32_MAX || header.num_supernodes > UINT32_MAX) {
+    return Corrupt(path, "node or supernode count exceeds 32-bit ids");
+  }
+
+  uint64_t prev_end = kTablePrefixBytes;
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const uint8_t* e = data + kHeaderBytes + i * kSectionEntryBytes;
+    SectionEntry s;
+    s.id = GetU32(e);
+    s.encoding = GetU32(e + 4);
+    s.offset = GetU64(e + 8);
+    s.length = GetU64(e + 16);
+    s.decoded_length = GetU64(e + 24);
+    s.checksum = GetU64(e + 32);
+    if (s.id != i + 1) {
+      return Corrupt(path, "section table entry " + std::to_string(i) +
+                               " has id " + std::to_string(s.id) +
+                               " (version 1 stores ids 1.." +
+                               std::to_string(kSectionCount) + " in order)");
+    }
+    const ElementType type = SectionElementType(s.id);
+    const bool integer = type != ElementType::kF64;
+    if (s.encoding != static_cast<uint32_t>(SectionEncoding::kRaw) &&
+        !(integer &&
+          s.encoding == static_cast<uint32_t>(SectionEncoding::kVarintDelta))) {
+      return Corrupt(path, SectionLabel(s.id) + ": invalid encoding " +
+                               std::to_string(s.encoding));
+    }
+    const uint64_t expect_decoded =
+        ElementWidth(type) * SectionElementCount(s.id, header.num_nodes,
+                                                 header.num_supernodes,
+                                                 header.num_edge_slots);
+    if (s.decoded_length != expect_decoded) {
+      return Corrupt(path, SectionLabel(s.id) + ": decoded length " +
+                               std::to_string(s.decoded_length) +
+                               " does not match the header counts (expect " +
+                               std::to_string(expect_decoded) + ")");
+    }
+    if (s.encoding == static_cast<uint32_t>(SectionEncoding::kRaw)) {
+      if (s.length != s.decoded_length) {
+        return Corrupt(path, SectionLabel(s.id) +
+                                 ": raw section length differs from its "
+                                 "decoded length");
+      }
+      if (s.offset % kSectionAlignment != 0) {
+        return Corrupt(path, SectionLabel(s.id) + ": raw section offset " +
+                               std::to_string(s.offset) + " is not 8-aligned");
+      }
+    }
+    if (s.offset < prev_end || s.offset - prev_end >= kSectionAlignment) {
+      return Corrupt(path, SectionLabel(s.id) +
+                               ": payload offset overlaps or leaves a gap "
+                               "(sections are contiguous up to alignment "
+                               "padding)");
+    }
+    if (s.offset + s.length < s.offset ||
+        s.offset + s.length > file_size) {
+      return Corrupt(path, SectionLabel(s.id) + ": payload [" +
+                               std::to_string(s.offset) + ", +" +
+                               std::to_string(s.length) +
+                               ") runs past end of file (" +
+                               std::to_string(file_size) + " bytes)");
+    }
+    prev_end = s.offset + s.length;
+    header.sections.push_back(s);
+  }
+  if (prev_end != file_size) {
+    return Corrupt(path, "trailing data: file is " +
+                             std::to_string(file_size) +
+                             " bytes but sections end at " +
+                             std::to_string(prev_end));
+  }
+  return header;
+}
+
+Status VerifySectionChecksums(const uint8_t* data, const PsbHeader& header,
+                              const std::string& path) {
+  for (const SectionEntry& s : header.sections) {
+    const uint64_t computed = Fnv1a(data + s.offset, s.length);
+    if (computed != s.checksum) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    ": checksum mismatch (stored 0x%016llx, computed "
+                    "0x%016llx)",
+                    static_cast<unsigned long long>(s.checksum),
+                    static_cast<unsigned long long>(computed));
+      return Corrupt(path, SectionLabel(s.id) + buf);
+    }
+  }
+  return Status::Ok();
+}
+
+SummaryLayout PsbDecoded::layout() const {
+  SummaryLayout l;
+  l.num_nodes = header.num_nodes;
+  l.num_supernodes = header.num_supernodes;
+  l.num_superedges = header.num_superedges;
+  l.num_edge_slots = header.num_edge_slots;
+  l.node_to_super = node_to_super.data();
+  l.member_begin = member_begin.data();
+  l.members = members.data();
+  l.edge_begin = edge_begin.data();
+  l.edge_dst = edge_dst.data();
+  l.edge_weight = edge_weight.data();
+  l.edge_density_w = edge_density_w.data();
+  l.edge_density_uw = edge_density_uw.data();
+  l.member_count = member_count.data();
+  l.member_deg_w = member_deg_w.data();
+  l.member_deg_uw = member_deg_uw.data();
+  l.self_density_w = self_density_w.data();
+  l.self_density_uw = self_density_uw.data();
+  return l;
+}
+
+StatusOr<PsbDecoded> DecodePsb(const uint8_t* data, size_t size,
+                               const std::string& path,
+                               bool verify_checksums) {
+  auto header = ParsePsbHeader(data, size, size, path);
+  if (!header) return header.status();
+  if (verify_checksums) {
+    if (Status s = VerifySectionChecksums(data, *header, path); !s) return s;
+  }
+
+  PsbDecoded out;
+  out.header = *std::move(header);
+  std::vector<uint64_t> wide;
+  for (const SectionEntry& s : out.header.sections) {
+    const uint8_t* payload = data + s.offset;
+    const ElementType type = SectionElementType(s.id);
+    const uint64_t count =
+        SectionElementCount(s.id, out.header.num_nodes,
+                            out.header.num_supernodes,
+                            out.header.num_edge_slots);
+    if (type == ElementType::kF64) {
+      std::vector<double>* dst = nullptr;
+      switch (static_cast<SectionId>(s.id)) {
+        case SectionId::kEdgeDensityW: dst = &out.edge_density_w; break;
+        case SectionId::kEdgeDensityUw: dst = &out.edge_density_uw; break;
+        case SectionId::kMemberCount: dst = &out.member_count; break;
+        case SectionId::kMemberDegW: dst = &out.member_deg_w; break;
+        case SectionId::kMemberDegUw: dst = &out.member_deg_uw; break;
+        case SectionId::kSelfDensityW: dst = &out.self_density_w; break;
+        case SectionId::kSelfDensityUw: dst = &out.self_density_uw; break;
+        default: break;
+      }
+      DecodeF64Section(payload, count, dst);
+      continue;
+    }
+    if (Status st = DecodeIntegerSection(payload, s, count, type, path, &wide);
+        !st) {
+      return st;
+    }
+    switch (static_cast<SectionId>(s.id)) {
+      case SectionId::kNodeToSuper: NarrowU32(wide, &out.node_to_super); break;
+      case SectionId::kMembers: NarrowU32(wide, &out.members); break;
+      case SectionId::kEdgeDst: NarrowU32(wide, &out.edge_dst); break;
+      case SectionId::kEdgeWeight: NarrowU32(wide, &out.edge_weight); break;
+      case SectionId::kMemberBegin: out.member_begin = wide; break;
+      case SectionId::kEdgeBegin: out.edge_begin = wide; break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pegasus::psb

@@ -1,0 +1,233 @@
+// PSB1 — the versioned binary summary container (primitives).
+//
+// This header defines the byte-level building blocks of the PSB1 format:
+// magic/version constants, the header and section-table structs, the
+// little-endian and varint codecs (all byte-wise, so encode and decode
+// are correct on any host endianness), the FNV-1a 64 checksum, and the
+// heap decoder that turns a PSB1 byte image into owned arrays.
+//
+// The format itself is specified normatively in docs/FORMAT.md — every
+// constant and rule here must match that document, and the
+// `format_spec_guard` ctest fails the build if kPsbVersion changes
+// without a matching FORMAT.md changelog entry. The higher-level
+// save/load/inspect/validate API is src/core/binary_summary_io.h; the
+// mmap serving path is src/core/summary_arena.h.
+//
+// Layout identity: a raw-encoded PSB1 file is the little-endian image of
+// the thirteen SummaryLayout arrays (src/core/summary_layout.h), section
+// i holding array i byte for byte. Sections may instead be varint/delta
+// encoded (integer sections only) for compact shipping; decoding yields
+// the same arrays.
+
+#ifndef PEGASUS_CORE_PSB_FORMAT_H_
+#define PEGASUS_CORE_PSB_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/summary_layout.h"
+#include "src/util/status.h"
+
+namespace pegasus::psb {
+
+// --- Format constants (normative: docs/FORMAT.md) --------------------------
+
+inline constexpr uint8_t kMagic[4] = {'P', 'S', 'B', '1'};
+// Byte 4 of the header: stored-data endianness. Little-endian is the only
+// defined value; the byte exists so a future big-endian variant would be
+// recognizably different rather than silently misread.
+inline constexpr uint8_t kLittleEndianTag = 0x01;
+// Format version. Bump ONLY with a matching changelog entry in
+// docs/FORMAT.md (enforced by the format_spec_guard ctest). Readers
+// reject versions they do not implement.
+inline constexpr uint8_t kPsbVersion = 1;
+
+inline constexpr uint32_t kSectionCount = 13;
+inline constexpr size_t kHeaderBytes = 64;
+inline constexpr size_t kSectionEntryBytes = 40;
+// Header + section table: the fixed-size prefix of every PSB1 file.
+inline constexpr size_t kTablePrefixBytes =
+    kHeaderBytes + kSectionCount * kSectionEntryBytes;  // 584
+// Raw sections start at offsets that are multiples of this, so a mapped
+// file can be addressed as u64/f64 arrays in place.
+inline constexpr size_t kSectionAlignment = 8;
+
+// Section ids, in file order. Ids are 1-based; id i describes array i of
+// SummaryLayout (see summary_layout.h for the semantics of each).
+enum class SectionId : uint32_t {
+  kNodeToSuper = 1,
+  kMemberBegin = 2,
+  kMembers = 3,
+  kEdgeBegin = 4,
+  kEdgeDst = 5,
+  kEdgeWeight = 6,
+  kEdgeDensityW = 7,
+  kEdgeDensityUw = 8,
+  kMemberCount = 9,
+  kMemberDegW = 10,
+  kMemberDegUw = 11,
+  kSelfDensityW = 12,
+  kSelfDensityUw = 13,
+};
+
+enum class SectionEncoding : uint32_t {
+  kRaw = 0,          // the little-endian array image; mmap-servable
+  kVarintDelta = 1,  // zigzag(delta) LEB128 varints; integer sections only
+};
+
+enum class ElementType : uint8_t { kU32, kU64, kF64 };
+
+// Human-readable section name ("node_to_super", ...); "unknown" for ids
+// outside [1, kSectionCount].
+const char* SectionName(uint32_t id);
+
+// Element type of a section (ids 1..13; asserts otherwise).
+ElementType SectionElementType(uint32_t id);
+
+inline size_t ElementWidth(ElementType type) {
+  return type == ElementType::kU32 ? 4 : 8;
+}
+
+// Element count of section `id` for a summary with the given counts
+// (V = nodes, S = supernodes, E = directed edge slots).
+uint64_t SectionElementCount(uint32_t id, uint64_t nodes,
+                             uint64_t supernodes, uint64_t edge_slots);
+
+// --- Checksum (FNV-1a 64, byte-wise) ---------------------------------------
+
+inline constexpr uint64_t kFnvOffset64 = 14695981039346656037ULL;
+inline constexpr uint64_t kFnvPrime64 = 1099511628211ULL;
+
+inline uint64_t Fnv1a(const uint8_t* data, size_t size,
+                      uint64_t h = kFnvOffset64) {
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+// --- Little-endian codecs (byte-wise, host-endianness-independent) ---------
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+inline uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// --- Varint / zigzag (LEB128, 7 bits per byte, low group first) ------------
+
+inline void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+// Reads one varint from [*p, end); advances *p. False on truncation or an
+// encoding longer than 10 bytes (the u64 maximum).
+inline bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+  uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*p == end) return false;
+    const uint8_t byte = *(*p)++;
+    out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// --- Header and section table ----------------------------------------------
+
+struct SectionEntry {
+  uint32_t id = 0;
+  uint32_t encoding = 0;        // SectionEncoding
+  uint64_t offset = 0;          // payload offset from file start
+  uint64_t length = 0;          // encoded payload bytes
+  uint64_t decoded_length = 0;  // element width × element count
+  uint64_t checksum = 0;        // FNV-1a 64 of the encoded payload
+};
+
+struct PsbHeader {
+  uint8_t endianness = kLittleEndianTag;
+  uint8_t version = kPsbVersion;
+  uint64_t num_nodes = 0;
+  uint64_t num_supernodes = 0;
+  uint64_t num_superedges = 0;  // undirected
+  uint64_t num_edge_slots = 0;  // directed CSR slots
+  uint64_t header_checksum = 0;
+  std::vector<SectionEntry> sections;  // kSectionCount entries, id order
+};
+
+// Serializes header + section table (kTablePrefixBytes bytes), computing
+// and embedding the header checksum.
+std::string SerializeHeader(const PsbHeader& header);
+
+// Parses and validates the fixed prefix of a PSB1 image: magic,
+// endianness tag, version, reserved bytes, header checksum, section ids
+// in order, valid encodings, in-bounds non-overlapping payloads with raw
+// sections aligned, and decoded lengths consistent with the header
+// counts. `file_size` is the full file length (payload bounds are checked
+// against it); `data` needs only the first kTablePrefixBytes bytes.
+// Errors are kDataLoss with messages prefixed by `path`.
+StatusOr<PsbHeader> ParsePsbHeader(const uint8_t* data, size_t size,
+                                   uint64_t file_size,
+                                   const std::string& path);
+
+// --- Heap decoding ----------------------------------------------------------
+
+// A PSB1 file decoded into owned arrays (the fallback when mmap is
+// unavailable or the file has varint/delta sections). layout() views the
+// arrays; it is valid while the PsbDecoded lives and is not moved.
+struct PsbDecoded {
+  PsbHeader header;
+  std::vector<uint32_t> node_to_super, members, edge_dst, edge_weight;
+  std::vector<uint64_t> member_begin, edge_begin;
+  std::vector<double> edge_density_w, edge_density_uw;
+  std::vector<double> member_count, member_deg_w, member_deg_uw;
+  std::vector<double> self_density_w, self_density_uw;
+
+  SummaryLayout layout() const;
+};
+
+// Decodes a full PSB1 byte image. Always validates the header (above);
+// verifies per-section checksums when `verify_checksums` (an error names
+// the failing section). Purely byte-wise: correct on any host.
+StatusOr<PsbDecoded> DecodePsb(const uint8_t* data, size_t size,
+                               const std::string& path,
+                               bool verify_checksums);
+
+// Per-section checksum sweep over a byte image whose header has already
+// been parsed: recomputes each payload's FNV-1a 64 and fails with a
+// message naming the first mismatching section. Shared by DecodePsb and
+// the arena/validator paths.
+Status VerifySectionChecksums(const uint8_t* data, const PsbHeader& header,
+                              const std::string& path);
+
+}  // namespace pegasus::psb
+
+#endif  // PEGASUS_CORE_PSB_FORMAT_H_

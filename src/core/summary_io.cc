@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/binary_summary_io.h"
 #include "src/graph/graph.h"
 
 namespace pegasus {
@@ -45,6 +46,10 @@ Status SaveSummary(const SummaryGraph& summary, const std::string& path) {
 }
 
 StatusOr<SummaryGraph> LoadSummary(const std::string& path) {
+  // Dispatch by magic: PSB1 files (docs/FORMAT.md) take the binary
+  // loader; everything else is parsed as the text format below.
+  if (SniffPsbMagic(path)) return LoadSummaryBinary(path);
+
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open summary: " + path);
   const auto Corrupt = [&path](const std::string& what) {
@@ -69,18 +74,26 @@ StatusOr<SummaryGraph> LoadSummary(const std::string& path) {
   }
 
   std::vector<NodeId> labels(num_nodes);
+  std::vector<uint8_t> used(num_supernodes, 0);
+  uint64_t distinct = 0;
   for (uint64_t u = 0; u < num_nodes; ++u) {
     if (!(in >> labels[u]) || labels[u] >= num_supernodes) {
       return Corrupt("bad supernode label for node " + std::to_string(u));
     }
+    uint8_t& flag = used[labels[u]];
+    distinct += flag == 0;
+    flag = 1;
+  }
+  // Header/body agreement up front, before any structure is built — the
+  // same check the binary loader runs (binary_summary_io.cc).
+  if (Status st = ValidateSummaryCounts(num_supernodes, distinct, path);
+      !st) {
+    return st;
   }
   // FromPartition needs a graph only for the node count; build the summary
   // structure directly through an empty graph of the right size.
   Graph empty(std::vector<EdgeId>(num_nodes + 1, 0), {});
   SummaryGraph summary = SummaryGraph::FromPartition(empty, labels);
-  if (summary.num_supernodes() != num_supernodes) {
-    return Corrupt("declared supernode count does not match labels");
-  }
 
   for (uint64_t i = 0; i < num_superedges; ++i) {
     SupernodeId a = 0, b = 0;

@@ -2,6 +2,12 @@
 //
 // A summary graph is the artifact a deployment ships to query-serving
 // machines (Sec. IV loads one per machine), so it needs a durable format.
+// Two formats exist: the line-based text format below, and the PSB1
+// binary container (src/core/binary_summary_io.h; spec in
+// docs/FORMAT.md). LoadSummary dispatches on the file's magic bytes, so
+// callers can pass either; SaveSummary always writes text (use
+// SaveSummaryBinary / `pegasus convert` for PSB1).
+//
 // The text format is line-oriented and self-describing:
 //
 //   PEGASUS-SUMMARY v1

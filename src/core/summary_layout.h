@@ -1,0 +1,64 @@
+// SummaryLayout — the serving memory layout of a summary, as pointers.
+//
+// A SummaryView (src/query/summary_view.h) answers every query family
+// from thirteen flat arrays: the node→supernode map, two CSR structures
+// (member lists and canonical-order superedges), and precomputed
+// per-edge / per-supernode statistics. This struct names those arrays
+// once, as raw pointers plus the counts that size them, so the same
+// description serves three producers:
+//
+//   * SummaryView::layout() — the arrays it built from a SummaryGraph,
+//   * SummaryArena — the same arrays mapped (or decoded) from a PSB1
+//     file (src/core/summary_arena.h), and
+//   * the PSB1 serializer — which writes exactly these arrays to disk
+//     (src/core/binary_summary_io.h).
+//
+// The PSB1 binary format (docs/FORMAT.md) is defined as the
+// little-endian image of these arrays: section i of a raw-encoded file
+// IS the i-th array here, byte for byte. That identity is what lets a
+// service mmap a summary and serve from it with zero parse.
+//
+// Pointers are non-owning; whoever hands out a SummaryLayout guarantees
+// the arrays outlive it. All arrays are immutable through this struct.
+
+#ifndef PEGASUS_CORE_SUMMARY_LAYOUT_H_
+#define PEGASUS_CORE_SUMMARY_LAYOUT_H_
+
+#include <cstdint>
+
+namespace pegasus {
+
+struct SummaryLayout {
+  // Counts (the header of a PSB1 file stores exactly these four).
+  uint64_t num_nodes = 0;       // |V|: input-graph nodes
+  uint64_t num_supernodes = 0;  // |S|: dense supernode ids [0, S)
+  uint64_t num_superedges = 0;  // |P|: undirected superedges
+  uint64_t num_edge_slots = 0;  // directed CSR slots: 2|P| minus self-loops
+
+  // Section 1: dense supernode id of each node. u32 × V.
+  const uint32_t* node_to_super = nullptr;
+  // Sections 2-3: member-list CSR. member_begin is u64 × (S+1) offsets
+  // into members (u32 × V, original node ids grouped by supernode).
+  const uint64_t* member_begin = nullptr;
+  const uint32_t* members = nullptr;
+  // Sections 4-6: canonical-order superedge CSR. edge_begin is
+  // u64 × (S+1); within [edge_begin[a], edge_begin[a+1]) neighbor ids
+  // ascend (the canonical order). edge_dst / edge_weight are u32 × E.
+  const uint64_t* edge_begin = nullptr;
+  const uint32_t* edge_dst = nullptr;
+  const uint32_t* edge_weight = nullptr;
+  // Sections 7-8: per-edge block densities, f64 × E. The unweighted
+  // stream is the constant 1.0 (stored anyway: the file is the layout).
+  const double* edge_density_w = nullptr;
+  const double* edge_density_uw = nullptr;
+  // Sections 9-13: per-supernode statistics, f64 × S each.
+  const double* member_count = nullptr;
+  const double* member_deg_w = nullptr;
+  const double* member_deg_uw = nullptr;
+  const double* self_density_w = nullptr;
+  const double* self_density_uw = nullptr;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_CORE_SUMMARY_LAYOUT_H_

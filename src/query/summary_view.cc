@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/core/summary_arena.h"
 #include "src/graph/bfs.h"
 
 namespace pegasus {
@@ -26,7 +28,7 @@ double WeightedBlockDensity(const SummaryGraph& s, SupernodeId a,
 }  // namespace
 
 SummaryView::SummaryView(const SummaryGraph& summary) {
-  num_nodes_ = summary.num_nodes();
+  const NodeId num_nodes = summary.num_nodes();
   const SupernodeId bound = summary.id_bound();
 
   // Densify supernode ids in ascending original-id order. Because the
@@ -37,11 +39,10 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
   for (SupernodeId a = 0; a < bound; ++a) {
     if (summary.alive(a)) dense[a] = next++;
   }
-  num_supernodes_ = next;
-  const uint32_t s = num_supernodes_;
+  const uint32_t s = next;
 
-  node_to_super_.resize(num_nodes_);
-  for (NodeId u = 0; u < num_nodes_; ++u) {
+  node_to_super_.resize(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
     node_to_super_[u] = dense[summary.supernode_of(u)];
   }
 
@@ -69,12 +70,18 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
   edge_density_w_.resize(edge_begin_[s]);
   edge_density_uw_.assign(edge_begin_[s], 1.0);
 
+  uint64_t num_superedges = 0;
   for (SupernodeId a = 0; a < bound; ++a) {
     if (!summary.alive(a)) continue;
     const uint32_t da = dense[a];
     const auto& mem = summary.members(a);
-    std::copy(mem.begin(), mem.end(),
-              members_.begin() + static_cast<ptrdiff_t>(member_begin_[da]));
+    // Member lists are canonicalized to ascending node id: no query
+    // depends on member order, and sorting makes the arrays (and thus a
+    // PSB1 file written from them) a pure function of the partition
+    // rather than of the SummaryGraph's merge history.
+    const auto out = members_.begin() + static_cast<ptrdiff_t>(member_begin_[da]);
+    std::copy(mem.begin(), mem.end(), out);
+    std::sort(out, out + static_cast<ptrdiff_t>(mem.size()));
     const double na = static_cast<double>(mem.size());
     member_count_[da] = na;
 
@@ -90,6 +97,7 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
                              : static_cast<double>(summary.members(b).size());
       deg_w += d * cnt;
       deg_uw += 1.0 * cnt;
+      if (dense[b] >= da) ++num_superedges;  // each unordered pair once
       edge_dst_[pos] = dense[b];
       edge_weight_[pos] = w;
       edge_density_w_[pos] = d;
@@ -102,26 +110,48 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
     member_deg_w_[da] = deg_w;
     member_deg_uw_[da] = deg_uw;
   }
+
+  // The vectors are at their final sizes; alias them through the layout
+  // (the single source every accessor reads).
+  layout_.num_nodes = num_nodes;
+  layout_.num_supernodes = s;
+  layout_.num_superedges = num_superedges;
+  layout_.num_edge_slots = edge_dst_.size();
+  layout_.node_to_super = node_to_super_.data();
+  layout_.member_begin = member_begin_.data();
+  layout_.members = members_.data();
+  layout_.edge_begin = edge_begin_.data();
+  layout_.edge_dst = edge_dst_.data();
+  layout_.edge_weight = edge_weight_.data();
+  layout_.edge_density_w = edge_density_w_.data();
+  layout_.edge_density_uw = edge_density_uw_.data();
+  layout_.member_count = member_count_.data();
+  layout_.member_deg_w = member_deg_w_.data();
+  layout_.member_deg_uw = member_deg_uw_.data();
+  layout_.self_density_w = self_density_w_.data();
+  layout_.self_density_uw = self_density_uw_.data();
 }
 
+SummaryView::SummaryView(std::shared_ptr<const SummaryArena> arena)
+    : layout_(arena->layout()), arena_(std::move(arena)) {}
+
 int64_t SummaryView::FindEdge(uint32_t a, uint32_t b) const {
-  const auto begin = edge_dst_.begin() + static_cast<ptrdiff_t>(edge_begin_[a]);
-  const auto end =
-      edge_dst_.begin() + static_cast<ptrdiff_t>(edge_begin_[a + 1]);
-  const auto it = std::lower_bound(begin, end, b);
+  const uint32_t* begin = layout_.edge_dst + layout_.edge_begin[a];
+  const uint32_t* end = layout_.edge_dst + layout_.edge_begin[a + 1];
+  const uint32_t* it = std::lower_bound(begin, end, b);
   if (it == end || *it != b) return -1;
-  return it - edge_dst_.begin();
+  return it - layout_.edge_dst;
 }
 
 uint32_t SummaryView::EdgeWeight(uint32_t a, uint32_t b) const {
   const int64_t slot = FindEdge(a, b);
-  return slot < 0 ? 0 : edge_weight_[static_cast<size_t>(slot)];
+  return slot < 0 ? 0 : layout_.edge_weight[slot];
 }
 
 double SummaryView::EdgeDensity(uint32_t a, uint32_t b, bool weighted) const {
   const int64_t slot = FindEdge(a, b);
   if (slot < 0) return 0.0;
-  return weighted ? edge_density_w_[static_cast<size_t>(slot)] : 1.0;
+  return weighted ? layout_.edge_density_w[slot] : 1.0;
 }
 
 std::vector<NodeId> SummaryNeighbors(const SummaryView& view, NodeId q) {

@@ -16,6 +16,25 @@
 //   * member degrees (weighted and unweighted), self-loop densities, and
 //     member counts are precomputed per supernode.
 //
+// Those arrays are exactly the thirteen SummaryLayout arrays
+// (src/core/summary_layout.h), and every accessor reads through the
+// layout's raw pointers. That gives the view two interchangeable
+// backings:
+//
+//   * built — the classic constructor computes the arrays from a
+//     SummaryGraph into owned vectors;
+//   * arena — the PSB1 constructor points the same accessors straight at
+//     a mapped (or decoded) file image (src/core/summary_arena.h), zero
+//     rebuild work. The view shares ownership of the arena, so a mapped
+//     file stays alive while any epoch still serves from it.
+//
+// The two backings are byte-identical: a PSB1 file written from a built
+// view decodes to the same arrays, so every query family returns the
+// same bytes either way (pinned by the FNV goldens in tests/test_util.h).
+// layout() exposes the arrays for the PSB1 writer. Views are neither
+// copyable nor movable — accessors alias member storage; share one via
+// shared_ptr instead (the serving stack already does).
+//
 // Canonical-order contract: within a supernode's range
 // [edge_begin(a), edge_end(a)) edges are stored in ascending dense
 // neighbor id — the SummaryGraph::CanonicalSuperedges() order, and the
@@ -34,29 +53,49 @@
 #define PEGASUS_QUERY_SUMMARY_VIEW_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "src/core/summary_graph.h"
+#include "src/core/summary_layout.h"
 #include "src/graph/graph.h"
 #include "src/query/exact_queries.h"
 
 namespace pegasus {
 
+class SummaryArena;
+
 class SummaryView {
  public:
+  // Builds the arrays from a SummaryGraph (owned storage).
   explicit SummaryView(const SummaryGraph& summary);
 
-  NodeId num_nodes() const { return num_nodes_; }
-  uint32_t num_supernodes() const { return num_supernodes_; }
+  // Serves straight off a PSB1 arena: no arrays are built, accessors
+  // alias the arena's memory (mapped file or decoded heap copy). The
+  // arena must have passed its structural checks (SummaryArena::Map
+  // defaults do).
+  explicit SummaryView(std::shared_ptr<const SummaryArena> arena);
+
+  SummaryView(const SummaryView&) = delete;
+  SummaryView& operator=(const SummaryView&) = delete;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(layout_.num_nodes); }
+  uint32_t num_supernodes() const {
+    return static_cast<uint32_t>(layout_.num_supernodes);
+  }
+  // Undirected superedge count |P|.
+  uint64_t num_superedges() const { return layout_.num_superedges; }
+  // Directed CSR slots: 2|P| minus self-loops.
+  uint64_t num_edge_slots() const { return layout_.num_edge_slots; }
 
   // Dense supernode index of node u.
-  uint32_t supernode_of(NodeId u) const { return node_to_super_[u]; }
+  uint32_t supernode_of(NodeId u) const { return layout_.node_to_super[u]; }
 
   // Member nodes of dense supernode a (original node ids).
   std::span<const NodeId> members(uint32_t a) const {
-    return {members_.data() + member_begin_[a],
-            members_.data() + member_begin_[a + 1]};
+    return {layout_.members + layout_.member_begin[a],
+            layout_.members + layout_.member_begin[a + 1]};
   }
 
   // --- Superedge CSR --------------------------------------------------------
@@ -69,39 +108,39 @@ class SummaryView {
   // (the canonical-order contract above), which is what FindEdge
   // binary-searches and what merge-style consumers stream.
 
-  uint64_t edge_begin(uint32_t a) const { return edge_begin_[a]; }
-  uint64_t edge_end(uint32_t a) const { return edge_begin_[a + 1]; }
+  uint64_t edge_begin(uint32_t a) const { return layout_.edge_begin[a]; }
+  uint64_t edge_end(uint32_t a) const { return layout_.edge_begin[a + 1]; }
 
   // Neighbor supernode per edge slot (dense ids, ascending per supernode).
-  const uint32_t* edge_dst() const { return edge_dst_.data(); }
+  const uint32_t* edge_dst() const { return layout_.edge_dst; }
 
   // Represented input-edge count per edge slot.
-  const uint32_t* edge_weight() const { return edge_weight_.data(); }
+  const uint32_t* edge_weight() const { return layout_.edge_weight; }
 
   // Per-edge block densities: min(1, weight / pairs) in weighted mode, a
   // constant 1.0 stream in unweighted mode.
   const double* edge_density(bool weighted) const {
-    return weighted ? edge_density_w_.data() : edge_density_uw_.data();
+    return weighted ? layout_.edge_density_w : layout_.edge_density_uw;
   }
 
   // Neighbor ids of supernode a, ascending (for neighborhood/BFS queries
   // and merge-style consumers).
   std::span<const uint32_t> edge_dsts(uint32_t a) const {
-    return {edge_dst_.data() + edge_begin_[a],
-            edge_dst_.data() + edge_begin_[a + 1]};
+    return {layout_.edge_dst + layout_.edge_begin[a],
+            layout_.edge_dst + layout_.edge_begin[a + 1]};
   }
 
   // |A| as a double (every query consumes it as one).
-  double member_count(uint32_t a) const { return member_count_[a]; }
+  double member_count(uint32_t a) const { return layout_.member_count[a]; }
 
   // Weighted degree shared by every member of a in Ĝ (summary_queries.h).
   double member_degree(uint32_t a, bool weighted) const {
-    return weighted ? member_deg_w_[a] : member_deg_uw_[a];
+    return weighted ? layout_.member_deg_w[a] : layout_.member_deg_uw[a];
   }
 
   // Density of a's self-loop (0 when absent).
   double self_density(uint32_t a, bool weighted) const {
-    return weighted ? self_density_w_[a] : self_density_uw_[a];
+    return weighted ? layout_.self_density_w[a] : layout_.self_density_uw[a];
   }
 
   // Edge-array slot of superedge {a, b}, or -1 if absent. O(log deg(a)),
@@ -115,10 +154,21 @@ class SummaryView {
   // Density of superedge {a, b}; 0 if absent. O(log deg(a)).
   double EdgeDensity(uint32_t a, uint32_t b, bool weighted) const;
 
- private:
-  NodeId num_nodes_ = 0;
-  uint32_t num_supernodes_ = 0;
+  // The thirteen arrays + counts this view serves from — what
+  // SaveSummaryBinary writes. Pointers are valid while the view lives.
+  const SummaryLayout& layout() const { return layout_; }
 
+  // Non-null when this view is arena-backed (serving a PSB1 file image).
+  const std::shared_ptr<const SummaryArena>& arena() const { return arena_; }
+
+ private:
+  // Accessor source of truth. Points into the owned vectors below
+  // (built) or into arena_'s memory (arena-backed).
+  SummaryLayout layout_;
+
+  std::shared_ptr<const SummaryArena> arena_;
+
+  // Owned storage for the built path (empty when arena-backed).
   std::vector<uint32_t> node_to_super_;  // node -> dense supernode
   std::vector<uint64_t> member_begin_;   // CSR offsets into members_
   std::vector<NodeId> members_;

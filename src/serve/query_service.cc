@@ -4,7 +4,10 @@
 #include <string>
 #include <utility>
 
+#include "src/core/binary_summary_io.h"
 #include "src/core/dynamic_summary.h"
+#include "src/core/summary_arena.h"
+#include "src/core/summary_io.h"
 
 namespace pegasus {
 namespace serve {
@@ -233,6 +236,18 @@ std::vector<QueryResult> RunCanonicalBatch(
         }
       });
   return results;
+}
+
+StatusOr<std::shared_ptr<const SummaryView>> LoadServingView(
+    const std::string& path) {
+  if (SniffPsbMagic(path)) {
+    auto arena = SummaryArena::Map(path);
+    if (!arena) return arena.status();
+    return std::make_shared<const SummaryView>(*std::move(arena));
+  }
+  auto summary = LoadSummary(path);
+  if (!summary) return summary.status();
+  return std::make_shared<const SummaryView>(*summary);
 }
 
 }  // namespace serve

@@ -160,6 +160,16 @@ std::vector<QueryResult> RunCanonicalBatch(
     Executor& pool, GlobalResultCache& cache, uint64_t epoch,
     size_t cheap_grain);
 
+// Loads a summary file into a servable view, dispatching on the file's
+// magic bytes: a PSB1 file (docs/FORMAT.md) is arena-mapped and the view
+// aliases the mapping — zero parse, restart cost independent of summary
+// size — while a text summary goes through LoadSummary and a full view
+// build. Either way the returned view answers every query family with
+// identical bytes (the two backings are the same arrays). This is what
+// `pegasus serve/query` and the server's publish directive call.
+StatusOr<std::shared_ptr<const SummaryView>> LoadServingView(
+    const std::string& path);
+
 }  // namespace serve
 
 class QueryService {

@@ -10,7 +10,6 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "src/core/summary_io.h"
 #include "src/serve/text_serving.h"
 
 namespace pegasus::serve {
@@ -205,13 +204,15 @@ Status Server::HandlePublish(const std::string& body,
   if (path.empty()) {
     return Status::InvalidArgument("publish needs a summary path");
   }
-  auto summary = LoadSummary(path);
-  if (!summary) return summary.status();
-  const uint64_t epoch = service_.Publish(*summary);
+  // Text or PSB1, picked by magic — a .psb file publishes as a mapped
+  // arena view with no parse or rebuild (see LoadServingView).
+  auto view = LoadServingView(path);
+  if (!view) return view.status();
+  const uint32_t supernodes = (*view)->num_supernodes();
+  const uint64_t epoch = service_.Publish(*std::move(view));
   char buf[96];
   std::snprintf(buf, sizeof(buf), "epoch %llu published (%u supernodes)\n",
-                static_cast<unsigned long long>(epoch),
-                summary->num_supernodes());
+                static_cast<unsigned long long>(epoch), supernodes);
   *response = buf;
   return Status::Ok();
 }

@@ -1,27 +1,11 @@
 // Length-prefixed, versioned framing for the pegasus serving socket.
 //
-// Every frame on the wire is
-//
-//   uint32 length (little-endian)   — byte count of the payload
-//   payload[length]                 — version byte, type byte, body
-//
-// so payload[0] is the protocol version (kWireVersion, currently 1) and
-// payload[1] the frame type; everything after is the UTF-8 body. Requests
-// and responses use disjoint type ranges (responses have the high bit
-// set) so a frame is self-describing in captures:
-//
-//   0x01 kBatch    body = query lines in the `pegasus serve` grammar
-//   0x02 kPublish  body = server-local summary path to swap in
-//   0x03 kStats    body empty
-//   0x04 kEpoch    body empty
-//   0x81 kOk       body = text response (batch answers, stats, ...)
-//   0xE1 kError    body = "<CODE>: <message>" (Status::ToString form)
-//
-// A request with an unsupported version or an unknown type is answered
-// with a kError frame and the connection stays open; only a malformed
-// *frame* (short read, oversized length) closes it. Length is capped at
-// kMaxFramePayload so a corrupt or hostile prefix cannot make the server
-// allocate gigabytes.
+// The byte-level frame layout, type codes, and error-handling contract
+// are documented in docs/ARCHITECTURE.md ("Wire protocol") — that page
+// is the reference; the declarations below mirror it. In one line: a
+// frame is a little-endian uint32 payload length followed by a version
+// byte, a type byte, and a UTF-8 body, with the payload capped at
+// kMaxFramePayload.
 
 #ifndef PEGASUS_SERVE_WIRE_H_
 #define PEGASUS_SERVE_WIRE_H_

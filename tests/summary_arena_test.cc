@@ -1,0 +1,226 @@
+// SummaryArena tests: the mmap serving path answers every query family
+// byte-identically to a freshly built view (the cross-stdlib goldens pin
+// both), the heap-decode fallback for compact files gives the same
+// answers, the arrays are bit-for-bit the built view's arrays, and the
+// structural / checksum gates reject damaged files.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/binary_summary_io.h"
+#include "src/core/pegasus.h"
+#include "src/core/psb_format.h"
+#include "src/core/summary_arena.h"
+#include "src/query/query_engine.h"
+#include "src/query/summary_view.h"
+#include "tests/test_util.h"
+
+namespace pegasus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Writes the golden summary as a PSB1 file and returns the built view it
+// was written from, for side-by-side comparison with the arena.
+std::unique_ptr<SummaryView> WriteGoldenPsb(const std::string& path,
+                                            bool compact) {
+  const Graph g = ::pegasus::testing::QueryGoldenGraph();
+  const SummaryGraph summary = ::pegasus::testing::QueryGoldenSummary(g);
+  auto view = std::make_unique<SummaryView>(summary);
+  PsbWriteOptions opts;
+  opts.compact = compact;
+  EXPECT_TRUE(SaveSummaryBinary(view->layout(), path, opts));
+  return view;
+}
+
+void ExpectGoldenAnswers(const SummaryView& view) {
+  for (const auto& c : ::pegasus::testing::QueryGoldenCases()) {
+    auto canon = CanonicalizeRequest(c.request, view.num_nodes());
+    ASSERT_TRUE(canon.ok()) << c.name;
+    const uint64_t got =
+        ::pegasus::testing::HashQueryResult(AnswerQuery(view, *canon));
+    EXPECT_EQ(got, c.hash) << c.name;
+  }
+}
+
+TEST(SummaryArenaTest, MappedViewMatchesCrossStdlibGoldens) {
+  const std::string path = TempPath("golden.psb");
+  WriteGoldenPsb(path, /*compact=*/false);
+  auto arena = SummaryArena::Map(path);
+  ASSERT_TRUE(arena.has_value()) << arena.status().ToString();
+  if constexpr (std::endian::native == std::endian::little) {
+    EXPECT_TRUE((*arena)->mapped());
+  }
+  const SummaryView view(*arena);
+  EXPECT_NE(view.arena(), nullptr);
+  ExpectGoldenAnswers(view);
+  std::remove(path.c_str());
+}
+
+TEST(SummaryArenaTest, CompactFileDecodesToSameAnswers) {
+  // Varint/delta sections cannot be served in place; Map falls back to
+  // the heap decoder and the answers are still byte-identical.
+  const std::string path = TempPath("golden_compact.psb");
+  WriteGoldenPsb(path, /*compact=*/true);
+  auto arena = SummaryArena::Map(path);
+  ASSERT_TRUE(arena.has_value()) << arena.status().ToString();
+  EXPECT_FALSE((*arena)->mapped());
+  const SummaryView view(*arena);
+  ExpectGoldenAnswers(view);
+  std::remove(path.c_str());
+}
+
+TEST(SummaryArenaTest, ArenaArraysAreBitIdenticalToBuiltView) {
+  const std::string path = TempPath("identity.psb");
+  auto built = WriteGoldenPsb(path, /*compact=*/false);
+  auto arena = SummaryArena::Map(path);
+  ASSERT_TRUE(arena.has_value()) << arena.status().ToString();
+  const SummaryLayout& a = built->layout();
+  const SummaryLayout& b = (*arena)->layout();
+  ASSERT_EQ(a.num_nodes, b.num_nodes);
+  ASSERT_EQ(a.num_supernodes, b.num_supernodes);
+  ASSERT_EQ(a.num_superedges, b.num_superedges);
+  ASSERT_EQ(a.num_edge_slots, b.num_edge_slots);
+  const uint64_t v = a.num_nodes, s = a.num_supernodes, e = a.num_edge_slots;
+  EXPECT_EQ(std::memcmp(a.node_to_super, b.node_to_super, v * 4), 0);
+  EXPECT_EQ(std::memcmp(a.member_begin, b.member_begin, (s + 1) * 8), 0);
+  EXPECT_EQ(std::memcmp(a.members, b.members, v * 4), 0);
+  EXPECT_EQ(std::memcmp(a.edge_begin, b.edge_begin, (s + 1) * 8), 0);
+  EXPECT_EQ(std::memcmp(a.edge_dst, b.edge_dst, e * 4), 0);
+  EXPECT_EQ(std::memcmp(a.edge_weight, b.edge_weight, e * 4), 0);
+  EXPECT_EQ(std::memcmp(a.edge_density_w, b.edge_density_w, e * 8), 0);
+  EXPECT_EQ(std::memcmp(a.edge_density_uw, b.edge_density_uw, e * 8), 0);
+  EXPECT_EQ(std::memcmp(a.member_count, b.member_count, s * 8), 0);
+  EXPECT_EQ(std::memcmp(a.member_deg_w, b.member_deg_w, s * 8), 0);
+  EXPECT_EQ(std::memcmp(a.member_deg_uw, b.member_deg_uw, s * 8), 0);
+  EXPECT_EQ(std::memcmp(a.self_density_w, b.self_density_w, s * 8), 0);
+  EXPECT_EQ(std::memcmp(a.self_density_uw, b.self_density_uw, s * 8), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SummaryArenaTest, ViewKeepsArenaAlive) {
+  const std::string path = TempPath("alive.psb");
+  WriteGoldenPsb(path, /*compact=*/false);
+  std::unique_ptr<SummaryView> view;
+  {
+    auto arena = SummaryArena::Map(path);
+    ASSERT_TRUE(arena.has_value());
+    view = std::make_unique<SummaryView>(*std::move(arena));
+  }
+  // The local shared_ptr is gone; the view's reference must keep the
+  // mapping valid (this would crash under ASAN/MSAN otherwise).
+  ExpectGoldenAnswers(*view);
+  std::remove(path.c_str());
+}
+
+TEST(SummaryArenaTest, ChecksumOptionCatchesFlipsTheDefaultSkips) {
+  // Flip one byte inside edge_density_w: structurally invisible (the
+  // bounds pass only reads the integer arrays), so the instant-restart
+  // default accepts it, while verify_checksums names the section.
+  const std::string path = TempPath("flip.psb");
+  WriteGoldenPsb(path, /*compact=*/false);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.has_value());
+  auto header = psb::ParsePsbHeader(bytes->data(), bytes->size(),
+                                    bytes->size(), path);
+  ASSERT_TRUE(header.has_value());
+  const auto& density = header->sections[6];  // id 7, edge_density_w
+  ASSERT_EQ(density.id, 7u);
+  (*bytes)[density.offset + 1] ^= 0x01;
+  WriteBytes(path, *bytes);
+
+  auto lax = SummaryArena::Map(path);
+  EXPECT_TRUE(lax.has_value()) << lax.status().ToString();
+
+  SummaryArenaOptions opts;
+  opts.verify_checksums = true;
+  auto strict = SummaryArena::Map(path, opts);
+  ASSERT_FALSE(strict.has_value());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(strict.status().ToString().find("edge_density_w"),
+            std::string::npos)
+      << strict.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SummaryArenaTest, StructuralValidationRejectsBadArrays) {
+  // An out-of-range supernode label slips past the (skipped) checksum
+  // but must be stopped by the structural pass before it can crash a
+  // query kernel.
+  const std::string path = TempPath("bad_label.psb");
+  WriteGoldenPsb(path, /*compact=*/false);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.has_value());
+  auto header = psb::ParsePsbHeader(bytes->data(), bytes->size(),
+                                    bytes->size(), path);
+  ASSERT_TRUE(header.has_value());
+  const auto& labels = header->sections[0];  // id 1, node_to_super
+  ASSERT_EQ(labels.id, 1u);
+  for (size_t i = 0; i < 4; ++i) (*bytes)[labels.offset + i] = 0xff;
+  WriteBytes(path, *bytes);
+
+  auto arena = SummaryArena::Map(path);
+  ASSERT_FALSE(arena.has_value());
+  EXPECT_EQ(arena.status().code(), StatusCode::kDataLoss);
+
+  // ...unless the caller explicitly disabled the structural pass too.
+  SummaryArenaOptions off;
+  off.validate_structure = false;
+  EXPECT_TRUE(SummaryArena::Map(path, off).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SummaryArenaTest, MapRejectsMissingAndTruncatedFiles) {
+  EXPECT_EQ(SummaryArena::Map("/no/such/file.psb").status().code(),
+            StatusCode::kNotFound);
+
+  const std::string path = TempPath("trunc.psb");
+  WriteGoldenPsb(path, /*compact=*/false);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.has_value());
+  bytes->resize(bytes->size() / 2);
+  WriteBytes(path, *bytes);
+  const auto arena = SummaryArena::Map(path);
+  ASSERT_FALSE(arena.has_value());
+  EXPECT_EQ(arena.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(SummaryArenaTest, HeaderCountsMatchTheView) {
+  const std::string path = TempPath("counts.psb");
+  auto built = WriteGoldenPsb(path, /*compact=*/false);
+  auto arena = SummaryArena::Map(path);
+  ASSERT_TRUE(arena.has_value());
+  const psb::PsbHeader& h = (*arena)->header();
+  EXPECT_EQ(h.num_nodes, built->layout().num_nodes);
+  EXPECT_EQ(h.num_supernodes, built->layout().num_supernodes);
+  EXPECT_EQ(h.num_superedges, built->layout().num_superedges);
+  EXPECT_EQ(h.num_edge_slots, built->layout().num_edge_slots);
+  EXPECT_EQ((*arena)->path(), path);
+
+  const SummaryView view(*arena);
+  EXPECT_EQ(view.num_nodes(), built->num_nodes());
+  EXPECT_EQ(view.num_supernodes(), built->num_supernodes());
+  EXPECT_EQ(view.num_superedges(), built->num_superedges());
+  EXPECT_EQ(view.num_edge_slots(), built->num_edge_slots());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pegasus

@@ -161,6 +161,25 @@ TEST(SummaryIoTest, SaveLoadSaveIsByteStable) {
   }
 }
 
+TEST(SummaryIoTest, RejectsSupernodeCountMismatchUpFront) {
+  // Header declares 3 supernodes but the labels only use {0, 1}: the
+  // loader must fail before building anything, naming both numbers.
+  const std::string path = TempPath("count_mismatch.summary");
+  {
+    std::ofstream out(path);
+    out << "PEGASUS-SUMMARY v1\n";
+    out << "nodes 2 supernodes 3 superedges 0\n";
+    out << "0 1\n";
+  }
+  const auto s = LoadSummary(path);
+  ASSERT_FALSE(s.has_value());
+  EXPECT_EQ(s.status().code(), StatusCode::kDataLoss);
+  const std::string message = s.status().ToString();
+  EXPECT_NE(message.find("3 supernodes"), std::string::npos) << message;
+  EXPECT_NE(message.find("2 distinct"), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
 TEST(SummaryIoTest, RejectsBadMembershipLabel) {
   const std::string path = TempPath("badlabel.summary");
   {

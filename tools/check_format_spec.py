@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Guard: the PSB1 format version and its spec must move together.
+
+Extracts kPsbVersion from src/core/psb_format.h and requires
+docs/FORMAT.md to (a) exist, (b) state the same version in its header
+line, and (c) carry a changelog entry for exactly that version. Bumping
+the constant without amending the spec — or editing the spec's version
+without touching the code — fails this check, and with it CI
+(registered as the `format_spec_guard` ctest).
+
+Usage: check_format_spec.py <repo-root>
+"""
+
+import os
+import re
+import sys
+
+
+def fail(message):
+    print("FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    header_path = os.path.join(root, "src", "core", "psb_format.h")
+    spec_path = os.path.join(root, "docs", "FORMAT.md")
+
+    with open(header_path, encoding="utf-8") as f:
+        header = f.read()
+    m = re.search(r"constexpr\s+uint8_t\s+kPsbVersion\s*=\s*(\d+)\s*;",
+                  header)
+    if not m:
+        fail("could not find kPsbVersion in " + header_path)
+    version = int(m.group(1))
+
+    if not os.path.exists(spec_path):
+        fail("docs/FORMAT.md is missing; kPsbVersion = %d has no spec"
+             % version)
+    with open(spec_path, encoding="utf-8") as f:
+        spec = f.read()
+
+    m = re.search(r"^Format version:\s*(\d+)\s*$", spec, re.MULTILINE)
+    if not m:
+        fail("docs/FORMAT.md lacks a 'Format version: N' line")
+    if int(m.group(1)) != version:
+        fail("docs/FORMAT.md says 'Format version: %s' but psb_format.h "
+             "has kPsbVersion = %d — update the spec (including its "
+             "changelog) together with the constant"
+             % (m.group(1), version))
+
+    changelog = re.search(r"^##\s+Changelog\s*$(.*)", spec,
+                          re.MULTILINE | re.DOTALL)
+    if not changelog:
+        fail("docs/FORMAT.md lacks a '## Changelog' section")
+    if not re.search(r"^###\s+Version\s+%d\b" % version,
+                     changelog.group(1), re.MULTILINE):
+        fail("docs/FORMAT.md changelog has no '### Version %d' entry; a "
+             "version bump requires a changelog entry describing the "
+             "change" % version)
+
+    print("format spec guard: kPsbVersion = %d matches docs/FORMAT.md"
+          % version)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the PSB1 pipeline (docs/FORMAT.md).
+
+Drives the whole binary-format surface with the CLI, out of process:
+
+  * generate + summarize a small graph to the text format,
+  * `pegasus convert` text -> raw PSB1 and text -> compact PSB1,
+  * `pegasus view --validate` both (field checks against the header spec:
+    magic, version, counts, all 13 sections listed, checksums verified),
+  * convert each PSB1 file back to text and require byte-identity with
+    the original text file (the round-trip property),
+  * corrupt one payload byte and require `view --validate` to fail
+    naming the damaged section,
+  * serve one mixed batch from the text file and from the mmap-served
+    raw PSB1 file and require byte-identical answers — the zero-parse
+    serving path produces the same bytes as the parse-and-rebuild path,
+  * exercise the socket `publish` directive with a .psb path.
+
+Usage: psb_smoke.py <path-to-pegasus-binary>
+Exit code 0 on success; any assertion prints a diagnostic and exits 1.
+"""
+
+import os
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+
+WIRE_VERSION = 1
+K_BATCH, K_PUBLISH = 0x01, 0x02
+K_OK, K_ERROR = 0x81, 0xE1
+
+MIXED_BATCH = b"degree\nrwr 3 0.1\nneighbors 5\nhop 7\npagerank 0.5\n"
+
+
+def fail(message):
+    print("FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, expect_rc=0):
+    proc = subprocess.run(cmd, capture_output=True, timeout=120)
+    if proc.returncode != expect_rc:
+        fail("%r exited %d (wanted %d): %s%s"
+             % (cmd, proc.returncode, expect_rc,
+                proc.stdout.decode()[-400:], proc.stderr.decode()[-400:]))
+    return proc.stdout.decode() + proc.stderr.decode()
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def send_frame(sock, ftype, body=b""):
+    payload = bytes([WIRE_VERSION, ftype]) + body
+    sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+
+def read_exact(sock, n):
+    data = b""
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        if not chunk:
+            fail("connection closed mid-frame (wanted %d bytes)" % n)
+        data += chunk
+    return data
+
+
+def read_frame(sock):
+    (length,) = struct.unpack("<I", read_exact(sock, 4))
+    payload = read_exact(sock, length)
+    if length < 2:
+        fail("short frame payload: %d bytes" % length)
+    return payload[0], payload[1], payload[2:]
+
+
+def expect_ok(sock, ftype, body, what):
+    send_frame(sock, ftype, body)
+    _, rtype, rbody = read_frame(sock)
+    if rtype != K_OK:
+        fail("%s: expected kOk, got type=0x%02x body=%r"
+             % (what, rtype, rbody[:200]))
+    return rbody
+
+
+def serve_one_batch(pegasus, summary_path, extra_publish=None):
+    """Starts `pegasus serve`, answers MIXED_BATCH once, returns the body.
+
+    When extra_publish is set, also sends a socket publish directive for
+    that path and re-answers the batch at the new epoch, returning both.
+    """
+    server = subprocess.Popen(
+        [pegasus, "serve", summary_path, "--port", "0"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+    try:
+        port = None
+        for _ in range(10):
+            line = server.stdout.readline()
+            if not line:
+                break
+            if line.startswith("listening on 127.0.0.1:"):
+                port = int(line.rsplit(":", 1)[1])
+                break
+        if port is None:
+            fail("server for %s never printed its listening line"
+                 % summary_path)
+        published = None
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            s.settimeout(30)
+            first = expect_ok(s, K_BATCH, MIXED_BATCH,
+                              "batch over %s" % summary_path)
+            if extra_publish is not None:
+                body = expect_ok(s, K_PUBLISH, extra_publish.encode(),
+                                 "socket publish of %s" % extra_publish)
+                if b"epoch 2 published" not in body:
+                    fail("publish directive answered %r" % body)
+                published = expect_ok(s, K_BATCH, MIXED_BATCH,
+                                      "batch after publish")
+        server.stdin.close()
+        rc = server.wait(timeout=30)
+        if rc != 0:
+            fail("server for %s exited %d" % (summary_path, rc))
+        return first, published
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: psb_smoke.py <pegasus-binary>")
+    pegasus = sys.argv[1]
+    workdir = tempfile.mkdtemp(prefix="pegasus_psb_smoke_")
+    edges = os.path.join(workdir, "g.txt")
+    text = os.path.join(workdir, "s.summary")
+    raw = os.path.join(workdir, "s.psb")
+    compact = os.path.join(workdir, "s_compact.psb")
+    back = os.path.join(workdir, "back.summary")
+
+    run([pegasus, "generate", "ba", edges, "--nodes", "300", "--seed", "7"])
+    run([pegasus, "summarize", edges, text, "--ratio", "0.5", "--seed", "7"])
+
+    # --- convert + inspect ------------------------------------------------
+    run([pegasus, "convert", text, raw])
+    run([pegasus, "convert", text, compact, "--compact"])
+    if read_bytes(raw)[:4] != b"PSB1":
+        fail("converted file does not start with the PSB1 magic")
+    if os.path.getsize(compact) >= os.path.getsize(raw):
+        fail("--compact did not shrink the file")
+
+    for path, encoding in ((raw, "raw"), (compact, "varint-delta")):
+        out = run([pegasus, "view", path, "--validate"])
+        for needle in ("magic:           PSB1", "version:         1",
+                       "nodes:           300", "sections:        13",
+                       "(verified)", encoding, "validate:        OK"):
+            if needle not in out:
+                fail("view of %s lacks %r:\n%s" % (path, needle, out))
+        for name in ("node_to_super", "member_begin", "members",
+                     "edge_begin", "edge_dst", "edge_weight",
+                     "edge_density_w", "edge_density_uw", "member_count",
+                     "member_deg_w", "member_deg_uw", "self_density_w",
+                     "self_density_uw"):
+            if name not in out:
+                fail("view of %s does not list section %r" % (path, name))
+
+    # --- round-trip byte identity -----------------------------------------
+    for path in (raw, compact):
+        run([pegasus, "convert", path, back])
+        if read_bytes(back) != read_bytes(text):
+            fail("%s -> text round trip is not byte-identical" % path)
+        os.remove(back)
+
+    # --- corruption is detected and named ----------------------------------
+    damaged = os.path.join(workdir, "damaged.psb")
+    blob = bytearray(read_bytes(raw))
+    blob[-8] ^= 0x20  # inside section 13 (self_density_uw)
+    with open(damaged, "wb") as f:
+        f.write(blob)
+    out = run([pegasus, "view", damaged, "--validate"], expect_rc=1)
+    if "self_density_uw" not in out or "checksum" not in out:
+        fail("corrupt-file validate did not name the section:\n" + out)
+
+    # --- serving byte-identity: text parse vs mmap arena --------------------
+    text_batch, _ = serve_one_batch(pegasus, text)
+    psb_batch, republished = serve_one_batch(pegasus, raw,
+                                             extra_publish=raw)
+    if text_batch != psb_batch:
+        fail("mmap-served batch differs from text-served batch")
+    if republished is None or republished.replace(b"epoch 2", b"epoch 1") \
+            != psb_batch:
+        fail("batch after socket publish of %s diverged" % raw)
+
+    print("psb smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
