@@ -27,7 +27,7 @@ inline void Banner(const std::string& name, const std::string& paper_ref) {
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   const char* scale = std::getenv("PEGASUS_BENCH_SCALE");
   std::printf("Scale: %s\n\n", scale ? scale : "default");
-  CurrentBench() = {name, paper_ref, scale ? scale : "default"};
+  CurrentBench() = {name, paper_ref, scale ? scale : "default", {}};
 }
 
 // Emits one result table: prints it and folds it into the bench's

@@ -137,38 +137,59 @@ inline std::string CellToJson(const std::string& cell) {
     }
     return stripped;
   }
-  return "\"" + JsonEscape(cell) + "\"";
+  // Append-style on purpose: `"literal" + std::string(...)` chains trip
+  // GCC 12's -Wrestrict false positive (PR 105329) under -Werror.
+  std::string out = "\"";
+  out += JsonEscape(cell);
+  out += '"';
+  return out;
 }
 
 inline std::string TableToJson(const std::string& label, const Table& table,
                                const std::string& indent) {
-  std::string out = indent + "{\"label\": \"" + JsonEscape(label) + "\",\n";
-  out += indent + " \"columns\": [";
+  std::string out = indent;
+  out += "{\"label\": \"";
+  out += JsonEscape(label);
+  out += "\",\n";
+  out += indent;
+  out += " \"columns\": [";
   const auto& header = table.header();
   for (size_t i = 0; i < header.size(); ++i) {
     if (i) out += ", ";
-    out += "\"" + JsonEscape(header[i]) + "\"";
+    out += '"';
+    out += JsonEscape(header[i]);
+    out += '"';
   }
-  out += "],\n" + indent + " \"rows\": [\n";
+  out += "],\n";
+  out += indent;
+  out += " \"rows\": [\n";
   const auto& rows = table.rows();
   for (size_t r = 0; r < rows.size(); ++r) {
-    out += indent + "  {";
+    out += indent;
+    out += "  {";
     for (size_t c = 0; c < header.size() && c < rows[r].size(); ++c) {
       if (c) out += ", ";
-      out += "\"" + JsonEscape(header[c]) + "\": " + CellToJson(rows[r][c]);
+      out += '"';
+      out += JsonEscape(header[c]);
+      out += "\": ";
+      out += CellToJson(rows[r][c]);
     }
     out += r + 1 < rows.size() ? "},\n" : "}\n";
   }
-  out += indent + " ]}";
+  out += indent;
+  out += " ]}";
   return out;
 }
 
 inline std::string ContextToJson(const BenchContext& ctx) {
   std::string out = "{\n";
-  out += "  \"bench\": \"" + JsonEscape(ctx.name) + "\",\n";
-  out += "  \"reproduces\": \"" + JsonEscape(ctx.paper_ref) + "\",\n";
-  out += "  \"scale\": \"" + JsonEscape(ctx.scale) + "\",\n";
-  out += "  \"tables\": [\n";
+  out += "  \"bench\": \"";
+  out += JsonEscape(ctx.name);
+  out += "\",\n  \"reproduces\": \"";
+  out += JsonEscape(ctx.paper_ref);
+  out += "\",\n  \"scale\": \"";
+  out += JsonEscape(ctx.scale);
+  out += "\",\n  \"tables\": [\n";
   for (size_t t = 0; t < ctx.tables.size(); ++t) {
     out += TableToJson(ctx.tables[t].first, ctx.tables[t].second, "    ");
     out += t + 1 < ctx.tables.size() ? ",\n" : "\n";

@@ -53,6 +53,7 @@ StatusOr<GrassResult> GrassSummarize(const Graph& graph,
   // emits density superedges at the end.
   for (SupernodeId a : summary.ActiveSupernodes()) {
     std::vector<SupernodeId> nb;
+    // lint: hash-order-ok(collects the full incident set for bulk erasure; the erased state is order-independent)
     for (const auto& [c, w] : summary.superedges(a)) {
       (void)w;
       if (c >= a) nb.push_back(c);

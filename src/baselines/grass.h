@@ -36,7 +36,7 @@ struct GrassResult {
 
 // Merges until at most `target_supernodes` supernodes remain. Fails with
 // kInvalidArgument on target_supernodes == 0 or sample_pairs_c <= 0.
-StatusOr<GrassResult> GrassSummarize(const Graph& graph,
+[[nodiscard]] StatusOr<GrassResult> GrassSummarize(const Graph& graph,
                                      uint32_t target_supernodes,
                                      const GrassConfig& config = {});
 

@@ -35,7 +35,7 @@ struct S2lResult {
 };
 
 // Fails with kInvalidArgument on target_supernodes == 0.
-StatusOr<S2lResult> S2lSummarize(const Graph& graph,
+[[nodiscard]] StatusOr<S2lResult> S2lSummarize(const Graph& graph,
                                  uint32_t target_supernodes,
                                  const S2lConfig& config = {});
 

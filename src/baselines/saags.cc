@@ -87,6 +87,7 @@ StatusOr<SaagsResult> SaagsSummarize(const Graph& graph,
   SummaryGraph& summary = result.summary;
   for (SupernodeId a : summary.ActiveSupernodes()) {
     std::vector<SupernodeId> nb;
+    // lint: hash-order-ok(collects the full incident set for bulk erasure; the erased state is order-independent)
     for (const auto& [c, w] : summary.superedges(a)) {
       (void)w;
       if (c >= a) nb.push_back(c);

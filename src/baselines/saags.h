@@ -36,7 +36,7 @@ struct SaagsResult {
 
 // Fails with kInvalidArgument on target_supernodes == 0 or a degenerate
 // sketch shape (width or depth of 0).
-StatusOr<SaagsResult> SaagsSummarize(const Graph& graph,
+[[nodiscard]] StatusOr<SaagsResult> SaagsSummarize(const Graph& graph,
                                      uint32_t target_supernodes,
                                      const SaagsConfig& config = {});
 

@@ -25,13 +25,13 @@ struct SsummConfig {
 // Summarizes `graph` to at most `budget_bits` bits (Eq. 3). Inputs are
 // validated like SummarizeGraph's (kInvalidArgument on a negative/NaN
 // budget or non-positive max_iterations).
-StatusOr<SummarizationResult> SsummSummarize(const Graph& graph,
+[[nodiscard]] StatusOr<SummarizationResult> SsummSummarize(const Graph& graph,
                                              double budget_bits,
                                              const SsummConfig& config = {});
 
 // Convenience wrapper taking a compression ratio; rejects ratios outside
 // (0, 1] with kInvalidArgument.
-StatusOr<SummarizationResult> SsummSummarizeToRatio(
+[[nodiscard]] StatusOr<SummarizationResult> SsummSummarizeToRatio(
     const Graph& graph, double ratio, const SsummConfig& config = {});
 
 }  // namespace pegasus

@@ -40,13 +40,14 @@ struct PsbWriteOptions {
 };
 
 // Writes `layout` as a PSB1 file at `path`. kDataLoss on I/O failure.
+[[nodiscard]]
 Status SaveSummaryBinary(const SummaryLayout& layout, const std::string& path,
                          const PsbWriteOptions& opts = {});
 
 // Reads a PSB1 file back into a mutable SummaryGraph (full checksum
 // verification + structural validation). kNotFound if the file cannot be
 // opened, kDataLoss naming the violation otherwise.
-StatusOr<SummaryGraph> LoadSummaryBinary(const std::string& path);
+[[nodiscard]] StatusOr<SummaryGraph> LoadSummaryBinary(const std::string& path);
 
 // True if the file at `path` starts with the PSB1 magic. Non-existent or
 // short files sniff false (the caller's loader will produce the real
@@ -54,12 +55,14 @@ StatusOr<SummaryGraph> LoadSummaryBinary(const std::string& path);
 bool SniffPsbMagic(const std::string& path);
 
 // Reads a whole file into memory. kNotFound / kDataLoss.
+[[nodiscard]]
 StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
 
 // Linear structural pass over decoded/mapped arrays: CSR offset arrays
 // start at 0, ascend, and end at the declared totals; every stored id is
 // in range; edge rows strictly ascend (the canonical order); weights are
 // nonzero. Cheap enough to run on every arena map.
+[[nodiscard]]
 Status CheckLayoutBounds(const SummaryLayout& layout, const std::string& path);
 
 // Shared header/body count validation (text and binary loaders): every
@@ -67,7 +70,7 @@ Status CheckLayoutBounds(const SummaryLayout& layout, const std::string& path);
 // label, i.e. the declared count must equal the number of distinct labels.
 // kDataLoss naming both numbers otherwise. Labels themselves must already
 // be < declared_supernodes.
-Status ValidateSummaryCounts(uint64_t declared_supernodes,
+[[nodiscard]] Status ValidateSummaryCounts(uint64_t declared_supernodes,
                              uint64_t distinct_labels,
                              const std::string& path);
 
@@ -79,6 +82,7 @@ Status ValidateSummaryCounts(uint64_t declared_supernodes,
 // endpoints with equal weight), the header superedge count against the
 // CSR (2·|P| = slots + self-loops), and bitwise recomputation of the five
 // statistics sections and two density sections from the structural ones.
+[[nodiscard]]
 Status ValidatePsb(const uint8_t* data, size_t size, const std::string& path);
 
 }  // namespace pegasus

@@ -41,7 +41,7 @@ class DynamicSummary {
   // rebuild_fraction, plus whatever the summarizer rejects (ratio outside
   // (0, 1], bad config, out-of-range targets). Once created, every later
   // rebuild reuses the validated inputs and cannot fail.
-  static StatusOr<DynamicSummary> Create(Graph graph,
+  [[nodiscard]] static StatusOr<DynamicSummary> Create(Graph graph,
                                          std::vector<NodeId> targets,
                                          Options options);
 

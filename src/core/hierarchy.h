@@ -30,7 +30,7 @@ class SummaryHierarchy {
   // empty or non-strictly-decreasing ratio sequence, plus whatever the
   // summarizer rejects (bad config, ratios outside (0, 1]), prefixed
   // with the offending level.
-  static StatusOr<SummaryHierarchy> Build(
+  [[nodiscard]] static StatusOr<SummaryHierarchy> Build(
       const Graph& graph, const std::vector<NodeId>& targets,
       const std::vector<double>& ratios, const PegasusConfig& config = {});
 

@@ -87,7 +87,7 @@ struct SummarizationResult {
 //                        beta outside [0, 1]; max_iterations <= 0;
 //                        num_threads < 0; max_forced_rounds < 0
 //   * kOutOfRange      — a target node >= graph.num_nodes()
-Status ValidateSummarizationInputs(const Graph& graph,
+[[nodiscard]] Status ValidateSummarizationInputs(const Graph& graph,
                                    const std::vector<NodeId>& targets,
                                    double budget_bits,
                                    const PegasusConfig& config);
@@ -97,13 +97,13 @@ Status ValidateSummarizationInputs(const Graph& graph,
 // ratio * graph.SizeInBits() for a target compression ratio. Fails with
 // the typed ValidateSummarizationInputs errors instead of silently
 // running on (or asserting about) nonsensical inputs.
-StatusOr<SummarizationResult> SummarizeGraph(
+[[nodiscard]] StatusOr<SummarizationResult> SummarizeGraph(
     const Graph& graph, const std::vector<NodeId>& targets,
     double budget_bits, const PegasusConfig& config = {});
 
 // Convenience wrapper taking a compression ratio; rejects ratios outside
 // (0, 1] with kInvalidArgument.
-StatusOr<SummarizationResult> SummarizeGraphToRatio(
+[[nodiscard]] StatusOr<SummarizationResult> SummarizeGraphToRatio(
     const Graph& graph, const std::vector<NodeId>& targets, double ratio,
     const PegasusConfig& config = {});
 
@@ -112,7 +112,7 @@ StatusOr<SummarizationResult> SummarizeGraphToRatio(
 // smaller budget (see SummaryHierarchy). The initial summary's partition
 // and superedges are taken as-is; a node-count mismatch between `initial`
 // and `graph` is kInvalidArgument.
-StatusOr<SummarizationResult> SummarizeGraphFrom(
+[[nodiscard]] StatusOr<SummarizationResult> SummarizeGraphFrom(
     const Graph& graph, const std::vector<NodeId>& targets,
     double budget_bits, SummaryGraph initial,
     const PegasusConfig& config = {});

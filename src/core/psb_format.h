@@ -194,6 +194,7 @@ std::string SerializeHeader(const PsbHeader& header);
 // counts. `file_size` is the full file length (payload bounds are checked
 // against it); `data` needs only the first kTablePrefixBytes bytes.
 // Errors are kDataLoss with messages prefixed by `path`.
+[[nodiscard]]
 StatusOr<PsbHeader> ParsePsbHeader(const uint8_t* data, size_t size,
                                    uint64_t file_size,
                                    const std::string& path);
@@ -217,7 +218,7 @@ struct PsbDecoded {
 // Decodes a full PSB1 byte image. Always validates the header (above);
 // verifies per-section checksums when `verify_checksums` (an error names
 // the failing section). Purely byte-wise: correct on any host.
-StatusOr<PsbDecoded> DecodePsb(const uint8_t* data, size_t size,
+[[nodiscard]] StatusOr<PsbDecoded> DecodePsb(const uint8_t* data, size_t size,
                                const std::string& path,
                                bool verify_checksums);
 
@@ -225,6 +226,7 @@ StatusOr<PsbDecoded> DecodePsb(const uint8_t* data, size_t size,
 // been parsed: recomputes each payload's FNV-1a 64 and fails with a
 // message naming the first mismatching section. Shared by DecodePsb and
 // the arena/validator paths.
+[[nodiscard]]
 Status VerifySectionChecksums(const uint8_t* data, const PsbHeader& header,
                               const std::string& path);
 

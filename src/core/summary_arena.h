@@ -54,7 +54,7 @@ class SummaryArena {
 
   // Maps (or decodes) the PSB1 file at `path`. kNotFound if it cannot be
   // opened, kDataLoss naming the violation otherwise.
-  static StatusOr<std::shared_ptr<const SummaryArena>> Map(
+  [[nodiscard]] static StatusOr<std::shared_ptr<const SummaryArena>> Map(
       const std::string& path, const Options& opts = {});
 
   ~SummaryArena();

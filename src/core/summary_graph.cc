@@ -74,6 +74,7 @@ SupernodeId SummaryGraph::MergeSupernodes(SupernodeId a, SupernodeId b) {
   // the winner first also removes the {winner, loser} back-pointer from the
   // loser's map, so that pair is decremented exactly once.
   for (SupernodeId x : {winner, loser}) {
+    // lint: hash-order-ok(bulk erasure; the final adjacency state and the decrement count are order-independent)
     for (const auto& [c, w] : adjacency_[x]) {
       (void)w;
       if (c != x) adjacency_[c].erase(x);
@@ -96,6 +97,7 @@ std::vector<SummaryGraph::CanonicalSuperedge> SummaryGraph::CanonicalSuperedges(
     SupernodeId a) const {
   std::vector<CanonicalSuperedge> out;
   out.reserve(adjacency_[a].size());
+  // lint: hash-order-ok(this IS the canonicalization point; sorted immediately below)
   for (const auto& [b, w] : adjacency_[a]) out.push_back({b, w});
   std::sort(out.begin(), out.end(),
             [](const CanonicalSuperedge& x, const CanonicalSuperedge& y) {
@@ -124,6 +126,7 @@ void SummaryGraph::SetSuperedge(SupernodeId a, SupernodeId b,
 
 uint64_t SummaryGraph::ClearSuperedgesOf(SupernodeId a) {
   const uint64_t removed = adjacency_[a].size();
+  // lint: hash-order-ok(bulk erasure of every incident superedge; result is order-independent)
   for (const auto& [c, w] : adjacency_[a]) {
     (void)w;
     if (c != a) adjacency_[c].erase(a);
@@ -143,6 +146,7 @@ bool SummaryGraph::EraseSuperedge(SupernodeId a, SupernodeId b) {
 uint32_t SummaryGraph::MaxSuperedgeWeight() const {
   uint32_t best = 1;
   for (SupernodeId a = 0; a < adjacency_.size(); ++a) {
+    // lint: hash-order-ok(max over uint32 weights is commutative; every enumeration order yields the same maximum)
     for (const auto& [c, w] : adjacency_[a]) {
       (void)c;
       best = std::max(best, w);
@@ -168,6 +172,7 @@ Graph SummaryGraph::Reconstruct() const {
   GraphBuilder builder(num_nodes());
   for (SupernodeId a = 0; a < adjacency_.size(); ++a) {
     if (!alive_[a]) continue;
+    // lint: hash-order-ok(GraphBuilder::Build sorts and dedups the edge set; insertion order never reaches the CSR)
     for (const auto& [b, w] : adjacency_[a]) {
       (void)w;
       if (b < a) continue;  // each unordered pair once

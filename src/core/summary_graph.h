@@ -94,6 +94,11 @@ class SummaryGraph {
 
   // --- Superedges ----------------------------------------------------------
 
+  // Contract (see the header comment): callers may iterate this only when
+  // their output is provably enumeration-order-insensitive (membership
+  // tests, counters, bulk erasure, results sorted before use); every
+  // order-sensitive read path iterates CanonicalSuperedges() instead.
+  // lint: hash-order-ok(order-insensitive consumers only; canonical reads go through CanonicalSuperedges)
   const AdjacencyMap& superedges(SupernodeId a) const { return adjacency_[a]; }
 
   // One superedge of the canonical (ascending-neighbor) adjacency order.

@@ -37,10 +37,11 @@ namespace pegasus {
 
 // Writes the summary to `path`. kDataLoss on I/O failure (Status converts
 // to bool, true = OK).
+[[nodiscard]]
 Status SaveSummary(const SummaryGraph& summary, const std::string& path);
 
 // Reads a summary previously written by SaveSummary.
-StatusOr<SummaryGraph> LoadSummary(const std::string& path);
+[[nodiscard]] StatusOr<SummaryGraph> LoadSummary(const std::string& path);
 
 }  // namespace pegasus
 

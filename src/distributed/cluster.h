@@ -30,7 +30,7 @@ class SummaryCluster {
   // kInvalidArgument when the partition does not cover the graph's nodes,
   // plus whatever the summarizer rejects (bad budget/config), prefixed
   // with the offending machine.
-  static StatusOr<SummaryCluster> Build(const Graph& graph,
+  [[nodiscard]] static StatusOr<SummaryCluster> Build(const Graph& graph,
                                         const Partition& partition,
                                         double budget_bits_per_machine,
                                         const PegasusConfig& config = {});

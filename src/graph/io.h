@@ -22,11 +22,11 @@
 namespace pegasus {
 
 // Loads a graph from an edge-list file.
-StatusOr<Graph> LoadEdgeList(const std::string& path);
+[[nodiscard]] StatusOr<Graph> LoadEdgeList(const std::string& path);
 
 // Writes the graph as a canonical "u v" edge list. kDataLoss on I/O
 // failure (Status converts to bool, true = OK).
-Status SaveEdgeList(const Graph& graph, const std::string& path);
+[[nodiscard]] Status SaveEdgeList(const Graph& graph, const std::string& path);
 
 }  // namespace pegasus
 

@@ -61,6 +61,7 @@ bool LocalMoves(const WeightedGraph& wg, std::vector<uint32_t>& community,
   rng.Shuffle(order);
 
   std::unordered_map<uint32_t, double> links;  // community -> edge weight
+  std::vector<std::pair<uint32_t, double>> link_list;
   bool any_move = false;
   for (int sweep = 0; sweep < config.max_move_sweeps; ++sweep) {
     bool moved_this_sweep = false;
@@ -76,7 +77,14 @@ bool LocalMoves(const WeightedGraph& wg, std::vector<uint32_t>& community,
       uint32_t best_c = old_c;
       double best_gain = links[old_c] - community_degree[old_c] *
                                             node_degree[u] / m2;
-      for (const auto& [c, w] : links) {
+      // Candidates are evaluated in ascending community id: the first
+      // community to reach the best gain wins the tie, so scanning the
+      // hash map directly would make the winner — and with it the whole
+      // partition — depend on the standard library's enumeration order.
+      // lint: hash-order-ok(sorted into link_list before any order-sensitive use)
+      link_list.assign(links.begin(), links.end());
+      std::sort(link_list.begin(), link_list.end());
+      for (const auto& [c, w] : link_list) {
         if (c == old_c) continue;
         const double gain =
             w - community_degree[c] * node_degree[u] / m2;
@@ -132,7 +140,12 @@ WeightedGraph Aggregate(const WeightedGraph& wg,
     }
   }
   for (uint32_t c = 0; c < num_communities; ++c) {
+    // Sorted snapshot: leaving the pairs in hash order would leak the
+    // standard library's enumeration order into the next level's float
+    // accumulation (links[...] += w) and tie-breaking.
+    // lint: hash-order-ok(sorted immediately below)
     agg.adjacency[c].assign(acc[c].begin(), acc[c].end());
+    std::sort(agg.adjacency[c].begin(), agg.adjacency[c].end());
   }
   return agg;
 }

@@ -79,7 +79,12 @@ Level Coarsen(const Level& fine, uint32_t coarse_count) {
     }
   }
   for (uint32_t c = 0; c < coarse_count; ++c) {
+    // Sorted snapshot: coarse adjacency order decides heavy-edge-match
+    // ties, BFS region growth, and refinement scan order downstream, so
+    // hash order here would make the whole partition stdlib-dependent.
+    // lint: hash-order-ok(sorted immediately below)
     coarse.adjacency[c].assign(acc[c].begin(), acc[c].end());
+    std::sort(coarse.adjacency[c].begin(), coarse.adjacency[c].end());
   }
   return coarse;
 }

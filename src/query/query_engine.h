@@ -101,12 +101,14 @@ struct QueryRequest {
 //   * kInvalidArgument   — NaN param; param >= 1; negative param other
 //                          than the sentinel; a param on a parameterless
 //                          family; max_iterations <= 0; tolerance < 0/NaN
+[[nodiscard]]
 StatusOr<QueryRequest> CanonicalizeRequest(const QueryRequest& request,
                                            NodeId num_nodes);
 
 // Allocation-free form: validates and canonicalizes `request` in place.
 // The batch executor uses this on a bulk-copied request vector so the
 // validation pass costs no per-request temporaries.
+[[nodiscard]]
 Status CanonicalizeRequestInPlace(QueryRequest& request, NodeId num_nodes);
 
 // Exactly one of the payload vectors is non-empty, matching the request's
@@ -138,13 +140,13 @@ QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request);
 // count. Fails with the first request's canonicalization error (message
 // names the request index). Resident callers should hold a QueryService
 // instead — it keeps the pool and the cache alive across batches.
-StatusOr<std::vector<QueryResult>> AnswerBatch(
+[[nodiscard]] StatusOr<std::vector<QueryResult>> AnswerBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
     Executor& pool);
 
 // Convenience overload owning a pool of QueryWorkerCount(num_threads)
 // workers for the call.
-StatusOr<std::vector<QueryResult>> AnswerBatch(
+[[nodiscard]] StatusOr<std::vector<QueryResult>> AnswerBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
     int num_threads = 0);
 

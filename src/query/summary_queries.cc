@@ -29,6 +29,7 @@ std::vector<NodeId> SummaryNeighbors(const SummaryGraph& summary, NodeId q) {
   // Hash-map enumeration is safe here (summary_graph.h's canonical-order
   // rule exempts order-insensitive reads): the result is sorted below, so
   // every enumeration order yields the same bytes.
+  // lint: hash-order-ok(result vector is sorted before return)
   for (const auto& [b, w] : summary.superedges(a)) {
     (void)w;
     for (NodeId v : summary.members(b)) {
@@ -65,6 +66,7 @@ std::vector<uint32_t> FastSummaryHopDistances(const SummaryGraph& summary,
   // BFS levels are identical for every neighbor enumeration order, so
   // this stays on the O(|P|) hash-map walk — no per-supernode snapshot.
   std::vector<SupernodeId> queue;
+  // lint: hash-order-ok(BFS level assignment; dist values are identical for every neighbor enumeration order)
   for (const auto& [b, w] : summary.superedges(a0)) {
     (void)w;
     if (super_dist[b] == kUnreachable) {
@@ -74,6 +76,7 @@ std::vector<uint32_t> FastSummaryHopDistances(const SummaryGraph& summary,
   }
   for (size_t head = 0; head < queue.size(); ++head) {
     const SupernodeId a = queue[head];
+    // lint: hash-order-ok(BFS level assignment; dist values are identical for every neighbor enumeration order)
     for (const auto& [b, w] : summary.superedges(a)) {
       (void)w;
       if (super_dist[b] == kUnreachable) {

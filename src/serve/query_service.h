@@ -146,7 +146,7 @@ class GlobalResultCache {
 
 // Canonicalizes every request (CanonicalizeRequest) or fails with the
 // first offender's error, prefixed with its request index.
-StatusOr<std::vector<QueryRequest>> CanonicalizeBatch(
+[[nodiscard]] StatusOr<std::vector<QueryRequest>> CanonicalizeBatch(
     const std::vector<QueryRequest>& requests, NodeId num_nodes);
 
 // The batch executor shared by QueryService::Answer and the AnswerBatch
@@ -167,7 +167,7 @@ std::vector<QueryResult> RunCanonicalBatch(
 // build. Either way the returned view answers every query family with
 // identical bytes (the two backings are the same arrays). This is what
 // `pegasus serve/query` and the server's publish directive call.
-StatusOr<std::shared_ptr<const SummaryView>> LoadServingView(
+[[nodiscard]] StatusOr<std::shared_ptr<const SummaryView>> LoadServingView(
     const std::string& path);
 
 }  // namespace serve
@@ -221,11 +221,12 @@ class QueryService {
   // (view, epoch) snapshot. Errors: kFailedPrecondition before the first
   // Publish; kInvalidArgument / kOutOfRange from CanonicalizeRequest
   // (message names the offending request index).
+  [[nodiscard]]
   StatusOr<BatchResult> Answer(const std::vector<QueryRequest>& requests);
 
   // Single-request convenience; same validation, no pool dispatch (global
   // families still go through the cache).
-  StatusOr<QueryResult> AnswerOne(const QueryRequest& request);
+  [[nodiscard]] StatusOr<QueryResult> AnswerOne(const QueryRequest& request);
 
   struct CacheStats {
     uint64_t hits = 0;

@@ -139,6 +139,7 @@ void Server::Handle(Connection& conn) {
       // (best effort) and drop the connection. Clean EOF and socket
       // errors just end the loop.
       if (frame.status().code() == StatusCode::kInvalidArgument) {
+        // lint: status-ignored-ok(best-effort error report while dropping a corrupt connection; a failed write changes nothing)
         (void)WriteFrame(conn.fd, FrameType::kError,
                          frame.status().ToString());
       }

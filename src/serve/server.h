@@ -56,7 +56,7 @@ class Server {
 
   // Binds 127.0.0.1:options.port, starts listening, and spawns the accept
   // thread. kInternal with the errno text on any socket failure.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   // Stops accepting, unblocks and joins every connection thread, closes
   // all sockets. Idempotent; safe to call from any thread except a
@@ -93,10 +93,11 @@ class Server {
   void AcceptLoop();
   void Handle(Connection& conn);
   // Routes one request frame; on OK *response is the kOk body.
-  Status Dispatch(const Frame& frame, Connection& conn,
+  [[nodiscard]] Status Dispatch(const Frame& frame, Connection& conn,
                   std::string* response);
-  Status HandleBatch(const std::string& body, Connection& conn,
+  [[nodiscard]] Status HandleBatch(const std::string& body, Connection& conn,
                      std::string* response);
+  [[nodiscard]]
   Status HandlePublish(const std::string& body, std::string* response);
   // Joins and closes connections whose handler has returned.
   void ReapFinishedLocked();

@@ -25,12 +25,14 @@ namespace pegasus::serve {
 // Structural errors (unknown kind, missing node token) are reported here
 // with the valid-kind list; semantic validation (ranges, NaN) is
 // CanonicalizeRequest, surfaced by the caller.
+[[nodiscard]]
 Status ParseQueryLine(const std::string& line, QueryRequest* request);
 
 // Parses a whole batch: one query per line, blank lines and '#' comments
 // skipped, every line canonicalized against a view of `num_nodes` nodes.
 // The first bad line fails the batch with "line <n>: " context (1-based,
 // counting every line including skipped ones).
+[[nodiscard]]
 StatusOr<std::vector<QueryRequest>> ParseBatchText(const std::string& text,
                                                    NodeId num_nodes);
 

@@ -46,8 +46,9 @@ std::string EncodeFrame(FrameType type, std::string_view body);
 //   kNotFound   clean EOF at a frame boundary (peer closed politely)
 //   kDataLoss   EOF or socket error inside a frame
 //   kInvalidArgument  length prefix above max_payload
+[[nodiscard]]
 StatusOr<Frame> ReadFrame(int fd, uint32_t max_payload = kMaxFramePayload);
-Status WriteFrame(int fd, FrameType type, std::string_view body);
+[[nodiscard]] Status WriteFrame(int fd, FrameType type, std::string_view body);
 
 }  // namespace pegasus::serve
 

@@ -64,23 +64,23 @@ class [[nodiscard]] Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string m) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string m) {
     return {StatusCode::kInvalidArgument, std::move(m)};
   }
-  static Status OutOfRange(std::string m) {
+  [[nodiscard]] static Status OutOfRange(std::string m) {
     return {StatusCode::kOutOfRange, std::move(m)};
   }
-  static Status NotFound(std::string m) {
+  [[nodiscard]] static Status NotFound(std::string m) {
     return {StatusCode::kNotFound, std::move(m)};
   }
-  static Status FailedPrecondition(std::string m) {
+  [[nodiscard]] static Status FailedPrecondition(std::string m) {
     return {StatusCode::kFailedPrecondition, std::move(m)};
   }
-  static Status DataLoss(std::string m) {
+  [[nodiscard]] static Status DataLoss(std::string m) {
     return {StatusCode::kDataLoss, std::move(m)};
   }
-  static Status Internal(std::string m) {
+  [[nodiscard]] static Status Internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};
   }
 

@@ -1,0 +1,8 @@
+# pegasus-lint fixture: the reassoc rule over CMake files. Scanned by
+# tools/lint_selftest.py, never included by any build.
+
+set(CMAKE_CXX_FLAGS "${CMAKE_CXX_FLAGS} -ffast-math")  # expect-lint: reassoc
+add_compile_options(-Ofast)  # expect-lint: reassoc
+
+# Ordinary optimization flags are clean.
+add_compile_options(-O2)

@@ -1,0 +1,72 @@
+// pegasus-lint fixture: the hash-order rule. Scanned by
+// tools/lint_selftest.py, never compiled. See README.md for the
+// expect-lint convention.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Store {
+  std::unordered_map<int, int> table;
+  std::unordered_set<int> keys;
+};
+
+// Range-for over a hash-ordered member: flagged.
+int IterateMember(const Store& s) {
+  int sum = 0;
+  for (const auto& kv : s.table) {  // expect-lint: hash-order
+    sum += kv.second;
+  }
+  return sum;
+}
+
+// Range-for over a hash-ordered local: flagged.
+int IterateLocal() {
+  std::unordered_set<int> seen;
+  seen.insert(1);
+  int count = 0;
+  for (int k : seen) {  // expect-lint: hash-order
+    count += k;
+  }
+  return count;
+}
+
+// Explicit iterator walk: flagged.
+int BeginWalk(const Store& s) {
+  int sum = 0;
+  for (auto it = s.table.begin(); it != s.table.end(); ++it) {  // expect-lint: hash-order
+    sum += it->second;
+  }
+  return sum;
+}
+
+// Reasoned suppression: clean (the selftest fails on any unexpected
+// report, which is what pins this).
+int SuppressedIterate(const Store& s) {
+  int sum = 0;
+  // lint: hash-order-ok(sum is commutative; every enumeration order yields the same total)
+  for (const auto& kv : s.table) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+// Bare suppression: the empty reason is itself a violation AND it does
+// not silence the loop it precedes.
+int BareSuppression(const Store& s) {
+  int sum = 0;
+  // lint: hash-order-ok()  -- expect-lint: hash-order
+  for (const auto& kv : s.table) {  // expect-lint: hash-order
+    sum += kv.second;
+  }
+  return sum;
+}
+
+// Membership tests and point lookups never depend on enumeration order:
+// clean.
+bool Lookup(const Store& s, int k) {
+  return s.keys.count(k) != 0 || s.table.find(k) != s.table.end();
+}
+
+}  // namespace fixture

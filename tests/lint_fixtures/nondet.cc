@@ -1,0 +1,36 @@
+// pegasus-lint fixture: the nondet rule. Scanned by
+// tools/lint_selftest.py, never compiled. See README.md.
+
+#include <chrono>  // expect-lint: nondet
+#include <cstdlib>
+
+namespace fixture {
+
+// Libc PRNG outside src/util/rng.*: flagged.
+int RawRand() {
+  return std::rand();  // expect-lint: nondet
+}
+
+// Hardware entropy: flagged.
+unsigned RawEntropy() {
+  std::random_device rd;  // expect-lint: nondet
+  return rd();
+}
+
+// Raw clock reads outside src/util/timer.* and bench/: flagged.
+long RawClock() {
+  const auto t0 = std::chrono::steady_clock::now();  // expect-lint: nondet
+  return t0.time_since_epoch().count();
+}
+
+long RawOsClock() {
+  return static_cast<long>(time(nullptr));  // expect-lint: nondet
+}
+
+// Reasoned suppression: clean.
+int SuppressedEntropy() {
+  // lint: nondet-ok(fixture: demonstrates a reasoned suppression)
+  return std::rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// pegasus-lint fixture: the reassoc rule (C++ side; the CMake side is
+// fast_math.cmake). Scanned by tools/lint_selftest.py, never compiled.
+
+namespace fixture {
+
+// An OpenMP reduction reassociates the floating-point sum: flagged.
+double SumReduction(const double* xs, int n) {
+  double total = 0.0;
+#pragma omp simd reduction(+ : total)  // expect-lint: reassoc
+  for (int i = 0; i < n; ++i) total += xs[i];
+  return total;
+}
+
+// Fast-math via pragma: flagged.
+#pragma GCC optimize("fast-math")  // expect-lint: reassoc
+double SumFast(const double* xs, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += xs[i];
+  return total;
+}
+
+// Reasoned suppression: clean.
+double SumSuppressed(const double* xs, int n) {
+  double total = 0.0;
+  // lint: reassoc-ok(fixture: this reduction feeds a diagnostic, not a golden)
+#pragma omp simd reduction(+ : total)
+  for (int i = 0; i < n; ++i) total += xs[i];
+  return total;
+}
+
+}  // namespace fixture

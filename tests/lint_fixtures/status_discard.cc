@@ -1,0 +1,43 @@
+// pegasus-lint fixture: the status-discard rule. Scanned by
+// tools/lint_selftest.py, never compiled (Status/StatusOr are only
+// declared as far as the token scanner needs). See README.md.
+
+namespace fixture {
+
+class Status;
+template <typename T>
+class StatusOr;
+
+Status MakeThing();
+StatusOr<int> ParseThing(const char* text);
+
+struct Writer {
+  Status Flush();
+};
+
+// Full-statement discarded calls: flagged.
+void Discards(Writer& w) {
+  MakeThing();         // expect-lint: status-discard
+  ParseThing("four");  // expect-lint: status-discard
+  w.Flush();           // expect-lint: status-discard
+}
+
+// A (void)-cast is still a silently dropped error: flagged.
+void VoidCast() {
+  (void)MakeThing();  // expect-lint: status-discard
+}
+
+// Consumed results are clean.
+bool Consumes(Writer& w) {
+  if (!MakeThing()) return false;
+  auto parsed = ParseThing("four");
+  return static_cast<bool>(w.Flush()) && static_cast<bool>(parsed);
+}
+
+// Reasoned suppression: clean.
+void SuppressedDiscard() {
+  // lint: status-ignored-ok(fixture: best-effort call whose failure changes nothing)
+  MakeThing();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// pegasus-lint fixture: miniature psb_format.h for the versioning-rule
+// lifecycle test in tools/lint_selftest.py. The selftest copies this
+// tree to a temp dir, locks it, edits the enum, and asserts the rule
+// fires at the enum's line until kPsbVersion is bumped and the lock
+// refreshed.
+
+#ifndef FIXTURE_CORE_PSB_FORMAT_H_
+#define FIXTURE_CORE_PSB_FORMAT_H_
+
+#include <cstdint>
+
+namespace fixture {
+
+enum class SectionId : uint8_t {
+  kHeader = 0,
+  kMembers = 1,
+  kAdjacency = 2,
+};
+
+constexpr uint8_t kPsbVersion = 1;
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CORE_PSB_FORMAT_H_

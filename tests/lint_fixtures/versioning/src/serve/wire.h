@@ -1,0 +1,21 @@
+// pegasus-lint fixture: miniature wire.h for the versioning-rule
+// lifecycle test in tools/lint_selftest.py (see ../core/psb_format.h).
+
+#ifndef FIXTURE_SERVE_WIRE_H_
+#define FIXTURE_SERVE_WIRE_H_
+
+#include <cstdint>
+
+namespace fixture {
+
+enum class FrameType : uint8_t {
+  kBatch = 1,
+  kOk = 2,
+  kError = 3,
+};
+
+constexpr uint8_t kWireVersion = 1;
+
+}  // namespace fixture
+
+#endif  // FIXTURE_SERVE_WIRE_H_

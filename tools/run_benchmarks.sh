@@ -33,6 +33,11 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 mkdir -p "$OUT_DIR"
+# Absolutize both paths so artifacts land in the same place no matter
+# where the script (or a bench that chdirs) runs from — CI collects
+# OUT_DIR by the path it passed in, not by the benches' cwd.
+BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
+OUT_DIR="$(cd "$OUT_DIR" && pwd)"
 # Drop artifacts from earlier runs so the final "no BENCH_*.json" guard
 # can't be satisfied by stale files.
 rm -f "$OUT_DIR"/BENCH_*.json
