@@ -1,0 +1,301 @@
+// Sharded serving benchmark (ISSUE 9 tentpole).
+//
+// Sweeps the shard count over {1, 2, 4, 8} with an in-process worker
+// fleet behind a real loopback-socket Coordinator and reports, per shard
+// count:
+//
+//   * build_s     — shard-build wall time (partition + per-shard
+//                   summarize + PSB + manifest),
+//   * qps         — mixed-batch scatter-gather throughput through the
+//                   coordinator,
+//   * p50/p99_ms  — single-request latency of a scored (scatter-to-all)
+//                   family,
+//   * pr_mae      — mean absolute error of merged PageRank scores vs the
+//                   1-shard reference,
+//   * nbr_jacc    — mean Jaccard similarity of neighbors answers vs the
+//                   1-shard reference.
+//
+// Correctness gate: at 1 shard the coordinator's answers must be
+// byte-identical (bit-exact doubles) to an in-process QueryService over
+// the same shard PSB. Any mismatch fails the bench — and with it
+// tools/run_benchmarks.sh, the bench_smoke ctest, and CI.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
+#include "src/query/query_engine.h"
+#include "src/serve/query_service.h"
+#include "src/shard/coordinator.h"
+#include "src/shard/manifest.h"
+#include "src/shard/shard_build.h"
+#include "src/shard/worker.h"
+
+namespace pegasus::bench {
+namespace {
+
+struct Fleet {
+  std::vector<std::unique_ptr<shard::ShardWorker>> workers;
+  std::unique_ptr<shard::Coordinator> coordinator;
+};
+
+StatusOr<Fleet> StartFleet(const std::string& manifest_path,
+                           uint32_t num_shards) {
+  Fleet fleet;
+  std::vector<uint16_t> ports;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    auto worker = shard::ShardWorker::Start(manifest_path, s);
+    if (!worker) return worker.status();
+    ports.push_back((*worker)->port());
+    fleet.workers.push_back(std::move(*worker));
+  }
+  auto manifest = shard::LoadManifest(manifest_path);
+  if (!manifest) return manifest.status();
+  auto coordinator = shard::Coordinator::Connect(*std::move(manifest), ports);
+  if (!coordinator) return coordinator.status();
+  fleet.coordinator = std::move(*coordinator);
+  return fleet;
+}
+
+// Bit-exact comparison: NaNs compare equal to themselves, -0.0 != 0.0.
+bool BitIdentical(const std::vector<QueryResult>& a,
+                  const std::vector<QueryResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].neighbors != b[i].neighbors || a[i].hops != b[i].hops ||
+        a[i].scores.size() != b[i].scores.size()) {
+      return false;
+    }
+    for (size_t j = 0; j < a[i].scores.size(); ++j) {
+      if (std::bit_cast<uint64_t>(a[i].scores[j]) !=
+          std::bit_cast<uint64_t>(b[i].scores[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> sorted_ascending, double frac) {
+  if (sorted_ascending.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      frac * static_cast<double>(sorted_ascending.size() - 1) + 0.5);
+  return sorted_ascending[std::min(idx, sorted_ascending.size() - 1)];
+}
+
+double MeanJaccard(const std::vector<QueryResult>& a,
+                   const std::vector<QueryResult>& b) {
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    std::vector<NodeId> x = a[i].neighbors;
+    std::vector<NodeId> y = b[i].neighbors;
+    std::sort(x.begin(), x.end());
+    std::sort(y.begin(), y.end());
+    std::vector<NodeId> both;
+    std::set_intersection(x.begin(), x.end(), y.begin(), y.end(),
+                          std::back_inserter(both));
+    const size_t uni = x.size() + y.size() - both.size();
+    total += uni == 0 ? 1.0
+                      : static_cast<double>(both.size()) /
+                            static_cast<double>(uni);
+    ++count;
+  }
+  return count == 0 ? 1.0 : total / static_cast<double>(count);
+}
+
+int Run() {
+  Banner("bench_sharded_serving",
+         "sharded scatter-gather serving: shard-count sweep over the "
+         "coordinator + worker fleet (build time, QPS, latency, accuracy "
+         "vs the 1-shard reference; byte-identity gate at 1 shard)");
+  const DatasetScale scale = BenchScaleFromEnv();
+  NodeId synth_nodes = 0;
+  size_t batch_rounds = 0, latency_samples = 0;
+  switch (scale) {
+    case DatasetScale::kTiny:
+      synth_nodes = 1500;
+      batch_rounds = 3;
+      latency_samples = 24;
+      break;
+    case DatasetScale::kSmall:
+      synth_nodes = 6000;
+      batch_rounds = 5;
+      latency_samples = 48;
+      break;
+    case DatasetScale::kDefault:
+      synth_nodes = 20000;
+      batch_rounds = 7;
+      latency_samples = 96;
+      break;
+    case DatasetScale::kPaper:
+      synth_nodes = 80000;
+      batch_rounds = 9;
+      latency_samples = 128;
+      break;
+  }
+
+  Graph graph = GenerateBarabasiAlbert(synth_nodes, 5, 19);
+  std::printf("graph: BA, %u nodes, %llu edges\n\n", graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  // One mixed batch exercising every routing class: node-local
+  // (neighbors / hop), node-rooted scored (rwr / php), and whole-graph
+  // scored (degree / pagerank / clustering).
+  const std::vector<NodeId> nodes = SampleNodes(graph, 64, 23);
+  std::vector<QueryRequest> mixed;
+  for (NodeId v : nodes) {
+    mixed.push_back({QueryKind::kNeighbors, v, kQueryParamUseDefault, true, {}});
+  }
+  for (size_t i = 0; i < 8 && i < nodes.size(); ++i) {
+    mixed.push_back({QueryKind::kHop, nodes[i], kQueryParamUseDefault, true, {}});
+    mixed.push_back({QueryKind::kRwr, nodes[i], kQueryParamUseDefault, true, {}});
+  }
+  mixed.push_back({QueryKind::kDegree, 0, kQueryParamUseDefault, true, {}});
+  mixed.push_back({QueryKind::kPageRank, 0, kQueryParamUseDefault, true, {}});
+  mixed.push_back({QueryKind::kClustering, 0, kQueryParamUseDefault, true, {}});
+
+  Table table({"shards", "build_s", "qps", "p50_ms", "p99_ms", "pr_mae",
+               "nbr_jacc", "identical@1"});
+
+  std::vector<QueryResult> reference;  // 1-shard answers to `mixed`
+  const size_t pagerank_index = mixed.size() - 2;
+  bool gate_ok = true;
+
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    shard::ShardBuildOptions options;
+    options.num_shards = shards;
+    options.partitioner = shard::PartitionerKind::kLouvain;
+    options.ratio = 0.5;
+    options.config.seed = 3;
+    const std::string dir =
+        "bench_sharded_serving_" + std::to_string(shards);
+    auto built = shard::ShardBuild(graph, dir, options);
+    if (!built) {
+      std::fprintf(stderr, "FAIL: shard build (%u): %s\n", shards,
+                   built.status().ToString().c_str());
+      return 1;
+    }
+
+    auto fleet = StartFleet(built->manifest_path, shards);
+    if (!fleet) {
+      std::fprintf(stderr, "FAIL: fleet (%u): %s\n", shards,
+                   fleet.status().ToString().c_str());
+      return 1;
+    }
+
+    // Throughput: repeated mixed batches, best-of rounds.
+    auto first = fleet->coordinator->Answer(mixed);  // warmup + answers
+    if (!first) {
+      std::fprintf(stderr, "FAIL: answer (%u): %s\n", shards,
+                   first.status().ToString().c_str());
+      return 1;
+    }
+    double batch_secs = 0.0;
+    for (size_t rep = 0; rep < batch_rounds; ++rep) {
+      Timer timer;
+      auto batch = fleet->coordinator->Answer(mixed);
+      const double secs = timer.ElapsedSeconds();
+      if (!batch) {
+        std::fprintf(stderr, "FAIL: answer (%u): %s\n", shards,
+                     batch.status().ToString().c_str());
+        return 1;
+      }
+      if (rep == 0 || secs < batch_secs) batch_secs = secs;
+    }
+    const double qps =
+        static_cast<double>(mixed.size()) / std::max(batch_secs, 1e-9);
+
+    // Latency: single-request scatter-to-all batches (rwr), one at a
+    // time, percentile over the sample.
+    std::vector<double> latencies;
+    latencies.reserve(latency_samples);
+    for (size_t i = 0; i < latency_samples; ++i) {
+      const QueryRequest request{QueryKind::kRwr, nodes[i % nodes.size()],
+                                 kQueryParamUseDefault, true, {}};
+      Timer timer;
+      auto one = fleet->coordinator->Answer({request});
+      if (!one) {
+        std::fprintf(stderr, "FAIL: latency probe (%u): %s\n", shards,
+                     one.status().ToString().c_str());
+        return 1;
+      }
+      latencies.push_back(timer.ElapsedSeconds() * 1e3);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = Percentile(latencies, 0.50);
+    const double p99 = Percentile(latencies, 0.99);
+
+    // Accuracy vs the 1-shard reference; the 1-shard row also runs the
+    // byte-identity gate against an in-process service on the same PSB.
+    std::string identical = "-";
+    double pr_mae = 0.0, nbr_jacc = 1.0;
+    if (shards == 1) {
+      reference = first->results;
+      auto view = serve::LoadServingView(
+          shard::ShardPsbPath(built->manifest, dir, 0));
+      if (!view) {
+        std::fprintf(stderr, "FAIL: view: %s\n",
+                     view.status().ToString().c_str());
+        return 1;
+      }
+      QueryService local;
+      local.Publish(*std::move(view));
+      auto direct = local.Answer(mixed);
+      if (!direct) {
+        std::fprintf(stderr, "FAIL: direct: %s\n",
+                     direct.status().ToString().c_str());
+        return 1;
+      }
+      const bool same = BitIdentical(first->results, direct->results);
+      gate_ok = gate_ok && same;
+      identical = same ? "yes" : "NO";
+    } else {
+      const auto& pr = first->results[pagerank_index].scores;
+      const auto& pr_ref = reference[pagerank_index].scores;
+      double err = 0.0;
+      for (size_t v = 0; v < pr.size() && v < pr_ref.size(); ++v) {
+        err += std::abs(pr[v] - pr_ref[v]);
+      }
+      pr_mae = pr.empty() ? 0.0 : err / static_cast<double>(pr.size());
+      std::vector<QueryResult> nbr(first->results.begin(),
+                                   first->results.begin() + nodes.size());
+      std::vector<QueryResult> nbr_ref(reference.begin(),
+                                       reference.begin() + nodes.size());
+      nbr_jacc = MeanJaccard(nbr, nbr_ref);
+    }
+
+    table.AddRow({std::to_string(shards),
+                  FormatDouble(built->build_seconds, 3), FormatDouble(qps, 1),
+                  FormatDouble(p50, 3), FormatDouble(p99, 3),
+                  FormatDouble(pr_mae, 6), FormatDouble(nbr_jacc, 3),
+                  identical});
+  }
+
+  Finish(table,
+         "shard sweep: coordinator + in-process worker fleet over loopback "
+         "sockets; accuracy relative to the 1-shard build; identical@1 is "
+         "the byte-identity gate");
+
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: 1-shard coordinator answers diverged from the "
+                 "in-process service (byte-identity gate)\n");
+    return 1;
+  }
+  std::printf("\n1-shard byte-identity gate: OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() { return pegasus::bench::Run(); }

@@ -1,35 +1,26 @@
 #include "src/distributed/cluster.h"
 
 #include <string>
+#include <utility>
 
 #include "src/query/summary_queries.h"
+#include "src/shard/shard_build.h"
 
 namespace pegasus {
 
 StatusOr<SummaryCluster> SummaryCluster::Build(
     const Graph& graph, const Partition& partition,
     double budget_bits_per_machine, const PegasusConfig& config) {
-  if (partition.part_of.size() != graph.num_nodes()) {
-    return Status::InvalidArgument(
-        "partition covers " + std::to_string(partition.part_of.size()) +
-        " nodes, graph has " + std::to_string(graph.num_nodes()));
-  }
+  // One build path for per-shard personalized summaries: the real sharded
+  // serving stack (src/shard) and this in-process accuracy harness share
+  // shard::BuildShardSummaries, so the simulated cluster can never drift
+  // from what `pegasus shard-build` writes to disk.
+  auto summaries = shard::BuildShardSummaries(graph, partition,
+                                              budget_bits_per_machine, config);
+  if (!summaries) return summaries.status();
   SummaryCluster cluster;
   cluster.partition_ = partition;
-  const auto parts = partition.Parts();
-  cluster.summaries_.reserve(parts.size());
-  for (uint32_t i = 0; i < parts.size(); ++i) {
-    PegasusConfig machine_config = config;
-    machine_config.seed = SplitMix64(config.seed + i + 1);
-    auto machine = SummarizeGraph(graph, parts[i], budget_bits_per_machine,
-                                  machine_config);
-    if (!machine) {
-      return Status(machine.status().code(),
-                    "machine " + std::to_string(i) + ": " +
-                        machine.status().message());
-    }
-    cluster.summaries_.push_back(std::move(*machine).summary);
-  }
+  cluster.summaries_ = std::move(*summaries);
   return cluster;
 }
 

@@ -6,6 +6,15 @@
 // any inter-machine communication. This is the paper's flagship
 // application of PeGaSus: because machine i's summary is personalized to
 // V_i, queries on V_i's nodes stay accurate even at small budgets.
+//
+// This class is the IN-PROCESS accuracy harness (it feeds
+// src/distributed/experiment.h and the Fig. 12 bench). The production
+// sharded serving stack — on-disk builds, socket workers, a
+// scatter-gather coordinator — lives in src/shard and shares the same
+// build path (shard::BuildShardSummaries), so both stacks produce
+// identical per-machine summaries for a given (graph, partition, budget,
+// config). New serving code should target src/shard; see
+// docs/ARCHITECTURE.md ("Sharded serving").
 
 #ifndef PEGASUS_DISTRIBUTED_CLUSTER_H_
 #define PEGASUS_DISTRIBUTED_CLUSTER_H_

@@ -3,6 +3,14 @@
 // Given a cluster (summary-based or subgraph-based), a set of query nodes,
 // and ground-truth answers computed on the full graph, reports the mean
 // SMAPE and Spearman correlation per query type.
+//
+// Scope note: this harness measures ACCURACY of the paper's
+// communication-free scheme against the subgraph baseline; it is not the
+// serving path. The production multi-shard stack (shard builds on disk,
+// socket workers, scatter-gather coordinator) is src/shard, which builds
+// its per-shard summaries through the same shard::BuildShardSummaries
+// the SummaryCluster here delegates to — accuracy numbers from this
+// harness therefore apply verbatim to what the shard workers serve.
 
 #ifndef PEGASUS_DISTRIBUTED_EXPERIMENT_H_
 #define PEGASUS_DISTRIBUTED_EXPERIMENT_H_

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "src/serve/shard_codec.h"
 #include "src/serve/text_serving.h"
 
 namespace pegasus::serve {
@@ -146,16 +147,17 @@ void Server::Handle(Connection& conn) {
       return;
     }
     std::string response;
-    const Status status = Dispatch(*frame, conn, &response);
+    FrameType response_type = FrameType::kOk;
+    const Status status = Dispatch(*frame, conn, &response, &response_type);
     const Status write =
-        status ? WriteFrame(conn.fd, FrameType::kOk, response)
+        status ? WriteFrame(conn.fd, response_type, response)
                : WriteFrame(conn.fd, FrameType::kError, status.ToString());
     if (!write) return;
   }
 }
 
 Status Server::Dispatch(const Frame& frame, Connection& conn,
-                        std::string* response) {
+                        std::string* response, FrameType* response_type) {
   if (frame.version != kWireVersion) {
     return Status::InvalidArgument(
         "unsupported wire version " + std::to_string(frame.version) +
@@ -164,6 +166,9 @@ Status Server::Dispatch(const Frame& frame, Connection& conn,
   switch (frame.type) {
     case FrameType::kBatch:
       return HandleBatch(frame.body, conn, response);
+    case FrameType::kShardBatch:
+      *response_type = FrameType::kShardPartial;
+      return HandleShardBatch(frame.body, conn, response);
     case FrameType::kPublish:
       return HandlePublish(frame.body, response);
     case FrameType::kStats:
@@ -173,6 +178,7 @@ Status Server::Dispatch(const Frame& frame, Connection& conn,
       *response = "epoch " + std::to_string(service_.epoch()) + "\n";
       return Status::Ok();
     case FrameType::kOk:
+    case FrameType::kShardPartial:
     case FrameType::kError:
       break;  // response types are not requests
   }
@@ -181,6 +187,68 @@ Status Server::Dispatch(const Frame& frame, Connection& conn,
                 static_cast<unsigned>(frame.type));
   return Status::InvalidArgument(buf);
 }
+
+// Counts a batch against the per-connection and server-wide in-flight
+// caps. Admission happens in the constructor; ok() is false when a cap
+// (or the oversized-batch bound) rejected it, with the counters already
+// rolled back. Destruction releases whatever was admitted.
+class Server::BatchTicket {
+ public:
+  BatchTicket(Server& server, Connection& conn, size_t request_count)
+      : server_(server), conn_(conn) {
+    if (request_count > server_.options_.max_batch_requests) {
+      server_.rejected_oversized_.fetch_add(1, std::memory_order_relaxed);
+      status_ = Status::InvalidArgument(
+          "batch of " + std::to_string(request_count) +
+          " requests exceeds the per-batch cap of " +
+          std::to_string(server_.options_.max_batch_requests));
+      return;
+    }
+    const int conn_inflight =
+        conn_.inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (conn_inflight > server_.options_.max_inflight_per_connection) {
+      conn_.inflight.fetch_sub(1, std::memory_order_relaxed);
+      server_.rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      status_ = Status::FailedPrecondition(
+          "connection overloaded: in-flight batch cap " +
+          std::to_string(server_.options_.max_inflight_per_connection) +
+          " reached; retry after the pending batches drain");
+      return;
+    }
+    const int total =
+        server_.inflight_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (total > server_.options_.max_inflight_total) {
+      server_.inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+      conn_.inflight.fetch_sub(1, std::memory_order_relaxed);
+      server_.rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      status_ = Status::FailedPrecondition(
+          "server overloaded: in-flight batch cap " +
+          std::to_string(server_.options_.max_inflight_total) +
+          " reached; retry after the pending batches drain");
+      return;
+    }
+    admitted_ = true;
+  }
+
+  ~BatchTicket() {
+    if (admitted_) {
+      server_.inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+      conn_.inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  BatchTicket(const BatchTicket&) = delete;
+  BatchTicket& operator=(const BatchTicket&) = delete;
+
+  bool ok() const { return admitted_; }
+  const Status& status() const { return status_; }
+
+ private:
+  Server& server_;
+  Connection& conn_;
+  bool admitted_ = false;
+  Status status_ = Status::Ok();
+};
 
 Status Server::HandleBatch(const std::string& body, Connection& conn,
                            std::string* response) {
@@ -191,11 +259,23 @@ Status Server::HandleBatch(const std::string& body, Connection& conn,
   }
   auto requests = ParseBatchText(body, view->num_nodes());
   if (!requests) return requests.status();
-  conn.inflight.fetch_add(1, std::memory_order_relaxed);
+  BatchTicket ticket(*this, conn, requests->size());
+  if (!ticket.ok()) return ticket.status();
   auto batch = service_.Answer(*requests);
-  conn.inflight.fetch_sub(1, std::memory_order_relaxed);
   if (!batch) return batch.status();
   *response = FormatBatchResponse(*requests, *batch, options_.top);
+  return Status::Ok();
+}
+
+Status Server::HandleShardBatch(const std::string& body, Connection& conn,
+                                std::string* response) {
+  auto requests = DecodeShardBatchBody(body);
+  if (!requests) return requests.status();
+  BatchTicket ticket(*this, conn, requests->size());
+  if (!ticket.ok()) return ticket.status();
+  auto batch = service_.Answer(*requests);
+  if (!batch) return batch.status();
+  *response = EncodeShardPartialBody(batch->epoch, batch->results);
   return Status::Ok();
 }
 
@@ -220,6 +300,11 @@ Status Server::HandlePublish(const std::string& body,
 
 Server::Stats Server::stats() const {
   Stats stats;
+  stats.inflight_total = inflight_total_.load(std::memory_order_relaxed);
+  stats.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  stats.rejected_oversized =
+      rejected_oversized_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   stats.accepted = accepted_;
   for (const auto& conn : connections_) {
@@ -233,11 +318,18 @@ Server::Stats Server::stats() const {
 
 std::string Server::StatsText() const {
   const Stats stats = this->stats();
-  char buf[96];
+  char buf[128];
   std::snprintf(buf, sizeof(buf),
                 "connections_open %zu connections_accepted %llu\n",
                 stats.open, static_cast<unsigned long long>(stats.accepted));
   std::string out = buf;
+  std::snprintf(buf, sizeof(buf),
+                "server_inflight %d rejected_overload %llu "
+                "rejected_oversized %llu\n",
+                stats.inflight_total,
+                static_cast<unsigned long long>(stats.rejected_overload),
+                static_cast<unsigned long long>(stats.rejected_oversized));
+  out += buf;
   for (const auto& conn : stats.connections) {
     std::snprintf(buf, sizeof(buf), "conn %llu inflight %d\n",
                   static_cast<unsigned long long>(conn.id),

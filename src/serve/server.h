@@ -45,6 +45,22 @@ class Server {
     uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
     int backlog = 64;
     size_t top = 10;    // answers per query line in batch responses
+
+    // --- Backpressure ------------------------------------------------------
+    //
+    // Admission control happens before a batch touches the QueryService:
+    // a batch with more requests than max_batch_requests is rejected
+    // outright (kInvalidArgument), and a batch that would push the
+    // connection's or the server's in-flight count past its cap is
+    // rejected with kFailedPrecondition and the word "overloaded" so
+    // clients can tell retryable pushback from malformed input. Today a
+    // connection handles frames serially, so its in-flight count never
+    // exceeds one; the per-connection cap still gates admission (0
+    // disables batches on a connection) and becomes load-bearing the day
+    // frames pipeline. Rejections are counted in stats().
+    size_t max_batch_requests = 1 << 16;
+    int max_inflight_per_connection = 32;
+    int max_inflight_total = 256;
   };
 
   Server(QueryService& service, Options options)
@@ -73,6 +89,9 @@ class Server {
   struct Stats {
     uint64_t accepted = 0;  // connections ever accepted
     size_t open = 0;        // currently serving
+    int inflight_total = 0;             // batches executing server-wide
+    uint64_t rejected_overload = 0;     // batches refused by an in-flight cap
+    uint64_t rejected_oversized = 0;    // batches refused by the request cap
     std::vector<ConnectionStats> connections;  // one entry per open conn
   };
   Stats stats() const;
@@ -92,13 +111,21 @@ class Server {
 
   void AcceptLoop();
   void Handle(Connection& conn);
-  // Routes one request frame; on OK *response is the kOk body.
+  // Routes one request frame; on OK *response is the body and
+  // *response_type the frame type to send (kOk except for shard batches,
+  // which answer with kShardPartial).
   [[nodiscard]] Status Dispatch(const Frame& frame, Connection& conn,
-                  std::string* response);
+                  std::string* response, FrameType* response_type);
   [[nodiscard]] Status HandleBatch(const std::string& body, Connection& conn,
                      std::string* response);
+  [[nodiscard]] Status HandleShardBatch(const std::string& body,
+                                        Connection& conn,
+                                        std::string* response);
   [[nodiscard]]
   Status HandlePublish(const std::string& body, std::string* response);
+  // Admission control: checks the oversized-batch and in-flight caps and,
+  // on success, holds both in-flight counters until destruction.
+  class BatchTicket;
   // Joins and closes connections whose handler has returned.
   void ReapFinishedLocked();
 
@@ -108,6 +135,10 @@ class Server {
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+
+  std::atomic<int> inflight_total_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> rejected_oversized_{0};
 
   mutable std::mutex mu_;  // guards connections_ / accepted_
   std::list<std::shared_ptr<Connection>> connections_;

@@ -1,0 +1,193 @@
+#include "src/serve/shard_codec.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/core/psb_format.h"
+
+namespace pegasus::serve {
+
+namespace {
+
+using psb::GetU32;
+using psb::GetU64;
+using psb::PutU32;
+using psb::PutU64;
+
+// Cursor over a body with explicit bounds checks; every reader fails with
+// kInvalidArgument naming what was being read when the bytes ran out.
+struct Reader {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  bool Bytes(size_t n) const { return static_cast<size_t>(end - p) >= n; }
+
+  [[nodiscard]] Status U8(uint8_t* v, const char* what) {
+    if (!Bytes(1)) return Truncated(what);
+    *v = *p++;
+    return Status::Ok();
+  }
+  [[nodiscard]] Status U32(uint32_t* v, const char* what) {
+    if (!Bytes(4)) return Truncated(what);
+    *v = GetU32(p);
+    p += 4;
+    return Status::Ok();
+  }
+  [[nodiscard]] Status U64(uint64_t* v, const char* what) {
+    if (!Bytes(8)) return Truncated(what);
+    *v = GetU64(p);
+    p += 8;
+    return Status::Ok();
+  }
+  [[nodiscard]] Status F64(double* v, const char* what) {
+    uint64_t bits = 0;
+    if (Status s = U64(&bits, what); !s) return s;
+    *v = std::bit_cast<double>(bits);
+    return Status::Ok();
+  }
+
+  static Status Truncated(const char* what) {
+    return Status::InvalidArgument(std::string("shard codec: body truncated "
+                                               "reading ") +
+                                   what);
+  }
+};
+
+bool ValidKind(uint8_t kind) {
+  return kind <= static_cast<uint8_t>(QueryKind::kClustering);
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+}  // namespace
+
+std::string EncodeShardBatchBody(const std::vector<QueryRequest>& requests) {
+  std::string out;
+  out.reserve(4 + requests.size() * 26);
+  PutU32(&out, static_cast<uint32_t>(requests.size()));
+  for (const QueryRequest& r : requests) {
+    out.push_back(static_cast<char>(r.kind));
+    PutU32(&out, r.node);
+    PutF64(&out, r.param);
+    out.push_back(r.weighted ? '\x01' : '\x00');
+    PutU32(&out, static_cast<uint32_t>(r.opts.max_iterations));
+    PutF64(&out, r.opts.tolerance);
+  }
+  return out;
+}
+
+StatusOr<std::vector<QueryRequest>> DecodeShardBatchBody(
+    std::string_view body) {
+  Reader in{reinterpret_cast<const uint8_t*>(body.data()),
+            reinterpret_cast<const uint8_t*>(body.data()) + body.size()};
+  uint32_t count = 0;
+  if (Status s = in.U32(&count, "request count"); !s) return s;
+  // 26 bytes per encoded request; a count the remaining bytes cannot hold
+  // is rejected before the allocation, not inside the read loop.
+  if (count > static_cast<uint64_t>(in.end - in.p) / 26) {
+    return Reader::Truncated("requests");
+  }
+  std::vector<QueryRequest> requests(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryRequest& r = requests[i];
+    uint8_t kind = 0;
+    uint8_t weighted = 0;
+    uint32_t max_iterations = 0;
+    if (Status s = in.U8(&kind, "kind"); !s) return s;
+    if (!ValidKind(kind)) {
+      return Status::InvalidArgument("shard codec: unknown query kind " +
+                                     std::to_string(kind) + " in request " +
+                                     std::to_string(i));
+    }
+    r.kind = static_cast<QueryKind>(kind);
+    if (Status s = in.U32(&r.node, "node"); !s) return s;
+    if (Status s = in.F64(&r.param, "param"); !s) return s;
+    if (Status s = in.U8(&weighted, "weighted flag"); !s) return s;
+    r.weighted = weighted != 0;
+    if (Status s = in.U32(&max_iterations, "max_iterations"); !s) return s;
+    r.opts.max_iterations = static_cast<int>(max_iterations);
+    if (Status s = in.F64(&r.opts.tolerance, "tolerance"); !s) return s;
+  }
+  if (in.p != in.end) {
+    return Status::InvalidArgument("shard codec: " +
+                                   std::to_string(in.end - in.p) +
+                                   " trailing bytes after the last request");
+  }
+  return requests;
+}
+
+std::string EncodeShardPartialBody(uint64_t epoch,
+                                   const std::vector<QueryResult>& results) {
+  std::string out;
+  PutU64(&out, epoch);
+  PutU32(&out, static_cast<uint32_t>(results.size()));
+  for (const QueryResult& r : results) {
+    out.push_back(static_cast<char>(r.kind));
+    PutU64(&out, r.neighbors.size());
+    for (NodeId id : r.neighbors) PutU32(&out, id);
+    PutU64(&out, r.hops.size());
+    for (uint32_t h : r.hops) PutU32(&out, h);
+    PutU64(&out, r.scores.size());
+    for (double d : r.scores) PutF64(&out, d);
+  }
+  return out;
+}
+
+StatusOr<ShardPartial> DecodeShardPartialBody(std::string_view body) {
+  Reader in{reinterpret_cast<const uint8_t*>(body.data()),
+            reinterpret_cast<const uint8_t*>(body.data()) + body.size()};
+  ShardPartial partial;
+  uint32_t count = 0;
+  if (Status s = in.U64(&partial.epoch, "epoch"); !s) return s;
+  if (Status s = in.U32(&count, "result count"); !s) return s;
+  partial.results.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryResult& r = partial.results[i];
+    uint8_t kind = 0;
+    if (Status s = in.U8(&kind, "kind"); !s) return s;
+    if (!ValidKind(kind)) {
+      return Status::InvalidArgument("shard codec: unknown query kind " +
+                                     std::to_string(kind) + " in result " +
+                                     std::to_string(i));
+    }
+    r.kind = static_cast<QueryKind>(kind);
+    uint64_t n = 0;
+    if (Status s = in.U64(&n, "neighbor count"); !s) return s;
+    if (n > static_cast<uint64_t>(in.end - in.p) / 4) {
+      return Reader::Truncated("neighbor ids");
+    }
+    r.neighbors.resize(n);
+    for (uint64_t j = 0; j < n; ++j) {
+      r.neighbors[j] = GetU32(in.p);
+      in.p += 4;
+    }
+    if (Status s = in.U64(&n, "hop count"); !s) return s;
+    if (n > static_cast<uint64_t>(in.end - in.p) / 4) {
+      return Reader::Truncated("hop counts");
+    }
+    r.hops.resize(n);
+    for (uint64_t j = 0; j < n; ++j) {
+      r.hops[j] = GetU32(in.p);
+      in.p += 4;
+    }
+    if (Status s = in.U64(&n, "score count"); !s) return s;
+    if (n > static_cast<uint64_t>(in.end - in.p) / 8) {
+      return Reader::Truncated("scores");
+    }
+    r.scores.resize(n);
+    for (uint64_t j = 0; j < n; ++j) {
+      r.scores[j] = std::bit_cast<double>(GetU64(in.p));
+      in.p += 8;
+    }
+  }
+  if (in.p != in.end) {
+    return Status::InvalidArgument("shard codec: " +
+                                   std::to_string(in.end - in.p) +
+                                   " trailing bytes after the last result");
+  }
+  return partial;
+}
+
+}  // namespace pegasus::serve

@@ -1,0 +1,66 @@
+// Binary bodies for the shard scatter-gather frames (wire version 2).
+//
+// The coordinator (src/shard/coordinator.h) ships canonical request
+// batches to shard workers as kShardBatch frames and gathers raw result
+// vectors back as kShardPartial frames. Text formatting would round-trip
+// doubles through decimal and lose the byte-identity contract, so these
+// bodies are binary: little-endian fixed-width fields, doubles by bit
+// pattern (std::bit_cast), identical on every host. The byte layout is
+// documented in docs/ARCHITECTURE.md ("Wire protocol", version 2).
+//
+// kShardBatch body:
+//   u32 request_count
+//   per request: u8 kind, u32 node, f64 param, u8 weighted,
+//                u32 max_iterations, f64 tolerance
+// kShardPartial body:
+//   u64 epoch, u32 result_count
+//   per result: u8 kind,
+//               u64 neighbor_count + u32 ids,
+//               u64 hop_count + u32 hops,
+//               u64 score_count + f64 scores
+//
+// Requests must already be canonical (CanonicalizeRequest) — the codec
+// carries exactly the fields the canonical form defines, so encode →
+// decode is the identity on canonical batches (pinned by
+// tests/shard_codec_test.cc).
+
+#ifndef PEGASUS_SERVE_SHARD_CODEC_H_
+#define PEGASUS_SERVE_SHARD_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/query/query_engine.h"
+#include "src/util/status.h"
+
+namespace pegasus::serve {
+
+// Encodes a canonical request batch as a kShardBatch body.
+std::string EncodeShardBatchBody(const std::vector<QueryRequest>& requests);
+
+// Decodes a kShardBatch body. kInvalidArgument on truncation, trailing
+// bytes, or an unknown query kind; the requests are NOT re-validated
+// against a node count (the serving side canonicalizes against its view).
+[[nodiscard]] StatusOr<std::vector<QueryRequest>> DecodeShardBatchBody(
+    std::string_view body);
+
+// Encodes per-request results (results[i] answers request i) plus the
+// epoch they were served from as a kShardPartial body.
+std::string EncodeShardPartialBody(uint64_t epoch,
+                                   const std::vector<QueryResult>& results);
+
+struct ShardPartial {
+  uint64_t epoch = 0;
+  std::vector<QueryResult> results;
+};
+
+// Decodes a kShardPartial body. kInvalidArgument on truncation, trailing
+// bytes, or an unknown query kind.
+[[nodiscard]] StatusOr<ShardPartial> DecodeShardPartialBody(
+    std::string_view body);
+
+}  // namespace pegasus::serve
+
+#endif  // PEGASUS_SERVE_SHARD_CODEC_H_

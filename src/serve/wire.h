@@ -18,15 +18,27 @@
 
 namespace pegasus::serve {
 
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+// Shard-partial responses carry whole score vectors (num_nodes doubles
+// per scored request), so a coordinator reading gathered partials allows
+// a larger frame than the request-side cap.
+inline constexpr uint32_t kMaxPartialPayload = 256u << 20;  // 256 MiB
 
 enum class FrameType : uint8_t {
   kBatch = 0x01,
   kPublish = 0x02,
   kStats = 0x03,
   kEpoch = 0x04,
+  // Version 2: a canonical request batch in the binary shard codec
+  // (src/serve/shard_codec.h), answered with a kShardPartial frame
+  // carrying raw result vectors — the scatter-gather interconnect of the
+  // sharded coordinator (src/shard/coordinator.h).
+  kShardBatch = 0x05,
   kOk = 0x81,
+  // Version 2: binary partial results (epoch + per-request payload
+  // vectors), the response to kShardBatch.
+  kShardPartial = 0x82,
   kError = 0xE1,
 };
 

@@ -1,0 +1,97 @@
+// Scatter-gather coordinator over shard workers.
+//
+// The coordinator is the client side of the sharded serving stack: it
+// holds one loopback connection per shard worker (in-process ShardWorkers
+// or separate `pegasus shard-worker` processes — the wire makes them
+// indistinguishable) and answers query batches against the fleet.
+//
+// Routing (per request, after canonicalizing against the manifest's node
+// count):
+//   * node-local integer families (neighbors, hop) go to the one shard
+//     that owns the query node — the paper's communication-free routing
+//     (Alg. 3 lines 6-7) — and the worker's answer is returned verbatim;
+//   * scored families (rwr, php, degree, pagerank, clustering) scatter
+//     to every shard, and the merged answer takes score[v] from the
+//     shard that OWNS v — each shard's summary is personalized to its
+//     own node set, so the owner's estimate for v is the accurate one.
+//
+// Determinism: requests are written to all involved shards first, then
+// partials are read in ascending shard order, and the ownership merge
+// depends only on the manifest's node → shard map — never on worker
+// arrival order, worker thread counts, or connection scheduling. With a
+// 1-shard manifest every route and every merge degenerates to "copy
+// shard 0's answer", so the coordinator is byte-identical to querying
+// the single worker directly (pinned by tests/coordinator_test.cc
+// against the repo's query goldens).
+
+#ifndef PEGASUS_SHARD_COORDINATOR_H_
+#define PEGASUS_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/query/query_engine.h"
+#include "src/serve/shard_codec.h"
+#include "src/shard/manifest.h"
+#include "src/util/status.h"
+
+namespace pegasus::shard {
+
+class Coordinator {
+ public:
+  // Connects one socket per shard: ports[i] must be a loopback worker
+  // serving shard i of `manifest` (ports.size() == num_shards). Errors:
+  // kInvalidArgument on a port-count mismatch, kInternal with the errno
+  // text when a connect fails.
+  [[nodiscard]] static StatusOr<std::unique_ptr<Coordinator>> Connect(
+      ShardManifest manifest, const std::vector<uint16_t>& ports);
+
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  struct BatchResult {
+    // Epoch each shard answered from; 0 for shards the batch never
+    // touched.
+    std::vector<uint64_t> shard_epochs;
+    std::vector<QueryResult> results;  // results[i] answers requests[i]
+  };
+
+  // Scatters `requests` per the routing above and merges the partials.
+  // Errors: kInvalidArgument / kOutOfRange from canonicalization (the
+  // message names the request index), kDataLoss / kInternal when a
+  // worker connection fails or a worker reports an error.
+  [[nodiscard]] StatusOr<BatchResult> Answer(
+      const std::vector<QueryRequest>& requests);
+
+  // The `stats` directive, fleet-wide: every worker's stats block in
+  // ascending shard order, each introduced by a "shard <i>" line.
+  [[nodiscard]] StatusOr<std::string> GatherStats();
+
+  // Every worker's current epoch, ascending shard order (kEpoch frames).
+  [[nodiscard]] StatusOr<std::vector<uint64_t>> GatherEpochs();
+
+  uint32_t num_shards() const { return manifest_.num_shards; }
+  const ShardManifest& manifest() const { return manifest_; }
+
+ private:
+  explicit Coordinator(ShardManifest manifest)
+      : manifest_(std::move(manifest)) {}
+
+  // Scatter half: one kShardBatch frame to shard `s`. The matching
+  // gather half reads the kShardPartial (all writes go out before any
+  // read so the workers overlap).
+  [[nodiscard]] Status SendBatch(uint32_t s,
+                                 const std::vector<QueryRequest>& requests);
+  [[nodiscard]] StatusOr<serve::ShardPartial> ReadPartial(uint32_t s);
+
+  ShardManifest manifest_;
+  std::vector<int> fds_;  // one connected socket per shard
+};
+
+}  // namespace pegasus::shard
+
+#endif  // PEGASUS_SHARD_COORDINATOR_H_

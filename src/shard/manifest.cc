@@ -1,0 +1,209 @@
+#include "src/shard/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/binary_summary_io.h"
+#include "src/core/psb_format.h"
+
+namespace pegasus::shard {
+
+namespace {
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::DataLoss(path + ": " + what);
+}
+
+}  // namespace
+
+Status ShardManifest::Validate() const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("manifest declares zero shards");
+  }
+  if (shards.size() != num_shards) {
+    return Status::InvalidArgument(
+        "manifest declares " + std::to_string(num_shards) + " shards but " +
+        "lists " + std::to_string(shards.size()) + " entries");
+  }
+  if (node_shard.size() != num_nodes) {
+    return Status::InvalidArgument(
+        "manifest declares " + std::to_string(num_nodes) + " nodes but the " +
+        "map holds " + std::to_string(node_shard.size()) + " entries");
+  }
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    if (shards[i].psb_path.empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(i) +
+                                     " has an empty psb path");
+    }
+  }
+  std::vector<uint64_t> owned(num_shards, 0);
+  for (NodeId v = 0; v < node_shard.size(); ++v) {
+    if (node_shard[v] >= num_shards) {
+      return Status::InvalidArgument(
+          "node " + std::to_string(v) + " maps to shard " +
+          std::to_string(node_shard[v]) + ", but there are only " +
+          std::to_string(num_shards) + " shards");
+    }
+    ++owned[node_shard[v]];
+  }
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    if (owned[i] == 0) {
+      return Status::InvalidArgument("shard " + std::to_string(i) +
+                                     " owns no nodes");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> ChecksumFile(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes) return bytes.status();
+  return psb::Fnv1a(bytes->data(), bytes->size());
+}
+
+Status SaveManifest(const ShardManifest& manifest, const std::string& path) {
+  if (Status s = manifest.Validate(); !s) return s;
+  std::ostringstream out;
+  out << kManifestMagic << "\n";
+  out << "shards " << manifest.num_shards << " nodes " << manifest.num_nodes
+      << " partitioner " << manifest.partitioner << "\n";
+  char hex[32];
+  for (uint32_t i = 0; i < manifest.num_shards; ++i) {
+    std::snprintf(hex, sizeof(hex), "%016" PRIx64, manifest.shards[i].checksum);
+    out << "shard " << i << " " << manifest.shards[i].psb_path << " " << hex
+        << "\n";
+  }
+  out << "map\n";
+  for (NodeId v = 0; v < manifest.num_nodes; ++v) {
+    out << manifest.node_shard[v];
+    out << (((v + 1) % 16 == 0 || v + 1 == manifest.num_nodes) ? '\n' : ' ');
+  }
+  out << "end\n";
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::DataLoss("cannot write " + path);
+  const std::string text = out.str();
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  file.flush();
+  if (!file) return Status::DataLoss("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<ShardManifest> LoadManifest(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::string line;
+  if (!std::getline(file, line) || line != kManifestMagic) {
+    return Corrupt(path, std::string("missing magic line \"") +
+                             kManifestMagic + "\"");
+  }
+  ShardManifest manifest;
+  {
+    if (!std::getline(file, line)) return Corrupt(path, "missing count line");
+    std::istringstream ls(line);
+    std::string shards_kw, nodes_kw, part_kw;
+    uint64_t shards = 0, nodes = 0;
+    if (!(ls >> shards_kw >> shards >> nodes_kw >> nodes >> part_kw >>
+          manifest.partitioner) ||
+        shards_kw != "shards" || nodes_kw != "nodes" ||
+        part_kw != "partitioner") {
+      return Corrupt(path, "malformed count line \"" + line + "\"");
+    }
+    if (shards == 0 || shards > (1u << 20)) {
+      return Corrupt(path, "implausible shard count " +
+                               std::to_string(shards));
+    }
+    manifest.num_shards = static_cast<uint32_t>(shards);
+    manifest.num_nodes = static_cast<NodeId>(nodes);
+  }
+  manifest.shards.resize(manifest.num_shards);
+  for (uint32_t i = 0; i < manifest.num_shards; ++i) {
+    if (!std::getline(file, line)) {
+      return Corrupt(path, "missing entry for shard " + std::to_string(i));
+    }
+    std::istringstream ls(line);
+    std::string kw, checksum_hex;
+    uint32_t id = 0;
+    if (!(ls >> kw >> id >> manifest.shards[i].psb_path >> checksum_hex) ||
+        kw != "shard") {
+      return Corrupt(path, "malformed shard line \"" + line + "\"");
+    }
+    if (id != i) {
+      return Corrupt(path, "shard lines out of order: expected shard " +
+                               std::to_string(i) + ", got " +
+                               std::to_string(id));
+    }
+    char* parse_end = nullptr;
+    manifest.shards[i].checksum =
+        std::strtoull(checksum_hex.c_str(), &parse_end, 16);
+    if (checksum_hex.empty() || parse_end == nullptr || *parse_end != '\0') {
+      return Corrupt(path, "malformed checksum \"" + checksum_hex +
+                               "\" for shard " + std::to_string(i));
+    }
+    std::string extra;
+    if (ls >> extra) {
+      return Corrupt(path, "trailing token \"" + extra + "\" on shard line " +
+                               std::to_string(i));
+    }
+  }
+  if (!std::getline(file, line) || line != "map") {
+    return Corrupt(path, "missing map header");
+  }
+  manifest.node_shard.reserve(manifest.num_nodes);
+  uint32_t value = 0;
+  while (manifest.node_shard.size() < manifest.num_nodes && file >> value) {
+    manifest.node_shard.push_back(value);
+  }
+  if (manifest.node_shard.size() != manifest.num_nodes) {
+    return Corrupt(path, "map holds " +
+                             std::to_string(manifest.node_shard.size()) +
+                             " entries, expected " +
+                             std::to_string(manifest.num_nodes));
+  }
+  std::string tail;
+  if (!(file >> tail) || tail != "end") {
+    return Corrupt(path, "missing end marker after the map");
+  }
+  if (file >> tail) {
+    return Corrupt(path, "trailing data \"" + tail + "\" after end marker");
+  }
+  if (Status s = manifest.Validate(); !s) {
+    return Corrupt(path, s.message());
+  }
+  return manifest;
+}
+
+std::string ManifestDir(const std::string& manifest_path) {
+  const size_t slash = manifest_path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return manifest_path.substr(0, slash);
+}
+
+std::string ShardPsbPath(const ShardManifest& manifest,
+                         const std::string& manifest_dir, uint32_t i) {
+  const std::string& rel = manifest.shards[i].psb_path;
+  if (!rel.empty() && rel[0] == '/') return rel;  // already absolute
+  return manifest_dir + "/" + rel;
+}
+
+Status VerifyShardChecksum(const ShardManifest& manifest,
+                           const std::string& manifest_dir, uint32_t i) {
+  const std::string path = ShardPsbPath(manifest, manifest_dir, i);
+  auto actual = ChecksumFile(path);
+  if (!actual) return actual.status();
+  if (*actual != manifest.shards[i].checksum) {
+    char expected_hex[32], actual_hex[32];
+    std::snprintf(expected_hex, sizeof(expected_hex), "%016" PRIx64,
+                  manifest.shards[i].checksum);
+    std::snprintf(actual_hex, sizeof(actual_hex), "%016" PRIx64, *actual);
+    return Status::DataLoss("shard " + std::to_string(i) + " (" + path +
+                            "): checksum mismatch — manifest says " +
+                            expected_hex + ", file hashes to " + actual_hex);
+  }
+  return Status::Ok();
+}
+
+}  // namespace pegasus::shard

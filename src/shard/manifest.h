@@ -1,0 +1,91 @@
+// Shard manifest — the versioned on-disk description of a sharded build.
+//
+// `pegasus shard-build` partitions a graph, summarizes every shard, and
+// writes one PSB1 file per shard plus a manifest naming them all. The
+// manifest is what a worker or coordinator loads to serve: it carries
+// the shard count, the partitioner that produced the layout, the
+// node → shard ownership map (the coordinator's routing table and merge
+// rule), and a whole-file FNV-1a 64 checksum per shard PSB so a stale or
+// swapped shard file is caught before it serves a single wrong byte.
+//
+// Format (line-oriented text, version 1):
+//
+//   PEGASUS-SHARD-MANIFEST v1
+//   shards <m> nodes <V> partitioner <name>
+//   shard <i> <relative-psb-path> <checksum-hex>     (m lines, i ascending)
+//   map
+//   <V whitespace-separated shard ids, 16 per line>
+//   end
+//
+// Shard paths are relative to the manifest's own directory, so a build
+// directory moves as a unit. The writer is canonical (one byte image per
+// manifest) and the loader validates structurally: monotone shard ids,
+// every map entry < m, every shard owning at least one node.
+
+#ifndef PEGASUS_SHARD_MANIFEST_H_
+#define PEGASUS_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/status.h"
+
+namespace pegasus::shard {
+
+inline constexpr char kManifestMagic[] = "PEGASUS-SHARD-MANIFEST v1";
+// Conventional manifest filename inside a shard-build output directory.
+inline constexpr char kManifestFileName[] = "manifest.psm";
+
+struct ShardEntry {
+  std::string psb_path;   // relative to the manifest's directory
+  uint64_t checksum = 0;  // FNV-1a 64 over the whole PSB file
+};
+
+struct ShardManifest {
+  uint32_t num_shards = 0;
+  NodeId num_nodes = 0;
+  std::string partitioner;           // e.g. "louvain"; informational
+  std::vector<ShardEntry> shards;    // num_shards entries, shard order
+  std::vector<uint32_t> node_shard;  // size num_nodes, values < num_shards
+
+  // Owning shard of node v (the routing table; v must be < num_nodes).
+  uint32_t ShardOf(NodeId v) const { return node_shard[v]; }
+
+  // Structural validity: counts match, every map entry in range, every
+  // shard non-empty, paths non-empty. kInvalidArgument naming the first
+  // violation.
+  [[nodiscard]] Status Validate() const;
+};
+
+// FNV-1a 64 over the whole file at `path` (the shard checksum function).
+// kNotFound / kDataLoss on I/O failure.
+[[nodiscard]] StatusOr<uint64_t> ChecksumFile(const std::string& path);
+
+// Writes `manifest` (validated first) to `path` in the canonical text
+// form. kDataLoss on I/O failure.
+[[nodiscard]] Status SaveManifest(const ShardManifest& manifest,
+                                  const std::string& path);
+
+// Parses and validates the manifest at `path`. kNotFound if it cannot be
+// opened, kDataLoss naming the violation otherwise.
+[[nodiscard]] StatusOr<ShardManifest> LoadManifest(const std::string& path);
+
+// The directory part of a manifest path ("." when bare), against which
+// shard psb_paths resolve.
+std::string ManifestDir(const std::string& manifest_path);
+
+// Resolves shard `i`'s PSB path against the manifest's directory.
+std::string ShardPsbPath(const ShardManifest& manifest,
+                         const std::string& manifest_dir, uint32_t i);
+
+// Recomputes shard `i`'s PSB checksum and compares it to the manifest's.
+// kDataLoss naming the shard, both hashes, and the path on mismatch.
+[[nodiscard]] Status VerifyShardChecksum(const ShardManifest& manifest,
+                                         const std::string& manifest_dir,
+                                         uint32_t i);
+
+}  // namespace pegasus::shard
+
+#endif  // PEGASUS_SHARD_MANIFEST_H_

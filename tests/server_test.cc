@@ -23,6 +23,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -31,6 +32,7 @@
 
 #include "src/core/pegasus.h"
 #include "src/graph/generators.h"
+#include "src/serve/shard_codec.h"
 #include "src/serve/text_serving.h"
 #include "src/serve/wire.h"
 #include "tests/test_util.h"
@@ -297,6 +299,157 @@ TEST_F(ServerTest, ConcurrentClientsGetIdenticalBytes) {
   EXPECT_EQ(serving.total_batches,
             static_cast<uint64_t>(kClients) * kRounds + 1);  // + expected
   EXPECT_GE(serving.max_inflight_batches, 1);
+}
+
+TEST_F(ServerTest, OversizedBatchRejectedAndCounted) {
+  QueryService service(summary_);
+  Server::Options options;
+  options.max_batch_requests = 2;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+  ClientSocket client(server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto reply = client.RoundTrip(FrameType::kBatch,
+                                "degree\npagerank\nclustering\n");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->body.find("INVALID_ARGUMENT"), std::string::npos);
+  EXPECT_NE(reply->body.find("per-batch cap"), std::string::npos);
+
+  // A batch at the cap still serves, and the rejection was counted.
+  auto good = client.RoundTrip(FrameType::kBatch, "degree\npagerank\n");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->type, FrameType::kOk);
+  EXPECT_EQ(server.stats().rejected_oversized, 1u);
+  auto stats = client.RoundTrip(FrameType::kStats, "");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->body.find("rejected_oversized 1"), std::string::npos);
+}
+
+TEST_F(ServerTest, ConnectionCapZeroRejectsEveryBatch) {
+  // Serial frame handling means a connection's in-flight count never
+  // exceeds one, so cap 0 is the deterministic way to exercise the
+  // per-connection limb.
+  QueryService service(summary_);
+  Server::Options options;
+  options.max_inflight_per_connection = 0;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+  ClientSocket client(server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto reply = client.RoundTrip(FrameType::kBatch, "degree\n");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->body.find("FAILED_PRECONDITION"), std::string::npos);
+  EXPECT_NE(reply->body.find("connection overloaded"), std::string::npos);
+  EXPECT_EQ(server.stats().rejected_overload, 1u);
+
+  // Directives are not batches: they bypass admission.
+  auto epoch = client.RoundTrip(FrameType::kEpoch, "");
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch->type, FrameType::kOk);
+}
+
+TEST_F(ServerTest, ServerCapZeroRejectsEveryBatch) {
+  QueryService service(summary_);
+  Server::Options options;
+  options.max_inflight_total = 0;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+  ClientSocket client(server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto reply = client.RoundTrip(FrameType::kBatch, "degree\n");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->body.find("server overloaded"), std::string::npos);
+  EXPECT_EQ(server.stats().rejected_overload, 1u);
+  EXPECT_EQ(server.stats().inflight_total, 0);  // rollback left no residue
+}
+
+TEST_F(ServerTest, BackpressureAccountingUnderConcurrency) {
+  // With the server-wide cap at 1, concurrent clients race for the one
+  // slot: every reply is either the exact expected bytes or a counted
+  // "server overloaded" rejection — nothing hangs, nothing corrupts.
+  QueryService service(summary_, {.num_threads = 2});
+  Server::Options options;
+  options.max_inflight_total = 1;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string expected = ExpectedBatch(service, kMixedBatch);
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 6;
+  std::atomic<int> served{0}, rejected{0}, corrupt{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      ClientSocket client(server.port());
+      if (!client.ok()) {
+        corrupt += kRounds;
+        return;
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        auto reply = client.RoundTrip(FrameType::kBatch, kMixedBatch);
+        if (reply.ok() && reply->type == FrameType::kOk &&
+            reply->body == expected) {
+          ++served;
+        } else if (reply.ok() && reply->type == FrameType::kError &&
+                   reply->body.find("server overloaded") !=
+                       std::string::npos) {
+          ++rejected;
+        } else {
+          ++corrupt;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(corrupt, 0);
+  EXPECT_EQ(served + rejected, kClients * kRounds);
+  EXPECT_GE(served, 1);  // the slot is never wedged shut
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.rejected_overload, static_cast<uint64_t>(rejected));
+  EXPECT_EQ(stats.inflight_total, 0);
+}
+
+TEST_F(ServerTest, ShardBatchAnswersWithShardPartialFrame) {
+  QueryService service(summary_);
+  Server server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+  ClientSocket client(server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto requests = serve::ParseBatchText(kMixedBatch, num_nodes_);
+  ASSERT_TRUE(requests.ok()) << requests.status().ToString();
+  auto reply = client.RoundTrip(FrameType::kShardBatch,
+                                serve::EncodeShardBatchBody(*requests));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, FrameType::kShardPartial);
+
+  // The binary partial carries the same epoch and byte-identical answers
+  // as an in-process Answer() on the same service.
+  auto partial = serve::DecodeShardPartialBody(reply->body);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  auto direct = service.Answer(*requests);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(partial->epoch, direct->epoch);
+  ASSERT_EQ(partial->results.size(), direct->results.size());
+  for (size_t i = 0; i < direct->results.size(); ++i) {
+    EXPECT_EQ(testing::HashQueryResult(partial->results[i]),
+              testing::HashQueryResult(direct->results[i]))
+        << i;
+  }
+
+  // Malformed shard batch → kError, and the connection survives.
+  auto bad = client.RoundTrip(FrameType::kShardBatch, "xx");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->type, FrameType::kError);
+  auto good = client.RoundTrip(FrameType::kBatch, "degree\n");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->type, FrameType::kOk);
 }
 
 TEST_F(ServerTest, StopUnblocksLiveConnections) {

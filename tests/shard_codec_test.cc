@@ -1,0 +1,190 @@
+// Shard codec tests: encode → decode identity on canonical batches and
+// partials (doubles bit-exact), the fixed 26-byte request layout, and the
+// rejection matrix — truncation at every field class, trailing bytes,
+// unknown kinds, and adversarial counts that would overflow the
+// remaining-bytes check.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/serve/shard_codec.h"
+#include "src/util/status.h"
+
+namespace pegasus::serve {
+namespace {
+
+std::vector<QueryRequest> SampleBatch() {
+  std::vector<QueryRequest> requests;
+  QueryRequest r;
+  r.kind = QueryKind::kNeighbors;
+  r.node = 5;
+  r.param = 0.0;
+  r.weighted = true;
+  requests.push_back(r);
+  r.kind = QueryKind::kRwr;
+  r.node = 17;
+  r.param = 0.05;
+  r.weighted = false;
+  r.opts.max_iterations = 100;
+  r.opts.tolerance = 1e-10;
+  requests.push_back(r);
+  r.kind = QueryKind::kPageRank;
+  r.node = 0;
+  r.param = 0.85;
+  r.weighted = true;
+  r.opts.max_iterations = 7;
+  r.opts.tolerance = 0.0;
+  requests.push_back(r);
+  r.kind = QueryKind::kClustering;
+  r.node = 0;
+  r.param = 0.0;
+  r.opts = {};
+  requests.push_back(r);
+  return requests;
+}
+
+TEST(ShardCodecTest, BatchRoundTripIsIdentity) {
+  const auto requests = SampleBatch();
+  auto decoded = DecodeShardBatchBody(EncodeShardBatchBody(requests));
+  ASSERT_TRUE(decoded) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].kind, requests[i].kind) << i;
+    EXPECT_EQ((*decoded)[i].node, requests[i].node) << i;
+    EXPECT_EQ((*decoded)[i].param, requests[i].param) << i;
+    EXPECT_EQ((*decoded)[i].weighted, requests[i].weighted) << i;
+    EXPECT_EQ((*decoded)[i].opts.max_iterations,
+              requests[i].opts.max_iterations)
+        << i;
+    EXPECT_EQ((*decoded)[i].opts.tolerance, requests[i].opts.tolerance) << i;
+  }
+}
+
+TEST(ShardCodecTest, BatchLayoutIs26BytesPerRequest) {
+  EXPECT_EQ(EncodeShardBatchBody({}).size(), 4u);
+  EXPECT_EQ(EncodeShardBatchBody(SampleBatch()).size(),
+            4u + 26u * SampleBatch().size());
+}
+
+TEST(ShardCodecTest, BatchRejectsTruncationAtEveryLength) {
+  const std::string body = EncodeShardBatchBody(SampleBatch());
+  for (size_t len = 0; len < body.size(); ++len) {
+    auto decoded = DecodeShardBatchBody(body.substr(0, len));
+    EXPECT_FALSE(decoded) << "accepted a " << len << "-byte prefix";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ShardCodecTest, BatchRejectsTrailingBytes) {
+  std::string body = EncodeShardBatchBody(SampleBatch());
+  body.push_back('\x00');
+  auto decoded = DecodeShardBatchBody(body);
+  ASSERT_FALSE(decoded);
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(ShardCodecTest, BatchRejectsUnknownKind) {
+  std::string body = EncodeShardBatchBody(SampleBatch());
+  body[4] = '\x44';  // first request's kind byte
+  auto decoded = DecodeShardBatchBody(body);
+  ASSERT_FALSE(decoded);
+  EXPECT_NE(decoded.status().message().find("unknown query kind"),
+            std::string::npos);
+}
+
+TEST(ShardCodecTest, BatchRejectsAdversarialCount) {
+  // A count claiming ~2^32 requests in a 4-byte body must be rejected
+  // before any allocation, not after a wrapped size check.
+  const std::string body(4, '\xff');
+  auto decoded = DecodeShardBatchBody(body);
+  ASSERT_FALSE(decoded);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+std::vector<QueryResult> SamplePartials() {
+  std::vector<QueryResult> results;
+  QueryResult r;
+  r.kind = QueryKind::kNeighbors;
+  r.neighbors = {3, 1, 4, 1, 5};
+  results.push_back(r);
+  r = {};
+  r.kind = QueryKind::kHop;
+  r.hops = {0, 1, 2, std::numeric_limits<uint32_t>::max()};
+  results.push_back(r);
+  r = {};
+  r.kind = QueryKind::kRwr;
+  // Bit-pattern corner cases: -0.0, a denormal, inf, and a quiet NaN
+  // must all survive the wire exactly.
+  r.scores = {0.25, -0.0, 5e-324, std::numeric_limits<double>::infinity(),
+              std::numeric_limits<double>::quiet_NaN()};
+  results.push_back(r);
+  r = {};
+  r.kind = QueryKind::kDegree;
+  results.push_back(r);  // all payloads empty
+  return results;
+}
+
+TEST(ShardCodecTest, PartialRoundTripIsBitExact) {
+  const auto results = SamplePartials();
+  const uint64_t epoch = 0x0123456789abcdefULL;
+  auto decoded =
+      DecodeShardPartialBody(EncodeShardPartialBody(epoch, results));
+  ASSERT_TRUE(decoded) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, epoch);
+  ASSERT_EQ(decoded->results.size(), results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(decoded->results[i].kind, results[i].kind) << i;
+    EXPECT_EQ(decoded->results[i].neighbors, results[i].neighbors) << i;
+    EXPECT_EQ(decoded->results[i].hops, results[i].hops) << i;
+    ASSERT_EQ(decoded->results[i].scores.size(), results[i].scores.size())
+        << i;
+    for (size_t j = 0; j < results[i].scores.size(); ++j) {
+      // Compare bit patterns, not values: NaN != NaN but its bits carry.
+      EXPECT_EQ(std::bit_cast<uint64_t>(decoded->results[i].scores[j]),
+                std::bit_cast<uint64_t>(results[i].scores[j]))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(ShardCodecTest, PartialRejectsTruncationAtEveryLength) {
+  const std::string body = EncodeShardPartialBody(9, SamplePartials());
+  for (size_t len = 0; len < body.size(); ++len) {
+    auto decoded = DecodeShardPartialBody(body.substr(0, len));
+    EXPECT_FALSE(decoded) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(ShardCodecTest, PartialRejectsTrailingBytes) {
+  std::string body = EncodeShardPartialBody(9, SamplePartials());
+  body += "xx";
+  auto decoded = DecodeShardPartialBody(body);
+  ASSERT_FALSE(decoded);
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(ShardCodecTest, PartialRejectsAdversarialVectorCount) {
+  // One result whose neighbor count claims 2^61 entries: the divide-based
+  // bound check must reject it instead of wrapping n * 4.
+  std::string body;
+  const auto put_u64 = [&body](uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      body.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+  };
+  put_u64(1);  // epoch
+  for (int i = 0; i < 4; ++i) body.push_back(i == 0 ? '\x01' : '\x00');
+  body.push_back('\x00');  // kind = kNeighbors
+  put_u64(1ULL << 61);     // neighbor count
+  auto decoded = DecodeShardPartialBody(body);
+  ASSERT_FALSE(decoded);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pegasus::serve

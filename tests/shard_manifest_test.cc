@@ -1,0 +1,198 @@
+// Shard manifest tests: canonical save/load round trip, structural
+// validation (counts, ranges, non-empty shards), the parser's corruption
+// matrix (magic, ordering, truncation, trailing data), path resolution
+// against the manifest directory, and whole-file checksum verification.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/shard/manifest.h"
+#include "src/util/status.h"
+
+namespace pegasus::shard {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string FileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {(std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>()};
+}
+
+void WriteText(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+ShardManifest SampleManifest() {
+  ShardManifest m;
+  m.num_shards = 3;
+  m.num_nodes = 40;
+  m.partitioner = "louvain";
+  m.shards = {{"shard_000.psb", 0x0102030405060708ULL},
+              {"shard_001.psb", 0xdeadbeefdeadbeefULL},
+              {"shard_002.psb", 0}};
+  m.node_shard.resize(40);
+  for (NodeId v = 0; v < 40; ++v) m.node_shard[v] = v % 3;
+  return m;
+}
+
+TEST(ShardManifestTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("roundtrip.psm");
+  const ShardManifest m = SampleManifest();
+  ASSERT_TRUE(SaveManifest(m, path));
+  auto loaded = LoadManifest(path);
+  ASSERT_TRUE(loaded) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_shards, m.num_shards);
+  EXPECT_EQ(loaded->num_nodes, m.num_nodes);
+  EXPECT_EQ(loaded->partitioner, m.partitioner);
+  ASSERT_EQ(loaded->shards.size(), m.shards.size());
+  for (uint32_t i = 0; i < m.num_shards; ++i) {
+    EXPECT_EQ(loaded->shards[i].psb_path, m.shards[i].psb_path) << i;
+    EXPECT_EQ(loaded->shards[i].checksum, m.shards[i].checksum) << i;
+  }
+  EXPECT_EQ(loaded->node_shard, m.node_shard);
+}
+
+TEST(ShardManifestTest, WriterIsCanonical) {
+  const std::string a = TempPath("canon_a.psm");
+  const std::string b = TempPath("canon_b.psm");
+  ASSERT_TRUE(SaveManifest(SampleManifest(), a));
+  ASSERT_TRUE(SaveManifest(SampleManifest(), b));
+  EXPECT_EQ(FileText(a), FileText(b));
+  EXPECT_EQ(FileText(a).rfind(kManifestMagic, 0), 0u);
+}
+
+TEST(ShardManifestTest, ValidateCatchesStructuralViolations) {
+  {
+    ShardManifest m = SampleManifest();
+    m.num_shards = 0;
+    m.shards.clear();
+    EXPECT_FALSE(m.Validate());
+  }
+  {
+    ShardManifest m = SampleManifest();
+    m.shards.pop_back();  // entry count != num_shards
+    EXPECT_FALSE(m.Validate());
+  }
+  {
+    ShardManifest m = SampleManifest();
+    m.node_shard.pop_back();  // map size != num_nodes
+    EXPECT_FALSE(m.Validate());
+  }
+  {
+    ShardManifest m = SampleManifest();
+    m.node_shard[7] = 3;  // out of range
+    EXPECT_FALSE(m.Validate());
+  }
+  {
+    ShardManifest m = SampleManifest();
+    for (auto& s : m.node_shard) s = 0;  // shards 1, 2 own nothing
+    EXPECT_FALSE(m.Validate());
+  }
+  {
+    ShardManifest m = SampleManifest();
+    m.shards[1].psb_path.clear();
+    EXPECT_FALSE(m.Validate());
+  }
+  EXPECT_TRUE(SampleManifest().Validate());
+}
+
+TEST(ShardManifestTest, ShardOfIsTheRoutingTable) {
+  const ShardManifest m = SampleManifest();
+  for (NodeId v = 0; v < m.num_nodes; ++v) EXPECT_EQ(m.ShardOf(v), v % 3);
+}
+
+TEST(ShardManifestTest, LoadRejectsCorruption) {
+  const std::string good_path = TempPath("corrupt_base.psm");
+  ASSERT_TRUE(SaveManifest(SampleManifest(), good_path));
+  const std::string good = FileText(good_path);
+  const std::string path = TempPath("corrupt.psm");
+
+  const auto expect_rejected = [&](const std::string& text,
+                                   const char* what) {
+    WriteText(path, text);
+    auto loaded = LoadManifest(path);
+    EXPECT_FALSE(loaded) << what;
+    if (!loaded) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss) << what;
+    }
+  };
+
+  expect_rejected("PEGASUS-SHARD-MANIFEST v9\n" +
+                      good.substr(good.find('\n') + 1),
+                  "wrong magic version");
+  expect_rejected(good.substr(0, good.size() - 5), "truncated end marker");
+  expect_rejected(good + "extra\n", "trailing data");
+  {
+    // Swap the shard 0 and shard 1 lines: ids out of order.
+    std::string text = good;
+    const size_t l0 = text.find("shard 0 ");
+    const size_t l1 = text.find("shard 1 ");
+    const size_t l2 = text.find("shard 2 ");
+    const std::string line0 = text.substr(l0, l1 - l0);
+    const std::string line1 = text.substr(l1, l2 - l1);
+    text = text.substr(0, l0) + line1 + line0 + text.substr(l2);
+    expect_rejected(text, "out-of-order shard lines");
+  }
+  {
+    std::string text = good;
+    const size_t pos = text.find("deadbeef");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 8, "notahexx");
+    expect_rejected(text, "malformed checksum");
+  }
+  {
+    // Map entry out of range is caught by the final Validate.
+    std::string text = good;
+    const size_t map_pos = text.find("map\n");
+    ASSERT_NE(map_pos, std::string::npos);
+    text.replace(map_pos + 4, 1, "9");
+    expect_rejected(text, "map entry out of range");
+  }
+
+  EXPECT_EQ(LoadManifest(TempPath("does_not_exist.psm")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardManifestTest, PathResolutionIsManifestRelative) {
+  EXPECT_EQ(ManifestDir("/a/b/manifest.psm"), "/a/b");
+  EXPECT_EQ(ManifestDir("manifest.psm"), ".");
+  EXPECT_EQ(ManifestDir("/manifest.psm"), "/");
+  const ShardManifest m = SampleManifest();
+  EXPECT_EQ(ShardPsbPath(m, "/a/b", 1), "/a/b/shard_001.psb");
+  ShardManifest abs = m;
+  abs.shards[1].psb_path = "/elsewhere/s.psb";
+  EXPECT_EQ(ShardPsbPath(abs, "/a/b", 1), "/elsewhere/s.psb");
+}
+
+TEST(ShardManifestTest, ChecksumVerificationCatchesCorruption) {
+  const std::string shard_path = TempPath("checksum_shard.psb");
+  WriteText(shard_path, "not really a psb, but bytes are bytes");
+  auto checksum = ChecksumFile(shard_path);
+  ASSERT_TRUE(checksum);
+
+  ShardManifest m;
+  m.num_shards = 1;
+  m.num_nodes = 2;
+  m.partitioner = "random";
+  m.shards = {{"checksum_shard.psb", *checksum}};
+  m.node_shard = {0, 0};
+  EXPECT_TRUE(VerifyShardChecksum(m, ::testing::TempDir(), 0));
+
+  WriteText(shard_path, "not really a psb, but CORRUPT bytes");
+  const Status corrupt = VerifyShardChecksum(m, ::testing::TempDir(), 0);
+  EXPECT_FALSE(corrupt);
+  EXPECT_EQ(corrupt.code(), StatusCode::kDataLoss);
+  EXPECT_NE(corrupt.message().find("checksum mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pegasus::shard

@@ -12,6 +12,12 @@
 //   pegasus evaluate   <edgelist> <summary> [--alpha A] [--targets a,b,c]
 //   pegasus view       <file.psb> [--validate]
 //   pegasus convert    <in> <out> [--compact]
+//   pegasus shard-build  <edgelist> <outdir> [--shards N]
+//                      [--partitioner P] [--ratio R] [--alpha A] [--beta B]
+//                      [--tmax T] [--seed S] [--threads N] [--compact]
+//   pegasus shard-worker <manifest> <index> [--port P] [--threads N]
+//   pegasus serve      --shards <manifest> [--workers p1,p2,...]
+//                      [--threads N] [--top K]
 //
 // `generate` kinds: ba, ws, er, grid, community-ring.
 //
@@ -49,6 +55,17 @@
 // clients and the stdin loop share one QueryService, so publishes from
 // either side are visible to both and concurrent batches overlap on the
 // executor. stdin EOF stops the listener and exits.
+//
+// Sharded serving (src/shard): `shard-build` partitions the graph,
+// summarizes every shard with the parallel engine, and writes one PSB1
+// file per shard plus manifest.psm; `shard-worker` serves one shard of a
+// manifest over a loopback socket (checksum-verified, mmap-served);
+// `serve --shards <manifest>` runs the scatter-gather coordinator over
+// the fleet — against `--workers p1,p2,...` (one port per shard, in
+// shard order) or, without --workers, against in-process workers it
+// starts itself. The coordinator's stdin loop speaks the same query
+// grammar as single-view serve; its `stats` directive gathers every
+// worker's stats block.
 // Exit code 0 on success, 1 on usage errors, 2 on I/O errors.
 
 #include <algorithm>
@@ -80,6 +97,10 @@
 #include "src/serve/query_service.h"
 #include "src/serve/server.h"
 #include "src/serve/text_serving.h"
+#include "src/shard/coordinator.h"
+#include "src/shard/manifest.h"
+#include "src/shard/shard_build.h"
+#include "src/shard/worker.h"
 #include "src/util/status.h"
 #include "src/util/timer.h"
 
@@ -162,7 +183,13 @@ int Usage() {
       "  pegasus compress  <edgelist> <out.summary> [--tmax T] [--seed S]\n"
       "  pegasus view      <file.psb> [--validate]\n"
       "  pegasus convert   <in> <out> [--compact]   (text <-> psb1 by"
-      " magic)\n");
+      " magic)\n"
+      "  pegasus shard-build  <edgelist> <outdir> [--shards N]"
+      " [--partitioner P] [--ratio R] [--alpha A] [--beta B] [--tmax T]"
+      " [--seed S] [--threads N] [--compact]\n"
+      "  pegasus shard-worker <manifest> <index> [--port P] [--threads N]\n"
+      "  pegasus serve     --shards <manifest> [--workers p1,p2,...]"
+      " [--threads N] [--top K]\n");
   return 1;
 }
 
@@ -548,6 +575,231 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded serving (src/shard).
+
+int CmdShardBuild(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  auto graph = LoadEdgeList(args.positional[0]);
+  if (!graph) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+  shard::ShardBuildOptions options;
+  options.num_shards = static_cast<uint32_t>(args.FlagInt("shards", 1));
+  const std::string partitioner_name =
+      args.Flag("partitioner").value_or("louvain");
+  if (auto kind = shard::ParsePartitionerKind(partitioner_name)) {
+    options.partitioner = *kind;
+  } else {
+    std::fprintf(stderr, "error: unknown partitioner '%s'; valid: %s\n",
+                 partitioner_name.c_str(),
+                 shard::PartitionerList().c_str());
+    return 1;
+  }
+  options.ratio = args.FlagDouble("ratio", 0.5);
+  options.config.alpha = args.FlagDouble("alpha", 1.25);
+  options.config.beta = args.FlagDouble("beta", 0.1);
+  options.config.max_iterations = static_cast<int>(args.FlagInt("tmax", 20));
+  options.config.seed = static_cast<uint64_t>(args.FlagInt("seed", 0));
+  options.config.num_threads = static_cast<int>(args.FlagInt("threads", 0));
+  options.compact = args.Flag("compact").has_value();
+  auto result = shard::ShardBuild(*graph, args.positional[1], options);
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("built %u shard(s) of %u nodes with %s in %.2fs\n",
+              result->manifest.num_shards, result->manifest.num_nodes,
+              result->manifest.partitioner.c_str(), result->build_seconds);
+  for (uint32_t i = 0; i < result->manifest.num_shards; ++i) {
+    std::printf("shard %u: %s (%u supernodes, checksum %016llx)\n", i,
+                result->manifest.shards[i].psb_path.c_str(),
+                result->shard_supernodes[i],
+                static_cast<unsigned long long>(
+                    result->manifest.shards[i].checksum));
+  }
+  std::printf("manifest: %s\n", result->manifest_path.c_str());
+  return 0;
+}
+
+int CmdShardWorker(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const uint32_t index = static_cast<uint32_t>(
+      std::strtoul(args.positional[1].c_str(), nullptr, 10));
+  shard::ShardWorker::Options options;
+  const int64_t port = args.FlagInt("port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+    return 1;
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.service.num_threads = static_cast<int>(args.FlagInt("threads", 0));
+  auto worker = shard::ShardWorker::Start(args.positional[0], index, options);
+  if (!worker) {
+    std::fprintf(stderr, "error: %s\n", worker.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("shard %u of %u: %s\n", index,
+              (*worker)->manifest().num_shards,
+              (*worker)->manifest().shards[index].psb_path.c_str());
+  // Same parse-friendly line as `serve --port`: a supervisor (the
+  // coordinator CLI, tools/shard_smoke.py) reads the ephemeral port here.
+  std::printf("listening on 127.0.0.1:%u\n", (*worker)->port());
+  std::fflush(stdout);
+  // Serve until stdin closes, mirroring `serve`: the worker is meant to
+  // run as a supervised co-process, and EOF is the shutdown signal.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  return 0;
+}
+
+int CmdServeShards(const Args& args) {
+  if (!args.positional.empty()) return Usage();
+  const std::string manifest_path = *args.Flag("shards");
+  auto manifest = shard::LoadManifest(manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "error: %s\n", manifest.status().ToString().c_str());
+    return 2;
+  }
+  const size_t top = static_cast<size_t>(args.FlagInt("top", 10));
+
+  // Either connect to an already-running fleet (--workers, one loopback
+  // port per shard in shard order) or start the workers in this process
+  // on ephemeral ports. Both paths serve through the same sockets, so
+  // answers are byte-identical; in-process is the one-command mode,
+  // multi-process is what tools/shard_smoke.py drives.
+  std::vector<std::unique_ptr<shard::ShardWorker>> local_workers;
+  std::vector<uint16_t> ports;
+  if (auto csv = args.Flag("workers")) {
+    size_t begin = 0;
+    while (begin < csv->size()) {
+      size_t end = csv->find(',', begin);
+      if (end == std::string::npos) end = csv->size();
+      ports.push_back(static_cast<uint16_t>(
+          std::strtoul(csv->substr(begin, end - begin).c_str(), nullptr,
+                       10)));
+      begin = end + 1;
+    }
+  } else {
+    shard::ShardWorker::Options options;
+    options.service.num_threads =
+        static_cast<int>(args.FlagInt("threads", 0));
+    for (uint32_t i = 0; i < manifest->num_shards; ++i) {
+      auto worker = shard::ShardWorker::Start(manifest_path, i, options);
+      if (!worker) {
+        std::fprintf(stderr, "error: shard %u: %s\n", i,
+                     worker.status().ToString().c_str());
+        return 2;
+      }
+      ports.push_back((*worker)->port());
+      local_workers.push_back(*std::move(worker));
+    }
+  }
+  auto coordinator = shard::Coordinator::Connect(*std::move(manifest), ports);
+  if (!coordinator) {
+    std::fprintf(stderr, "error: %s\n",
+                 coordinator.status().ToString().c_str());
+    return 2;
+  }
+  shard::Coordinator& coord = **coordinator;
+  std::printf("serving %u shard(s) from %s (%s workers; blank line answers "
+              "the pending batch; directives: epoch, stats)\n",
+              coord.num_shards(), manifest_path.c_str(),
+              local_workers.empty() ? "external" : "in-process");
+  std::fflush(stdout);
+
+  std::vector<QueryRequest> pending;
+  const auto Flush = [&] {
+    if (!pending.empty()) {
+      auto batch = coord.Answer(pending);
+      if (!batch) {
+        std::fprintf(stderr, "error: %s\n",
+                     batch.status().ToString().c_str());
+      } else {
+        std::string out;
+        uint64_t epoch = 0;
+        for (size_t i = 0; i < pending.size(); ++i) {
+          out += serve::FormatAnswer(pending[i], batch->results[i], top);
+        }
+        for (uint64_t e : batch->shard_epochs) epoch = std::max(epoch, e);
+        // Same trailer as single-view serving; with one shard the whole
+        // response is byte-identical to `pegasus serve` on that shard.
+        out += "epoch " + std::to_string(epoch) + "\n";
+        std::fputs(out.c_str(), stdout);
+      }
+      pending.clear();
+    }
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  const auto Reject = [&line_no](const std::string& message) {
+    std::fprintf(stderr, "error: stdin:%zu: %s\n", line_no, message.c_str());
+  };
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    const auto NoTrailing = [&](const char* directive) {
+      std::string extra;
+      if (ls >> extra) {
+        Reject(std::string(directive) + ": unexpected trailing token '" +
+               extra + "'");
+        return false;
+      }
+      return true;
+    };
+    if (first.empty()) {
+      Flush();
+    } else if (first[0] == '#') {
+      continue;
+    } else if (first == "epoch") {
+      if (!NoTrailing("epoch")) continue;
+      Flush();
+      auto epochs = coord.GatherEpochs();
+      if (!epochs) {
+        Reject(epochs.status().ToString());
+        continue;
+      }
+      // One line per shard: each worker swaps epochs independently.
+      for (uint32_t s = 0; s < coord.num_shards(); ++s) {
+        std::printf("shard %u epoch %llu\n", s,
+                    static_cast<unsigned long long>((*epochs)[s]));
+      }
+      std::fflush(stdout);
+    } else if (first == "stats") {
+      if (!NoTrailing("stats")) continue;
+      Flush();
+      auto stats = coord.GatherStats();
+      if (!stats) {
+        Reject(stats.status().ToString());
+        continue;
+      }
+      std::fputs(stats->c_str(), stdout);
+      std::fflush(stdout);
+    } else {
+      QueryRequest request;
+      if (Status s = serve::ParseQueryLine(line, &request); !s) {
+        Reject(s.message() + "; directives: epoch, stats");
+        continue;
+      }
+      if (auto canon = CanonicalizeRequest(request,
+                                           coord.manifest().num_nodes);
+          !canon) {
+        Reject(canon.status().ToString());
+        continue;
+      }
+      pending.push_back(request);
+    }
+  }
+  Flush();
+  return 0;
+}
+
 int CmdEvaluate(const Args& args) {
   if (args.positional.size() != 2) return Usage();
   auto graph = LoadEdgeList(args.positional[0]);
@@ -707,8 +959,14 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "summarize") return CmdSummarize(args);
   if (command == "query") return CmdQuery(args);
-  if (command == "serve") return CmdServe(args);
+  if (command == "serve") {
+    // `serve --shards <manifest>` is the scatter-gather coordinator;
+    // plain `serve <summary>` the single-view service.
+    return args.Flag("shards") ? CmdServeShards(args) : CmdServe(args);
+  }
   if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "shard-build") return CmdShardBuild(args);
+  if (command == "shard-worker") return CmdShardWorker(args);
   if (command == "compress") return CmdCompress(args);
   if (command == "view") return CmdView(args);
   if (command == "convert") return CmdConvert(args);

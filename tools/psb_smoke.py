@@ -27,7 +27,7 @@ import subprocess
 import sys
 import tempfile
 
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 K_BATCH, K_PUBLISH = 0x01, 0x02
 K_OK, K_ERROR = 0x81, 0xE1
 

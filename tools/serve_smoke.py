@@ -27,7 +27,7 @@ import sys
 import tempfile
 import os
 
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 K_BATCH, K_PUBLISH, K_STATS, K_EPOCH = 0x01, 0x02, 0x03, 0x04
 K_OK, K_ERROR = 0x81, 0xE1
 
