@@ -1,0 +1,524 @@
+// Workload-replay traffic benchmark (tentpole of ISSUE 10).
+//
+// Replays an open-loop serving workload against a resident QueryService
+// and reports tail latency under realistic traffic, then enforces the
+// KernelPlan speed contract:
+//
+//   * traffic model — node popularity is Zipf(1.0) over a seeded node
+//     permutation (a few nodes soak most requests, the tail is long);
+//     arrivals are bursty (two-state modulated Poisson: calm rate r,
+//     bursts at 4r with geometric dwell); the query-family mix is a
+//     weighted draw, with two built-in mixes (read-heavy,
+//     analytics-heavy) and an override via
+//     PEGASUS_REPLAY_MIX="neighbors=6,rwr=2,..." for custom traffic.
+//     Every draw is seeded: the same scale replays the same stream.
+//   * open-loop queueing — requests are executed back-to-back through
+//     QueryService::AnswerOne and each service time is measured; the
+//     arrival schedule is then pushed through the single-server queue
+//     recurrence C_i = max(A_i, C_{i-1}) + s_i, so reported latency
+//     (C_i - A_i) includes the queueing delay an open-loop client
+//     actually sees when the service falls behind a burst. The offered
+//     rate is calibrated to ~70% of the measured closed-loop capacity,
+//     so bursts push the queue without drowning it.
+//   * kernel-speedup gate — the fused KernelPlan sweeps (gather RWR /
+//     PageRank, segmented PHP) must beat the pre-plan reference sweeps,
+//     with byte-identical scores, by >= 1.3x as a geometric mean over
+//     the six family x density-mode rows (rwr/php/pagerank, weighted
+//     and unweighted). Any shortfall or divergence fails the bench (and
+//     with it tools/run_benchmarks.sh, CI, and the ctest smoke entry).
+//
+// The graph is pinned at 30k nodes across scales — kernel speedups are a
+// property of the summary's working set, not of traffic volume — and
+// PEGASUS_BENCH_SCALE grows the replayed request count and the gate's
+// sample size instead.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/pegasus.h"
+#include "src/graph/generators.h"
+#include "src/query/kernel_scratch.h"
+#include "src/query/query_engine.h"
+#include "src/query/summary_view.h"
+#include "src/serve/query_service.h"
+
+namespace pegasus::bench {
+namespace {
+
+constexpr double kMinKernelSpeedup = 1.3;
+constexpr uint64_t kReplaySeed = 0x9a75c0de;
+
+// --- Traffic model ----------------------------------------------------------
+
+// One query family's share of a mix.
+struct MixEntry {
+  QueryKind kind;
+  double weight;
+};
+
+struct Mix {
+  std::string name;
+  std::vector<MixEntry> entries;
+};
+
+// Serving traffic skews heavily toward cheap structural reads; the
+// analytics mix shifts mass onto the iterative kernels so the fused
+// sweeps dominate the replay.
+std::vector<Mix> BuiltinMixes() {
+  return {
+      {"read-heavy",
+       {{QueryKind::kNeighbors, 55},
+        {QueryKind::kHop, 10},
+        {QueryKind::kDegree, 15},
+        {QueryKind::kRwr, 8},
+        {QueryKind::kPhp, 5},
+        {QueryKind::kPageRank, 4},
+        {QueryKind::kClustering, 3}}},
+      {"analytics-heavy",
+       {{QueryKind::kNeighbors, 25},
+        {QueryKind::kHop, 5},
+        {QueryKind::kDegree, 10},
+        {QueryKind::kRwr, 25},
+        {QueryKind::kPhp, 15},
+        {QueryKind::kPageRank, 12},
+        {QueryKind::kClustering, 8}}},
+  };
+}
+
+// PEGASUS_REPLAY_MIX="neighbors=6,rwr=2" replaces the built-in mixes
+// with one custom mix. Unknown families or non-positive weights are a
+// usage error (the bench exits nonzero rather than replaying something
+// other than what was asked for).
+bool ParseMixOverride(const char* spec, std::vector<Mix>& mixes) {
+  Mix custom{"custom", {}};
+  std::string s(spec);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t comma = s.find(',', pos);
+    const std::string term =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? s.size() : comma + 1;
+    const size_t eq = term.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad PEGASUS_REPLAY_MIX term '%s' (want fam=w)\n",
+                   term.c_str());
+      return false;
+    }
+    const auto kind = ParseQueryKind(term.substr(0, eq));
+    const double weight = std::atof(term.c_str() + eq + 1);
+    if (!kind || !(weight > 0)) {
+      std::fprintf(stderr, "bad PEGASUS_REPLAY_MIX term '%s'\n", term.c_str());
+      return false;
+    }
+    custom.entries.push_back({*kind, weight});
+  }
+  if (custom.entries.empty()) return false;
+  mixes = {std::move(custom)};
+  return true;
+}
+
+// Zipf(s = 1.0) popularity over a seeded permutation of the node ids:
+// rank r is drawn with probability proportional to 1/r, and the
+// permutation decides which node holds which rank (so popularity is not
+// correlated with generator-assigned ids).
+class ZipfNodes {
+ public:
+  ZipfNodes(NodeId num_nodes, uint64_t seed) : by_rank_(num_nodes) {
+    for (NodeId u = 0; u < num_nodes; ++u) by_rank_[u] = u;
+    Rng rng(SplitMix64(seed));
+    rng.Shuffle(by_rank_);
+    cdf_.resize(num_nodes);
+    double total = 0.0;
+    for (NodeId r = 0; r < num_nodes; ++r) {
+      total += 1.0 / static_cast<double>(r + 1);
+      cdf_[r] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  NodeId Sample(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const size_t rank = std::min<size_t>(it - cdf_.begin(), cdf_.size() - 1);
+    return by_rank_[rank];
+  }
+
+ private:
+  std::vector<NodeId> by_rank_;
+  std::vector<double> cdf_;
+};
+
+// The replayed stream: requests plus their open-loop arrival offsets.
+struct Workload {
+  std::vector<QueryRequest> requests;
+  std::vector<double> arrival;  // seconds from stream start, ascending
+};
+
+Workload GenerateWorkload(const Mix& mix, const ZipfNodes& zipf,
+                          size_t count, double offered_qps, uint64_t seed) {
+  Workload w;
+  w.requests.reserve(count);
+  w.arrival.reserve(count);
+  double total_weight = 0.0;
+  for (const MixEntry& e : mix.entries) total_weight += e.weight;
+
+  Rng rng(SplitMix64(seed));
+  double clock = 0.0;
+  bool burst = false;
+  for (size_t i = 0; i < count; ++i) {
+    // Family: weighted draw over the mix.
+    double pick = rng.UniformDouble() * total_weight;
+    QueryKind kind = mix.entries.back().kind;
+    for (const MixEntry& e : mix.entries) {
+      if (pick < e.weight) {
+        kind = e.kind;
+        break;
+      }
+      pick -= e.weight;
+    }
+    QueryRequest req;
+    req.kind = kind;
+    req.node = IsNodeQuery(kind) ? zipf.Sample(rng) : 0;
+    w.requests.push_back(req);
+
+    // Arrival: exponential gaps, rate modulated by a two-state burst
+    // process (bursts arrive 4x faster and dwell ~10 requests).
+    const double rate = burst ? 4.0 * offered_qps : offered_qps;
+    clock += -std::log(1.0 - rng.UniformDouble()) / rate;
+    w.arrival.push_back(clock);
+    burst = burst ? !rng.Bernoulli(0.1) : rng.Bernoulli(0.02);
+  }
+  return w;
+}
+
+// --- Replay -----------------------------------------------------------------
+
+struct ReplayStats {
+  size_t count = 0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  std::vector<double> latency;                   // seconds, one per request
+  std::vector<std::vector<double>> by_family;    // indexed by QueryKind
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+// Executes the stream through the service (measuring each service time),
+// then pushes the arrival schedule through the single-server queue
+// recurrence so latencies include open-loop queueing delay.
+bool Replay(QueryService& service, const Workload& w, ReplayStats& stats) {
+  const size_t n = w.requests.size();
+  std::vector<double> service_secs(n);
+  for (size_t i = 0; i < n; ++i) {
+    Timer timer;
+    auto result = service.AnswerOne(w.requests[i]);
+    service_secs[i] = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL: request %zu: %s\n", i,
+                   result.status().ToString().c_str());
+      return false;
+    }
+  }
+
+  stats.count = n;
+  stats.latency.resize(n);
+  stats.by_family.assign(7, {});
+  double completion = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    completion = std::max(w.arrival[i], completion) + service_secs[i];
+    stats.latency[i] = completion - w.arrival[i];
+    stats.by_family[static_cast<size_t>(w.requests[i].kind)].push_back(
+        stats.latency[i]);
+  }
+  const double span = w.arrival.back() - w.arrival.front();
+  stats.offered_qps = span > 0 ? static_cast<double>(n) / span : 0.0;
+  const double busy = completion - w.arrival.front();
+  stats.achieved_qps = busy > 0 ? static_cast<double>(n) / busy : 0.0;
+  return true;
+}
+
+// Mean closed-loop service time over a prefix of the stream, measured
+// against a warmed service — the capacity estimate the offered rate is
+// calibrated from.
+double CalibrateMeanServiceSecs(QueryService& service,
+                                const std::vector<QueryRequest>& requests) {
+  for (const QueryRequest& req : requests) {  // warm cache + buffers
+    if (!service.AnswerOne(req).ok()) return 0.0;
+  }
+  Timer timer;
+  for (const QueryRequest& req : requests) {
+    if (!service.AnswerOne(req).ok()) return 0.0;
+  }
+  return timer.ElapsedSeconds() / static_cast<double>(requests.size());
+}
+
+// --- Kernel-speedup gate ----------------------------------------------------
+
+template <typename Fn>
+double BestSeconds(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    fn();
+    const double secs = timer.ElapsedSeconds();
+    if (rep == 0 || secs < best) best = secs;
+  }
+  return best;
+}
+
+// Times the fused KernelPlan sweep against the reference sweep for one
+// iterative family over a fixed query sample, checking byte-identity on
+// the side. Returns false (and reports) if the bytes ever diverge.
+struct GateRow {
+  const char* family;
+  double ref_secs;
+  double fused_secs;
+  bool identical;
+};
+
+bool RunKernelGate(const SummaryView& view, const std::vector<NodeId>& sample,
+                   int reps, std::vector<GateRow>& rows) {
+  const IterativeQueryOptions opts;  // full 100 sweeps: stable timing
+  // Fused calls reuse one scratch, matching the steady-state serving
+  // configuration (QueryService leases pooled scratch per worker).
+  KernelScratch scratch;
+  bool all_identical = true;
+
+  const auto time_pair = [&](const char* family, auto&& fused,
+                             auto&& reference) {
+    bool identical = true;
+    for (NodeId q : sample) {
+      if (fused(q, opts) != reference(q, opts)) identical = false;
+    }
+    // Reference and fused reps interleave so slow drift (VM throttling,
+    // frequency scaling) hits both sides equally; best-of keeps the
+    // least-perturbed rep of each.
+    double fused_secs = 0.0, ref_secs = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer fused_timer;
+      for (NodeId q : sample) (void)fused(q, opts);
+      const double fs = fused_timer.ElapsedSeconds();
+      if (rep == 0 || fs < fused_secs) fused_secs = fs;
+
+      Timer ref_timer;
+      for (NodeId q : sample) (void)reference(q, opts);
+      const double rs = ref_timer.ElapsedSeconds();
+      if (rep == 0 || rs < ref_secs) ref_secs = rs;
+    }
+    rows.push_back({family, ref_secs, fused_secs, identical});
+    all_identical = all_identical && identical;
+  };
+
+  // Both density modes: weighted exercises the compacted-CSR gather,
+  // unweighted additionally the uniform-density shortcut (the fused
+  // sweeps never touch the density array at all).
+  for (bool weighted : {true, false}) {
+    time_pair(
+        weighted ? "rwr/w" : "rwr/uw",
+        [&](NodeId q, const IterativeQueryOptions& o) {
+          return SummaryRwrScores(view, q, 0.05, weighted, o, &scratch);
+        },
+        [&](NodeId q, const IterativeQueryOptions& o) {
+          return SummaryRwrScoresReference(view, q, 0.05, weighted, o);
+        });
+    time_pair(
+        weighted ? "php/w" : "php/uw",
+        [&](NodeId q, const IterativeQueryOptions& o) {
+          return SummaryPhpScores(view, q, 0.95, weighted, o, &scratch);
+        },
+        [&](NodeId q, const IterativeQueryOptions& o) {
+          return SummaryPhpScoresReference(view, q, 0.95, weighted, o);
+        });
+    time_pair(
+        weighted ? "pagerank/w" : "pagerank/uw",
+        [&](NodeId, const IterativeQueryOptions& o) {
+          return SummaryPageRank(view, 0.85, weighted, o, &scratch);
+        },
+        [&](NodeId, const IterativeQueryOptions& o) {
+          return SummaryPageRankReference(view, 0.85, weighted, o);
+        });
+  }
+  return all_identical;
+}
+
+// --- Driver -----------------------------------------------------------------
+
+int Run() {
+  Banner("bench_workload_replay",
+         "open-loop traffic replay (Zipf nodes, bursty arrivals, mixed "
+         "families) over QueryService: p50/p99/p999 latency and QPS per "
+         "mix, plus the KernelPlan >=1.3x iterative-kernel speed gate");
+  const DatasetScale scale = BenchScaleFromEnv();
+  size_t replay_requests = 0, gate_queries = 0;
+  int gate_reps = 0;
+  switch (scale) {
+    case DatasetScale::kTiny:
+      replay_requests = 1500;
+      gate_queries = 16;
+      gate_reps = 7;
+      break;
+    case DatasetScale::kSmall:
+      replay_requests = 6000;
+      gate_queries = 16;
+      gate_reps = 5;
+      break;
+    case DatasetScale::kDefault:
+      replay_requests = 24000;
+      gate_queries = 32;
+      gate_reps = 5;
+      break;
+    case DatasetScale::kPaper:
+      replay_requests = 96000;
+      gate_queries = 64;
+      gate_reps = 7;
+      break;
+  }
+  constexpr NodeId kGraphNodes = 30000;  // pinned: see header comment
+
+  // m = 8 / ratio 0.15 give a denser summary (longer CSR rows) than the
+  // other serving benches use: row length is what the branch-free fused
+  // sweeps amortize their setup over, and the speedup gate below should
+  // measure the kernels, not per-row dispatch overhead.
+  Graph graph = GenerateBarabasiAlbert(kGraphNodes, 8, 11);
+  PegasusConfig config;
+  config.seed = 5;
+  auto summarized =
+      *SummarizeGraphToRatio(graph, SampleNodes(graph, 50, 13), 0.15, config);
+  const SummaryGraph& summary = summarized.summary;
+  const SummaryView view(summary);
+  const KernelPlan& plan = view.kernel_plan();
+  std::printf("graph: BA, %u nodes, %llu edges; summary: %u supernodes, "
+              "%llu superedges; fused gates: gather=%s segmented=%s\n\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              summary.num_supernodes(),
+              static_cast<unsigned long long>(summary.num_superedges()),
+              plan.GatherOk(true) ? "on" : "OFF",
+              plan.SegmentedOk(true) ? "on" : "OFF");
+
+  std::vector<Mix> mixes = BuiltinMixes();
+  if (const char* spec = std::getenv("PEGASUS_REPLAY_MIX")) {
+    if (!ParseMixOverride(spec, mixes)) return 2;
+  }
+  const ZipfNodes zipf(graph.num_nodes(), kReplaySeed);
+
+  // --- Part 1: replay each mix ---------------------------------------------
+  Table summary_table({"mix", "requests", "offered_qps", "achieved_qps",
+                       "p50_ms", "p99_ms", "p999_ms"});
+  bool replay_ok = true;
+  for (size_t m = 0; m < mixes.size(); ++m) {
+    const Mix& mix = mixes[m];
+    QueryService service(summary, {.num_threads = 0});
+
+    // Calibrate the offered rate to ~70% of closed-loop capacity from a
+    // seeded sample of this mix's own traffic.
+    const size_t calib_count = std::min<size_t>(replay_requests, 400);
+    const Workload calib = GenerateWorkload(mix, zipf, calib_count,
+                                            /*offered_qps=*/1.0,
+                                            kReplaySeed + 1000 + m);
+    const double mean_secs = CalibrateMeanServiceSecs(service, calib.requests);
+    if (mean_secs <= 0.0) return 1;
+    const double offered_qps = 0.7 / mean_secs;
+
+    const Workload w = GenerateWorkload(mix, zipf, replay_requests,
+                                        offered_qps, kReplaySeed + 2000 + m);
+    ReplayStats stats;
+    if (!Replay(service, w, stats)) {
+      replay_ok = false;
+      continue;
+    }
+
+    Table mix_table({"family", "requests", "p50_ms", "p99_ms", "p999_ms"});
+    for (size_t k = 0; k < stats.by_family.size(); ++k) {
+      std::vector<double>& lat = stats.by_family[k];
+      if (lat.empty()) continue;
+      std::sort(lat.begin(), lat.end());
+      mix_table.AddRow({QueryKindName(static_cast<QueryKind>(k)),
+                        FormatCount(lat.size()),
+                        FormatDouble(Percentile(lat, 0.50) * 1e3, 3),
+                        FormatDouble(Percentile(lat, 0.99) * 1e3, 3),
+                        FormatDouble(Percentile(lat, 0.999) * 1e3, 3)});
+    }
+    Finish(mix_table, "mix " + mix.name +
+                          ": per-family open-loop latency (queueing "
+                          "delay included)");
+
+    std::sort(stats.latency.begin(), stats.latency.end());
+    summary_table.AddRow(
+        {mix.name, FormatCount(stats.count), FormatDouble(stats.offered_qps, 1),
+         FormatDouble(stats.achieved_qps, 1),
+         FormatDouble(Percentile(stats.latency, 0.50) * 1e3, 3),
+         FormatDouble(Percentile(stats.latency, 0.99) * 1e3, 3),
+         FormatDouble(Percentile(stats.latency, 0.999) * 1e3, 3)});
+  }
+  Finish(summary_table,
+         "per-mix replay: offered rate = 0.7x closed-loop capacity; "
+         "achieved_qps < offered_qps means the queue never drained");
+
+  // --- Part 2: kernel-speedup gate -----------------------------------------
+  const std::vector<NodeId> sample = SampleNodes(graph, gate_queries, 19);
+  std::vector<GateRow> gate_rows;
+  const bool gate_identical = RunKernelGate(view, sample, gate_reps, gate_rows);
+
+  // The gate is the geometric mean across the three iterative families:
+  // per-family timings on a 1-vCPU CI box carry ~10% jitter even
+  // interleaved and best-of'd, and the contract is about the fused
+  // kernel layer, not about one family winning a coin flip. Per-family
+  // speedups stay in the table (and the artifact) for trend tracking.
+  Table gate_table({"family", "queries", "reference_s", "fused_s", "speedup",
+                    "identical"});
+  double speedup_product = 1.0;
+  for (const GateRow& row : gate_rows) {
+    const double speedup =
+        row.fused_secs > 0 ? row.ref_secs / row.fused_secs : 0.0;
+    speedup_product *= speedup;
+    gate_table.AddRow({row.family, FormatCount(sample.size()),
+                       FormatDouble(row.ref_secs, 4),
+                       FormatDouble(row.fused_secs, 4),
+                       FormatDouble(speedup, 2),
+                       row.identical ? "yes" : "NO"});
+  }
+  const double gate_speedup =
+      std::pow(speedup_product, 1.0 / static_cast<double>(gate_rows.size()));
+  const bool gate_fast_enough = gate_speedup >= kMinKernelSpeedup;
+  gate_table.AddRow({"geomean", FormatCount(sample.size()), "", "",
+                     FormatDouble(gate_speedup, 2), ""});
+  Finish(gate_table,
+         "KernelPlan fused sweeps vs pre-plan reference sweeps, best of " +
+             std::to_string(gate_reps) + " interleaved reps over " +
+             std::to_string(sample.size()) +
+             " full-depth queries; gate: geomean speedup >= 1.3");
+
+  if (!replay_ok) return 1;
+  if (!gate_identical) {
+    std::fprintf(stderr,
+                 "FAIL: fused kernel scores diverged from the reference "
+                 "sweeps\n");
+    return 1;
+  }
+  if (!gate_fast_enough) {
+    std::fprintf(stderr,
+                 "FAIL: fused kernels at %.2fx, below the %.1fx speedup "
+                 "gate (see table above)\n",
+                 gate_speedup, kMinKernelSpeedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pegasus::bench
+
+int main() { return pegasus::bench::Run(); }

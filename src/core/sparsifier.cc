@@ -21,6 +21,7 @@ uint64_t SparsifyToBudget(const Graph& graph, CostModel& cost,
   std::vector<Scored> scored;
   const uint32_t s = summary.num_supernodes();
   for (SupernodeId a : summary.ActiveSupernodes()) {
+    // lint: hot-snapshot-ok(per-row snapshot: argument a changes each pass)
     for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
       (void)w;
       if (b < a) continue;  // each unordered superedge once

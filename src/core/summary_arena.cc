@@ -120,6 +120,8 @@ StatusOr<std::shared_ptr<const SummaryArena>> SummaryArena::Map(
                 return st2;  // arena dtor unmaps
               }
             }
+            arena->plan_ = std::make_shared<const KernelPlan>(
+                KernelPlan::Build(arena->layout_));
             return std::shared_ptr<const SummaryArena>(std::move(arena));
           }
           // Compact sections: fall through to the heap decoder (which
@@ -152,6 +154,8 @@ StatusOr<std::shared_ptr<const SummaryArena>> SummaryArena::Map(
   if (opts.validate_structure) {
     if (Status st = CheckLayoutBounds(arena->layout_, path); !st) return st;
   }
+  arena->plan_ =
+      std::make_shared<const KernelPlan>(KernelPlan::Build(arena->layout_));
   return std::shared_ptr<const SummaryArena>(std::move(arena));
 }
 

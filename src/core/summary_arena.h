@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/kernel_plan.h"
 #include "src/core/psb_format.h"
 #include "src/core/summary_layout.h"
 #include "src/util/status.h"
@@ -74,12 +75,21 @@ class SummaryArena {
 
   const std::string& path() const { return path_; }
 
+  // Iterative-kernel transition arrays, derived once at attach time so
+  // every SummaryView over this arena shares them (the one part of
+  // serving state a mapped file cannot carry: docs/FORMAT.md stores the
+  // thirteen layout arrays only). Always non-null after Map().
+  const std::shared_ptr<const KernelPlan>& kernel_plan() const {
+    return plan_;
+  }
+
  private:
   SummaryArena() = default;
 
   std::string path_;
   psb::PsbHeader header_;
   SummaryLayout layout_;
+  std::shared_ptr<const KernelPlan> plan_;
 
   // Exactly one backing is active: the mapping, or the decoded arrays.
   void* map_base_ = nullptr;

@@ -36,6 +36,7 @@ Status SaveSummary(const SummaryGraph& summary, const std::string& path) {
   // load/save round trip is byte-stable).
   for (SupernodeId a = 0; a < summary.id_bound(); ++a) {
     if (!summary.alive(a)) continue;
+    // lint: hot-snapshot-ok(per-row snapshot: argument a changes each pass)
     for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
       if (b < a) continue;  // each unordered pair once
       out << dense[a] << ' ' << dense[b] << ' ' << w << '\n';

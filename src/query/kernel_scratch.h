@@ -1,0 +1,94 @@
+// KernelScratch — reusable working memory for the iterative kernels.
+//
+// Every RWR / PHP / PageRank call needs three supernode-sized double
+// arrays (scores plus two ping-pong buffers). Allocating them per query
+// is measurable at serving scale, so the query engine threads a
+// KernelScratch through instead: buffers grow to the largest summary
+// they have served and are reused verbatim afterwards — steady-state
+// serving does zero internal allocations per iterative query.
+//
+// A KernelScratch is single-query state and must never be shared by two
+// concurrent kernels. Executor worker ids are only unique within one
+// job (src/util/parallel.h), so per-worker-id scratch would alias
+// across concurrently admitted batches; KernelScratchPool instead hands
+// out exclusive leases from a mutex-guarded freelist (the lock is taken
+// once per query, not per sweep). The pool grows to the high-water mark
+// of concurrent iterative queries and holds its buffers for the life of
+// the service.
+//
+// Scratch contents are uninitialized between uses; kernels must write
+// before they read (they fill every slot up front). Nothing here
+// affects answer bytes — byte-identity is pinned by the golden hashes.
+
+#ifndef PEGASUS_QUERY_KERNEL_SCRATCH_H_
+#define PEGASUS_QUERY_KERNEL_SCRATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pegasus {
+
+struct KernelScratch {
+  std::vector<double> scores;  // rho / phi
+  std::vector<double> ping;    // rate or total, current sweep
+  std::vector<double> pong;    // rate or total, next sweep
+
+  // Grows (never shrinks) each buffer to at least n slots.
+  void Reserve(size_t n) {
+    if (scores.size() < n) scores.resize(n);
+    if (ping.size() < n) ping.resize(n);
+    if (pong.size() < n) pong.resize(n);
+  }
+};
+
+class KernelScratchPool {
+ public:
+  // Exclusive ownership of one scratch; returns it on destruction.
+  class Lease {
+   public:
+    Lease(KernelScratchPool* pool, std::unique_ptr<KernelScratch> scratch)
+        : pool_(pool), scratch_(std::move(scratch)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), scratch_(std::move(other.scratch_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (scratch_ != nullptr) pool_->Return(std::move(scratch_));
+    }
+
+    KernelScratch* get() const { return scratch_.get(); }
+
+   private:
+    KernelScratchPool* pool_;
+    std::unique_ptr<KernelScratch> scratch_;
+  };
+
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<KernelScratch> scratch = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(scratch));
+      }
+    }
+    return Lease(this, std::make_unique<KernelScratch>());
+  }
+
+ private:
+  void Return(std::unique_ptr<KernelScratch> scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(scratch));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<KernelScratch>> free_;
+};
+
+}  // namespace pegasus
+
+#endif  // PEGASUS_QUERY_KERNEL_SCRATCH_H_

@@ -144,7 +144,8 @@ StatusOr<QueryRequest> CanonicalizeRequest(const QueryRequest& request,
   return canon;
 }
 
-QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request) {
+QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request,
+                        KernelScratch* scratch) {
   const double param = request.param >= 0.0 ? request.param
                                             : DefaultQueryParam(request.kind);
   QueryResult result;
@@ -158,18 +159,18 @@ QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request) {
       break;
     case QueryKind::kRwr:
       result.scores = SummaryRwrScores(view, request.node, param,
-                                       request.weighted, request.opts);
+                                       request.weighted, request.opts, scratch);
       break;
     case QueryKind::kPhp:
       result.scores = SummaryPhpScores(view, request.node, param,
-                                       request.weighted, request.opts);
+                                       request.weighted, request.opts, scratch);
       break;
     case QueryKind::kDegree:
       result.scores = SummaryDegrees(view, request.weighted);
       break;
     case QueryKind::kPageRank:
-      result.scores =
-          SummaryPageRank(view, param, request.weighted, request.opts);
+      result.scores = SummaryPageRank(view, param, request.weighted,
+                                      request.opts, scratch);
       break;
     case QueryKind::kClustering:
       result.scores = SummaryClusteringCoefficients(view, request.weighted);

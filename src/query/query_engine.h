@@ -130,8 +130,12 @@ int QueryWorkerCount(int num_threads);
 
 // Answers one request on the calling thread. The request should be
 // canonical (CanonicalizeRequest); for compatibility, a sentinel param is
-// still resolved to the family default.
-QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request);
+// still resolved to the family default. `scratch` (optional) is handed to
+// the iterative kernels so steady-state serving reuses one allocation set
+// per worker instead of allocating per query; pass nullptr for one-shot
+// calls.
+QueryResult AnswerQuery(const SummaryView& view, const QueryRequest& request,
+                        KernelScratch* scratch = nullptr);
 
 // Compatibility shims over the QueryService executor: canonicalize every
 // request, then answer the batch on `pool` with the service's cost-aware

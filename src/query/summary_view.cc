@@ -90,6 +90,7 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
     double deg_w = 0.0;
     double deg_uw = 0.0;
     uint64_t pos = edge_begin_[da];
+    // lint: hot-snapshot-ok(per-row snapshot: argument a changes each pass)
     for (const auto& [b, w] : summary.CanonicalSuperedges(a)) {
       const double d = WeightedBlockDensity(summary, a, b, w);
       const double cnt = b == a
@@ -130,10 +131,14 @@ SummaryView::SummaryView(const SummaryGraph& summary) {
   layout_.member_deg_uw = member_deg_uw_.data();
   layout_.self_density_w = self_density_w_.data();
   layout_.self_density_uw = self_density_uw_.data();
+
+  plan_ = std::make_shared<const KernelPlan>(KernelPlan::Build(layout_));
 }
 
 SummaryView::SummaryView(std::shared_ptr<const SummaryArena> arena)
-    : layout_(arena->layout()), arena_(std::move(arena)) {}
+    : layout_(arena->layout()),
+      arena_(std::move(arena)),
+      plan_(arena_->kernel_plan()) {}
 
 int64_t SummaryView::FindEdge(uint32_t a, uint32_t b) const {
   const uint32_t* begin = layout_.edge_dst + layout_.edge_begin[a];
@@ -214,9 +219,9 @@ std::vector<uint32_t> FastSummaryHopDistances(const SummaryView& view,
   return dist;
 }
 
-std::vector<double> SummaryRwrScores(const SummaryView& view, NodeId q,
-                                     double restart_prob, bool weighted,
-                                     const IterativeQueryOptions& opts) {
+std::vector<double> SummaryRwrScoresReference(
+    const SummaryView& view, NodeId q, double restart_prob, bool weighted,
+    const IterativeQueryOptions& opts) {
   const uint32_t s = view.num_supernodes();
   const NodeId n = view.num_nodes();
   const uint32_t a0 = view.supernode_of(q);
@@ -274,9 +279,9 @@ std::vector<double> SummaryRwrScores(const SummaryView& view, NodeId q,
   return out;
 }
 
-std::vector<double> SummaryPhpScores(const SummaryView& view, NodeId q,
-                                     double decay, bool weighted,
-                                     const IterativeQueryOptions& opts) {
+std::vector<double> SummaryPhpScoresReference(
+    const SummaryView& view, NodeId q, double decay, bool weighted,
+    const IterativeQueryOptions& opts) {
   const uint32_t s = view.num_supernodes();
   const NodeId n = view.num_nodes();
   const uint32_t a0 = view.supernode_of(q);
@@ -328,9 +333,9 @@ std::vector<double> SummaryDegrees(const SummaryView& view, bool weighted) {
   return out;
 }
 
-std::vector<double> SummaryPageRank(const SummaryView& view, double damping,
-                                    bool weighted,
-                                    const IterativeQueryOptions& opts) {
+std::vector<double> SummaryPageRankReference(
+    const SummaryView& view, double damping, bool weighted,
+    const IterativeQueryOptions& opts) {
   const uint32_t s = view.num_supernodes();
   const NodeId n = view.num_nodes();
   const uint32_t* dst = view.edge_dst();
@@ -375,6 +380,359 @@ std::vector<double> SummaryPageRank(const SummaryView& view, double damping,
   std::vector<double> out(n);
   for (NodeId u = 0; u < n; ++u) out[u] = rho[view.supernode_of(u)];
   return out;
+}
+
+// --- Fused kernels over the KernelPlan -------------------------------------
+//
+// One pass per sweep instead of the reference's scatter + apply passes:
+// row b gathers its incoming mass (ascending source order — identical
+// to the order the reference's ascending-a scatter deposited it, which
+// KernelPlan::symmetric guarantees visits equal densities), applies the
+// hoisted self rate, updates the score, and computes the *next* sweep's
+// outflow rate inline. Rates are double-buffered (ping/pong) because
+// row b's gather still needs earlier rows' previous-sweep rates.
+//
+// Every floating-point operation below matches a reference operation
+// value-for-value and order-for-order; the only additions relative to
+// the reference are bitwise no-ops (`x * 1.0`, `x + 0.0` on
+// non-negative x). Goldens are the proof — do not "simplify" the
+// arithmetic here without rerunning them.
+
+namespace {
+
+template <bool kWeighted>
+std::vector<double> FusedRwr(const SummaryView& view, const KernelPlan& plan,
+                             NodeId q, double restart_prob,
+                             const IterativeQueryOptions& opts,
+                             KernelScratch& sc) {
+  const uint32_t s = view.num_supernodes();
+  const NodeId n = view.num_nodes();
+  const uint32_t a0 = view.supernode_of(q);
+  const double c = restart_prob;
+  const SummaryLayout& layout = view.layout();
+  const double* mdv = kWeighted ? layout.member_deg_w : layout.member_deg_uw;
+  const double* mcv = layout.member_count;
+  const double* srv =
+      kWeighted ? plan.self_rate_w.data() : plan.self_rate_uw.data();
+  const uint64_t* rb = plan.row_begin.data();
+  const uint32_t* dst = plan.dst.data();
+  const double* den = plan.den_w.data();
+
+  sc.Reserve(s);
+  double* rho = sc.scores.data();   // score of each non-q member
+  double* rate = sc.ping.data();    // this sweep's outflow per degree
+  double* rate_next = sc.pong.data();
+  std::fill_n(rho, s, 1.0 / n);
+  double rho_q = 1.0 / n;  // score of q itself
+
+  // Initial rates from the uniform start vector.
+  for (uint32_t a = 0; a < s; ++a) {
+    const double md = mdv[a];
+    if (md <= 0.0) {
+      rate[a] = 0.0;
+      continue;
+    }
+    const double cnt = mcv[a] - (a == a0 ? 1.0 : 0.0);
+    const double total_a = cnt * rho[a] + (a == a0 ? rho_q : 0.0);
+    rate[a] = total_a / md;
+  }
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    double change = 0.0;
+    double new_rho_q = rho_q;
+    // The query supernode's extra terms are hoisted into the dedicated
+    // a0 block below, so the generic rows carry no per-row `b == a0`
+    // checks. Bitwise-equal to the uniform loop: for b != a0 that loop
+    // computed `mcv[b] - 0.0` and `cnt * rho[b] + 0.0`, both identity
+    // on these non-negative values.
+    const auto generic_rows = [&](uint32_t lo, uint32_t hi) {
+      for (uint32_t b = lo; b < hi; ++b) {
+        double cross_b = 0.0;
+        const uint64_t e = rb[b + 1];
+        if constexpr (kWeighted) {
+          for (uint64_t i = rb[b]; i < e; ++i) cross_b += den[i] * rate[dst[i]];
+        } else {
+          for (uint64_t i = rb[b]; i < e; ++i) cross_b += rate[dst[i]];
+        }
+        const double sr = srv[b];
+        const double cnt = mcv[b];
+        double self_in_members = 0.0;
+        if (sr > 0.0) {
+          self_in_members = sr * (cnt * rho[b] - rho[b]);
+        }
+        const double nb = (1.0 - c) * (cross_b + self_in_members);
+        change += cnt * std::abs(nb - rho[b]);
+        rho[b] = nb;
+        const double md = mdv[b];
+        rate_next[b] = md <= 0.0 ? 0.0 : cnt * nb / md;
+      }
+    };
+    generic_rows(0, a0);
+    {  // b == a0: the row holding q itself
+      double cross_b = 0.0;
+      const uint64_t e = rb[a0 + 1];
+      if constexpr (kWeighted) {
+        for (uint64_t i = rb[a0]; i < e; ++i) cross_b += den[i] * rate[dst[i]];
+      } else {
+        for (uint64_t i = rb[a0]; i < e; ++i) cross_b += rate[dst[i]];
+      }
+      const double sr = srv[a0];
+      const double cnt = mcv[a0] - 1.0;
+      double self_in_members = 0.0;
+      double self_in_q = 0.0;
+      if (sr > 0.0) {
+        const double total_b = cnt * rho[a0] + rho_q;
+        self_in_members = sr * (total_b - rho[a0]);
+        self_in_q = sr * (total_b - rho_q);
+      }
+      const double nb = (1.0 - c) * (cross_b + self_in_members);
+      new_rho_q = c + (1.0 - c) * (cross_b + self_in_q);
+      change += cnt * std::abs(nb - rho[a0]);
+      rho[a0] = nb;
+      const double md = mdv[a0];
+      rate_next[a0] = md <= 0.0 ? 0.0 : cnt * nb / md;
+    }
+    generic_rows(a0 + 1, s);
+    change += std::abs(new_rho_q - rho_q);
+    rho_q = new_rho_q;
+    {  // a0's rate above lacked rho_q, which only settled just now.
+      const double md = mdv[a0];
+      if (md > 0.0) {
+        const double cnt = mcv[a0] - 1.0;
+        rate_next[a0] = (cnt * rho[a0] + new_rho_q) / md;
+      }
+    }
+    std::swap(rate, rate_next);
+    if (change < opts.tolerance) break;
+  }
+
+  std::vector<double> out(n);
+  const uint32_t* n2s = layout.node_to_super;
+  for (NodeId u = 0; u < n; ++u) out[u] = rho[n2s[u]];
+  out[q] = rho_q;
+  return out;
+}
+
+template <bool kWeighted>
+std::vector<double> FusedPhp(const SummaryView& view, const KernelPlan& plan,
+                             NodeId q, double decay,
+                             const IterativeQueryOptions& opts,
+                             KernelScratch& sc) {
+  const uint32_t s = view.num_supernodes();
+  const NodeId n = view.num_nodes();
+  const uint32_t a0 = view.supernode_of(q);
+  const SummaryLayout& layout = view.layout();
+  const double* mdv = kWeighted ? layout.member_deg_w : layout.member_deg_uw;
+  const double* mcv = layout.member_count;
+  const uint64_t* rb = plan.row_begin.data();
+  const uint32_t* dst = plan.dst.data();
+  const double* den = plan.den_w.data();
+  const uint32_t* split = plan.self_split.data();
+  const double* sden = plan.self_den_w.data();
+
+  sc.Reserve(s);
+  double* phi = sc.scores.data();    // non-q member scores
+  double* total = sc.ping.data();    // sum of scores inside supernode
+  double* total_next = sc.pong.data();
+  std::fill_n(phi, s, 0.0);
+  for (uint32_t a = 0; a < s; ++a) {
+    const double cnt = mcv[a] - (a == a0 ? 1.0 : 0.0);
+    total[a] = cnt * phi[a] + (a == a0 ? 1.0 : 0.0);
+  }
+
+  // The reference sums row b in ascending-slot order with the self term
+  // at its slot; the split re-creates that exact order over the
+  // compacted row: left segment, self, right segment.
+  const auto row_incoming = [&](uint32_t b, const double* total_cur) {
+    double incoming = 0.0;
+    const uint64_t base = rb[b];
+    const uint64_t e = rb[b + 1];
+    const uint32_t sp = split[b];
+    if (sp == KernelPlan::kNoSelf) {
+      if constexpr (kWeighted) {
+        for (uint64_t i = base; i < e; ++i)
+          incoming += den[i] * total_cur[dst[i]];
+      } else {
+        for (uint64_t i = base; i < e; ++i) incoming += total_cur[dst[i]];
+      }
+    } else {
+      const uint64_t mid = base + sp;
+      if constexpr (kWeighted) {
+        for (uint64_t i = base; i < mid; ++i)
+          incoming += den[i] * total_cur[dst[i]];
+        incoming += sden[b] * (total_cur[b] - phi[b]);
+        for (uint64_t i = mid; i < e; ++i)
+          incoming += den[i] * total_cur[dst[i]];
+      } else {
+        for (uint64_t i = base; i < mid; ++i) incoming += total_cur[dst[i]];
+        incoming += total_cur[b] - phi[b];
+        for (uint64_t i = mid; i < e; ++i) incoming += total_cur[dst[i]];
+      }
+    }
+    return incoming;
+  };
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    double change = 0.0;
+    // As in FusedRwr: the query supernode's `- 1.0` / `+ 1.0` terms are
+    // hoisted into the a0 block so generic rows skip the per-row
+    // checks; `mcv[b] - 0.0` and `cnt * nb + 0.0` were identities.
+    const auto generic_rows = [&](uint32_t lo, uint32_t hi) {
+      for (uint32_t b = lo; b < hi; ++b) {
+        double nb = 0.0;
+        const double md = mdv[b];
+        if (md > 0.0) {
+          nb = decay * row_incoming(b, total) / md;
+        }
+        const double cnt = mcv[b];
+        change += cnt * std::abs(nb - phi[b]);
+        phi[b] = nb;
+        total_next[b] = cnt * nb;
+      }
+    };
+    generic_rows(0, a0);
+    {  // b == a0: the row holding q itself
+      double nb = 0.0;
+      const double md = mdv[a0];
+      if (md > 0.0) {
+        nb = decay * row_incoming(a0, total) / md;
+      }
+      const double cnt = mcv[a0] - 1.0;
+      change += cnt * std::abs(nb - phi[a0]);
+      phi[a0] = nb;
+      total_next[a0] = cnt * nb + 1.0;
+    }
+    generic_rows(a0 + 1, s);
+    std::swap(total, total_next);
+    if (change < opts.tolerance) break;
+  }
+
+  std::vector<double> out(n);
+  const uint32_t* n2s = layout.node_to_super;
+  for (NodeId u = 0; u < n; ++u) out[u] = phi[n2s[u]];
+  out[q] = 1.0;
+  return out;
+}
+
+template <bool kWeighted>
+std::vector<double> FusedPageRank(const SummaryView& view,
+                                  const KernelPlan& plan, double damping,
+                                  const IterativeQueryOptions& opts,
+                                  KernelScratch& sc) {
+  const uint32_t s = view.num_supernodes();
+  const NodeId n = view.num_nodes();
+  const SummaryLayout& layout = view.layout();
+  const double* mdv = kWeighted ? layout.member_deg_w : layout.member_deg_uw;
+  const double* mcv = layout.member_count;
+  const double* srv =
+      kWeighted ? plan.self_rate_w.data() : plan.self_rate_uw.data();
+  const uint64_t* rb = plan.row_begin.data();
+  const uint32_t* dst = plan.dst.data();
+  const double* den = plan.den_w.data();
+
+  sc.Reserve(s);
+  double* rho = sc.scores.data();  // one score per supernode
+  double* rate = sc.ping.data();
+  double* rate_next = sc.pong.data();
+  std::fill_n(rho, s, 1.0 / n);
+
+  // Initial rates and dangling mass (ascending order, as the reference's
+  // per-sweep scatter pass accumulates them).
+  double dangling = 0.0;
+  for (uint32_t a = 0; a < s; ++a) {
+    const double total_a = mcv[a] * rho[a];
+    const double md = mdv[a];
+    if (md <= 0.0) {
+      dangling += total_a;
+      rate[a] = 0.0;
+      continue;
+    }
+    rate[a] = total_a / md;
+  }
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    double change = 0.0;
+    double next_dangling = 0.0;
+    for (uint32_t b = 0; b < s; ++b) {
+      double incoming = 0.0;
+      const uint64_t e = rb[b + 1];
+      if constexpr (kWeighted) {
+        for (uint64_t i = rb[b]; i < e; ++i) incoming += den[i] * rate[dst[i]];
+      } else {
+        for (uint64_t i = rb[b]; i < e; ++i) incoming += rate[dst[i]];
+      }
+      const double sr = srv[b];
+      double self_in = 0.0;
+      if (sr > 0.0) {
+        // Each member receives from its |b|-1 co-members.
+        self_in = sr * (mcv[b] * rho[b] - rho[b]);
+      }
+      const double nb = base + damping * (incoming + self_in);
+      change += mcv[b] * std::abs(nb - rho[b]);
+      rho[b] = nb;
+      const double total_next = mcv[b] * nb;
+      const double md = mdv[b];
+      if (md <= 0.0) {
+        next_dangling += total_next;
+        rate_next[b] = 0.0;
+      } else {
+        rate_next[b] = total_next / md;
+      }
+    }
+    dangling = next_dangling;
+    std::swap(rate, rate_next);
+    if (change < opts.tolerance) break;
+  }
+
+  std::vector<double> out(n);
+  const uint32_t* n2s = layout.node_to_super;
+  for (NodeId u = 0; u < n; ++u) out[u] = rho[n2s[u]];
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> SummaryRwrScores(const SummaryView& view, NodeId q,
+                                     double restart_prob, bool weighted,
+                                     const IterativeQueryOptions& opts,
+                                     KernelScratch* scratch) {
+  const KernelPlan& plan = view.kernel_plan();
+  if (!plan.GatherOk(weighted)) {
+    return SummaryRwrScoresReference(view, q, restart_prob, weighted, opts);
+  }
+  KernelScratch local;
+  KernelScratch& sc = scratch != nullptr ? *scratch : local;
+  return weighted ? FusedRwr<true>(view, plan, q, restart_prob, opts, sc)
+                  : FusedRwr<false>(view, plan, q, restart_prob, opts, sc);
+}
+
+std::vector<double> SummaryPhpScores(const SummaryView& view, NodeId q,
+                                     double decay, bool weighted,
+                                     const IterativeQueryOptions& opts,
+                                     KernelScratch* scratch) {
+  const KernelPlan& plan = view.kernel_plan();
+  if (!plan.SegmentedOk(weighted)) {
+    return SummaryPhpScoresReference(view, q, decay, weighted, opts);
+  }
+  KernelScratch local;
+  KernelScratch& sc = scratch != nullptr ? *scratch : local;
+  return weighted ? FusedPhp<true>(view, plan, q, decay, opts, sc)
+                  : FusedPhp<false>(view, plan, q, decay, opts, sc);
+}
+
+std::vector<double> SummaryPageRank(const SummaryView& view, double damping,
+                                    bool weighted,
+                                    const IterativeQueryOptions& opts,
+                                    KernelScratch* scratch) {
+  const KernelPlan& plan = view.kernel_plan();
+  if (!plan.GatherOk(weighted)) {
+    return SummaryPageRankReference(view, damping, weighted, opts);
+  }
+  KernelScratch local;
+  KernelScratch& sc = scratch != nullptr ? *scratch : local;
+  return weighted ? FusedPageRank<true>(view, plan, damping, opts, sc)
+                  : FusedPageRank<false>(view, plan, damping, opts, sc);
 }
 
 std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,

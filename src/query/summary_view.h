@@ -45,6 +45,14 @@
 // libraries, thread counts, and processes — the cross-stdlib goldens in
 // tests/determinism_test.cc pin exactly this.
 //
+// Iterative-kernel fast path: both constructors attach a KernelPlan
+// (src/core/kernel_plan.h) — flat transition arrays derived from the
+// layout once — and the RWR / PHP / PageRank kernels run fused
+// branch-free sweeps over it, falling back to the reference sweeps
+// (Summary*Reference below) when a plan gate fails. Fast path and
+// reference path return bit-identical scores; the golden hashes in
+// tests/test_util.h pin both.
+//
 // Thread-safety: a SummaryView is deeply const after construction; any
 // number of threads may query it concurrently (the batched engine in
 // query_engine.h relies on this).
@@ -57,10 +65,12 @@
 #include <span>
 #include <vector>
 
+#include "src/core/kernel_plan.h"
 #include "src/core/summary_graph.h"
 #include "src/core/summary_layout.h"
 #include "src/graph/graph.h"
 #include "src/query/exact_queries.h"
+#include "src/query/kernel_scratch.h"
 
 namespace pegasus {
 
@@ -158,6 +168,11 @@ class SummaryView {
   // SaveSummaryBinary writes. Pointers are valid while the view lives.
   const SummaryLayout& layout() const { return layout_; }
 
+  // Precomputed iterative-kernel arrays (src/core/kernel_plan.h). Built
+  // views derive one at construction; arena-backed views share the plan
+  // the arena derived at attach time. Always non-null.
+  const KernelPlan& kernel_plan() const { return *plan_; }
+
   // Non-null when this view is arena-backed (serving a PSB1 file image).
   const std::shared_ptr<const SummaryArena>& arena() const { return arena_; }
 
@@ -167,6 +182,9 @@ class SummaryView {
   SummaryLayout layout_;
 
   std::shared_ptr<const SummaryArena> arena_;
+
+  // Built path owns its plan; the arena path aliases the arena's.
+  std::shared_ptr<const KernelPlan> plan_;
 
   // Owned storage for the built path (empty when arena-backed).
   std::vector<uint32_t> node_to_super_;  // node -> dense supernode
@@ -198,14 +216,20 @@ std::vector<uint32_t> SummaryHopDistances(const SummaryView& view, NodeId q);
 std::vector<uint32_t> FastSummaryHopDistances(const SummaryView& view,
                                               NodeId q);
 
+// The iterative kernels take an optional KernelScratch: serving paths
+// pass a pooled one (src/query/kernel_scratch.h) so steady state does
+// no internal allocations; nullptr means per-call temporaries.
+
 std::vector<double> SummaryRwrScores(const SummaryView& view, NodeId q,
                                      double restart_prob = 0.05,
                                      bool weighted = true,
-                                     const IterativeQueryOptions& opts = {});
+                                     const IterativeQueryOptions& opts = {},
+                                     KernelScratch* scratch = nullptr);
 
 std::vector<double> SummaryPhpScores(const SummaryView& view, NodeId q,
                                      double decay = 0.95, bool weighted = true,
-                                     const IterativeQueryOptions& opts = {});
+                                     const IterativeQueryOptions& opts = {},
+                                     KernelScratch* scratch = nullptr);
 
 std::vector<double> SummaryDegrees(const SummaryView& view,
                                    bool weighted = true);
@@ -213,7 +237,28 @@ std::vector<double> SummaryDegrees(const SummaryView& view,
 std::vector<double> SummaryPageRank(const SummaryView& view,
                                     double damping = 0.85,
                                     bool weighted = true,
-                                    const IterativeQueryOptions& opts = {});
+                                    const IterativeQueryOptions& opts = {},
+                                    KernelScratch* scratch = nullptr);
+
+// --- Reference sweeps -------------------------------------------------------
+//
+// The pre-KernelPlan formulations, kept verbatim: the fallback when a
+// plan gate fails (see KernelPlan::GatherOk / SegmentedOk), the oracle
+// the fused kernels are byte-compared against in tests, and the
+// yardstick bench_workload_replay's kernel-speedup gate measures
+// against. Same bytes as the fused kernels, always.
+
+std::vector<double> SummaryRwrScoresReference(
+    const SummaryView& view, NodeId q, double restart_prob = 0.05,
+    bool weighted = true, const IterativeQueryOptions& opts = {});
+
+std::vector<double> SummaryPhpScoresReference(
+    const SummaryView& view, NodeId q, double decay = 0.95,
+    bool weighted = true, const IterativeQueryOptions& opts = {});
+
+std::vector<double> SummaryPageRankReference(
+    const SummaryView& view, double damping = 0.85, bool weighted = true,
+    const IterativeQueryOptions& opts = {});
 
 std::vector<double> SummaryClusteringCoefficients(const SummaryView& view,
                                                   bool weighted = true);

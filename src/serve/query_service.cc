@@ -130,7 +130,7 @@ StatusOr<std::vector<QueryRequest>> CanonicalizeBatch(
 std::vector<QueryResult> RunCanonicalBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
     Executor& pool, GlobalResultCache& cache, uint64_t epoch,
-    size_t cheap_grain) {
+    size_t cheap_grain, KernelScratchPool& scratch) {
   const size_t n = requests.size();
   std::vector<QueryResult> results(n);
   if (n == 0) return results;
@@ -167,23 +167,25 @@ std::vector<QueryResult> RunCanonicalBatch(
   std::vector<std::shared_ptr<const std::vector<double>>> key_values(
       keys.size());
   if (!keys.empty()) {
-    pool.ParallelFor(keys.size(), /*grain=*/1,
-                     [&](int /*worker*/, size_t begin, size_t end) {
-                       for (size_t k = begin; k < end; ++k) {
-                         key_values[k] = cache.GetOrCompute(keys[k], [&] {
-                           return AnswerQuery(view, requests[key_request[k]])
-                               .scores;
-                         });
-                       }
-                     });
+    pool.ParallelFor(
+        keys.size(), /*grain=*/1,
+        [&](int /*worker*/, size_t begin, size_t end) {
+          const KernelScratchPool::Lease lease = scratch.Acquire();
+          for (size_t k = begin; k < end; ++k) {
+            key_values[k] = cache.GetOrCompute(keys[k], [&] {
+              return AnswerQuery(view, requests[key_request[k]], lease.get())
+                  .scores;
+            });
+          }
+        });
   }
 
-  const auto answer_one = [&](size_t i) {
+  const auto answer_one = [&](size_t i, KernelScratch* sc) {
     if (!request_key.empty() && request_key[i] >= 0) {
       results[i].kind = requests[i].kind;
       results[i].scores = *key_values[static_cast<size_t>(request_key[i])];
     } else {
-      results[i] = AnswerQuery(view, requests[i]);
+      results[i] = AnswerQuery(view, requests[i], sc);
     }
   };
 
@@ -196,7 +198,10 @@ std::vector<QueryResult> RunCanonicalBatch(
   if (num_cheap == n || num_cheap == 0) {
     pool.ParallelFor(n, num_cheap == n ? cheap_grain : 1,
                      [&](int /*worker*/, size_t begin, size_t end) {
-                       for (size_t i = begin; i < end; ++i) answer_one(i);
+                       const KernelScratchPool::Lease lease = scratch.Acquire();
+                       for (size_t i = begin; i < end; ++i) {
+                         answer_one(i, lease.get());
+                       }
                      });
     return results;
   }
@@ -229,9 +234,10 @@ std::vector<QueryResult> RunCanonicalBatch(
   const size_t num_units = unit_begin.size() - 1;
   pool.ParallelFor(
       num_units, /*grain=*/1, [&](int /*worker*/, size_t begin, size_t end) {
+        const KernelScratchPool::Lease lease = scratch.Acquire();
         for (size_t u = begin; u < end; ++u) {
           for (size_t i = unit_begin[u]; i < unit_begin[u + 1]; ++i) {
-            answer_one(i);
+            answer_one(i, lease.get());
           }
         }
       });
@@ -263,8 +269,10 @@ StatusOr<std::vector<QueryResult>> AnswerBatch(
   // QueryService keeps one alive across batches. Unbounded: it lives for
   // one batch, whose distinct parameterizations bound it already.
   serve::GlobalResultCache cache(/*capacity=*/0);
+  KernelScratchPool scratch;
   return serve::RunCanonicalBatch(view, *canonical, pool, cache,
-                                  /*epoch=*/0, serve::kDefaultCheapGrain);
+                                  /*epoch=*/0, serve::kDefaultCheapGrain,
+                                  scratch);
 }
 
 StatusOr<std::vector<QueryResult>> AnswerBatch(
@@ -352,7 +360,7 @@ StatusOr<QueryService::BatchResult> QueryService::Answer(
   }
   out.results = serve::RunCanonicalBatch(*snap.view, *canonical, pool_,
                                          cache_, snap.epoch,
-                                         options_.cheap_grain);
+                                         options_.cheap_grain, scratch_pool_);
   inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
   return out;
 }
@@ -371,13 +379,18 @@ StatusOr<QueryResult> QueryService::AnswerOne(const QueryRequest& request) {
   }
   auto canon = CanonicalizeRequest(request, snap.view->num_nodes());
   if (!canon) return canon.status();
-  if (IsNodeQuery(canon->kind)) return AnswerQuery(*snap.view, *canon);
+  if (IsNodeQuery(canon->kind)) {
+    const KernelScratchPool::Lease lease = scratch_pool_.Acquire();
+    return AnswerQuery(*snap.view, *canon, lease.get());
+  }
 
   const auto key = serve::GlobalResultCache::MakeKey(snap.epoch, *canon);
   QueryResult result;
   result.kind = canon->kind;
-  result.scores = *cache_.GetOrCompute(
-      key, [&] { return AnswerQuery(*snap.view, *canon).scores; });
+  result.scores = *cache_.GetOrCompute(key, [&] {
+    const KernelScratchPool::Lease lease = scratch_pool_.Acquire();
+    return AnswerQuery(*snap.view, *canon, lease.get()).scores;
+  });
   return result;
 }
 

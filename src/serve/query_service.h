@@ -57,6 +57,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/query/kernel_scratch.h"
 #include "src/query/query_engine.h"
 #include "src/query/summary_view.h"
 #include "src/util/parallel.h"
@@ -152,13 +153,16 @@ class GlobalResultCache {
 // The batch executor shared by QueryService::Answer and the AnswerBatch
 // compatibility shims. `requests` must be canonical. Global queries are
 // resolved through `cache` under `epoch`; node-level queries fan out over
-// `pool` in cost-aware units (see above). Deterministic: results are
-// written to index-addressed slots, so the output is byte-identical for
-// every worker count and every cheap_grain.
+// `pool` in cost-aware units (see above). Iterative kernels draw working
+// memory from `scratch` — one lease per executor unit, so steady-state
+// serving allocates nothing per query (QueryService keeps one pool for
+// its lifetime; the shims use a transient one). Deterministic: results
+// are written to index-addressed slots, so the output is byte-identical
+// for every worker count and every cheap_grain.
 std::vector<QueryResult> RunCanonicalBatch(
     const SummaryView& view, const std::vector<QueryRequest>& requests,
     Executor& pool, GlobalResultCache& cache, uint64_t epoch,
-    size_t cheap_grain);
+    size_t cheap_grain, KernelScratchPool& scratch);
 
 // Loads a summary file into a servable view, dispatching on the file's
 // magic bytes: a PSB1 file (docs/FORMAT.md) is arena-mapped and the view
@@ -255,6 +259,10 @@ class QueryService {
   const Options options_;
   Executor pool_;
   serve::GlobalResultCache cache_;
+  // Reusable iterative-kernel buffers, leased per query; grows to the
+  // high-water mark of concurrent iterative queries and lives as long as
+  // the service (see src/query/kernel_scratch.h).
+  KernelScratchPool scratch_pool_;
 
   mutable std::mutex view_mu_;  // guards view_ / epoch_
   std::shared_ptr<const SummaryView> view_;

@@ -136,29 +136,45 @@ StatusOr<Coordinator::BatchResult> Coordinator::Answer(
     }
   }
 
-  // Scatter to every involved shard before reading anything back, so the
-  // workers compute concurrently; then gather in ascending shard order.
-  // The merge below depends only on the ownership map, so neither the
-  // gather order nor worker-side scheduling can reach the output bytes.
-  for (uint32_t s = 0; s < manifest_.num_shards; ++s) {
-    if (shard_requests[s].empty()) continue;
-    if (Status w = SendBatch(s, shard_requests[s]); !w) return w;
-  }
+  // Scatter-gather fan-out: each involved shard's encode + send + read
+  // is one executor unit on its own socket, so request encoding and a
+  // slow worker's turnaround overlap across shards instead of
+  // serializing. Partials and statuses land in index-addressed slots and
+  // the first error is picked in ascending SHARD order afterwards — the
+  // fan-out schedule cannot reach the output bytes or the reported
+  // error. The merge below depends only on the ownership map.
   BatchResult out;
   out.shard_epochs.assign(manifest_.num_shards, 0);
   std::vector<std::vector<QueryResult>> partials(manifest_.num_shards);
+  std::vector<Status> statuses(manifest_.num_shards, Status::Ok());
+  pool_.ParallelFor(
+      manifest_.num_shards, /*grain=*/1,
+      [&](int /*worker*/, size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+          const uint32_t s = static_cast<uint32_t>(u);
+          if (shard_requests[s].empty()) continue;
+          if (Status w = SendBatch(s, shard_requests[s]); !w) {
+            statuses[s] = std::move(w);
+            continue;
+          }
+          auto partial = ReadPartial(s);
+          if (!partial) {
+            statuses[s] = partial.status();
+            continue;
+          }
+          if (partial->results.size() != shard_requests[s].size()) {
+            statuses[s] = Status::Internal(
+                "shard " + std::to_string(s) + " answered " +
+                std::to_string(partial->results.size()) + " of " +
+                std::to_string(shard_requests[s].size()) + " requests");
+            continue;
+          }
+          out.shard_epochs[s] = partial->epoch;
+          partials[s] = std::move(partial->results);
+        }
+      });
   for (uint32_t s = 0; s < manifest_.num_shards; ++s) {
-    if (shard_requests[s].empty()) continue;
-    auto partial = ReadPartial(s);
-    if (!partial) return partial.status();
-    if (partial->results.size() != shard_requests[s].size()) {
-      return Status::Internal(
-          "shard " + std::to_string(s) + " answered " +
-          std::to_string(partial->results.size()) + " of " +
-          std::to_string(shard_requests[s].size()) + " requests");
-    }
-    out.shard_epochs[s] = partial->epoch;
-    partials[s] = std::move(partial->results);
+    if (!statuses[s]) return statuses[s];
   }
 
   // Merge. Node-local answers come back verbatim from the owning shard;

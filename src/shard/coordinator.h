@@ -15,14 +15,18 @@
 //     shard that OWNS v — each shard's summary is personalized to its
 //     own node set, so the owner's estimate for v is the accurate one.
 //
-// Determinism: requests are written to all involved shards first, then
-// partials are read in ascending shard order, and the ownership merge
-// depends only on the manifest's node → shard map — never on worker
-// arrival order, worker thread counts, or connection scheduling. With a
-// 1-shard manifest every route and every merge degenerates to "copy
-// shard 0's answer", so the coordinator is byte-identical to querying
-// the single worker directly (pinned by tests/coordinator_test.cc
-// against the repo's query goldens).
+// Determinism: the scatter fans out over an executor — each involved
+// shard's encode + send + read runs as one unit on its own socket, so a
+// slow worker never serializes the others — but every unit writes its
+// partial and status to index-addressed slots. Errors are reported in
+// ascending shard order (the first failing shard by index, not by
+// arrival), and the ownership merge runs after the fan-out, in request
+// order, off nothing but the manifest's node → shard map — so neither
+// worker arrival order, worker thread counts, nor connection scheduling
+// can reach the output bytes. With a 1-shard manifest every route and
+// every merge degenerates to "copy shard 0's answer", so the coordinator
+// is byte-identical to querying the single worker directly (pinned by
+// tests/coordinator_test.cc against the repo's query goldens).
 
 #ifndef PEGASUS_SHARD_COORDINATOR_H_
 #define PEGASUS_SHARD_COORDINATOR_H_
@@ -35,6 +39,7 @@
 #include "src/query/query_engine.h"
 #include "src/serve/shard_codec.h"
 #include "src/shard/manifest.h"
+#include "src/util/parallel.h"
 #include "src/util/status.h"
 
 namespace pegasus::shard {
@@ -79,17 +84,22 @@ class Coordinator {
 
  private:
   explicit Coordinator(ShardManifest manifest)
-      : manifest_(std::move(manifest)) {}
+      : manifest_(std::move(manifest)),
+        pool_(QueryWorkerCount(static_cast<int>(manifest_.num_shards))) {}
 
   // Scatter half: one kShardBatch frame to shard `s`. The matching
-  // gather half reads the kShardPartial (all writes go out before any
-  // read so the workers overlap).
+  // gather half reads the kShardPartial. Each shard's send + read pair
+  // runs as one executor unit in Answer() — sockets are per-shard, so
+  // the units never touch the same fd.
   [[nodiscard]] Status SendBatch(uint32_t s,
                                  const std::vector<QueryRequest>& requests);
   [[nodiscard]] StatusOr<serve::ShardPartial> ReadPartial(uint32_t s);
 
   ShardManifest manifest_;
   std::vector<int> fds_;  // one connected socket per shard
+  // Scatter fan-out workers, one per shard at most (capped at the
+  // hardware thread count). A 1-shard coordinator spawns no threads.
+  Executor pool_;
 };
 
 }  // namespace pegasus::shard

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <memory>
@@ -100,10 +101,15 @@ StatusOr<Fleet> StartFleet(const std::string& manifest_path,
 }
 
 // The multi-shard fixture: a 3-shard random-partitioned build of the
-// golden graph, written once and shared by the multi-shard tests.
+// golden graph, written once per process and shared by the multi-shard
+// tests. The directory is pid-suffixed because gtest_discover_tests runs
+// every TEST() as its own ctest entry (own process), and `ctest -j` can
+// run two of them concurrently — a shared directory would let one
+// process checksum a shard PSB while another is still writing it.
 const std::string& MultiShardManifestPath() {
   static const std::string path = [] {
-    const std::string dir = ::testing::TempDir() + "/coord_multi";
+    const std::string dir = ::testing::TempDir() + "/coord_multi_" +
+                            std::to_string(::getpid());
     ShardBuildOptions options;
     options.num_shards = 3;
     options.partitioner = PartitionerKind::kRandom;

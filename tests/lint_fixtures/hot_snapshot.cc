@@ -1,0 +1,93 @@
+// pegasus-lint fixture: the hot-snapshot rule. Scanned by
+// tools/lint_selftest.py, never compiled. See README.md.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+struct Summary {
+  std::vector<std::pair<int, int>> CanonicalSuperedges() const;
+  std::vector<std::pair<int, int>> CanonicalSuperedges(int group) const;
+};
+
+// Hoisted before the loop: the sanctioned shape, clean.
+size_t Hoisted(const Summary& s, int rounds) {
+  const auto edges = s.CanonicalSuperedges();
+  size_t total = 0;
+  for (int r = 0; r < rounds; ++r) total += edges.size();
+  return total;
+}
+
+// Rebuilding the snapshot every iteration of a braced for: flagged.
+size_t PerIterationFor(const Summary& s, int rounds) {
+  size_t total = 0;
+  for (int r = 0; r < rounds; ++r) {
+    total += s.CanonicalSuperedges().size();  // expect-lint: hot-snapshot
+  }
+  return total;
+}
+
+// Single-statement loop bodies are bodies too: flagged.
+size_t PerIterationSingleStatement(const Summary& s, int rounds) {
+  size_t total = 0;
+  for (int r = 0; r < rounds; ++r)
+    total += s.CanonicalSuperedges().size();  // expect-lint: hot-snapshot
+  return total;
+}
+
+// while and do-while bodies: flagged.
+size_t PerIterationWhile(const Summary& s, size_t stop) {
+  size_t total = 0;
+  while (total < stop) {
+    total += s.CanonicalSuperedges().size();  // expect-lint: hot-snapshot
+  }
+  do {
+    total += s.CanonicalSuperedges().size();  // expect-lint: hot-snapshot
+  } while (total < stop);
+  return total;
+}
+
+// A nested loop flags the call once (it sits in both bodies' spans).
+size_t Nested(const Summary& s, int rounds) {
+  size_t total = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int k = 0; k < r; ++k) {
+      total += s.CanonicalSuperedges(k).size();  // expect-lint: hot-snapshot
+    }
+  }
+  return total;
+}
+
+// A range-for header evaluates its range expression once — clean.
+size_t HeaderOnce(const Summary& s) {
+  size_t total = 0;
+  for (const auto& edge : s.CanonicalSuperedges()) {
+    total += static_cast<size_t>(edge.first);
+  }
+  return total;
+}
+
+// Reasoned suppression: clean.
+size_t SuppressedRebuild(const Summary& s, int rounds) {
+  size_t total = 0;
+  for (int r = 0; r < rounds; ++r) {
+    // lint: hot-snapshot-ok(fixture: demonstrates a reasoned suppression)
+    total += s.CanonicalSuperedges(r).size();
+  }
+  return total;
+}
+
+// Bare suppression: the marker itself is a violation, and it silences
+// nothing.
+size_t BareSuppression(const Summary& s, int rounds) {
+  size_t total = 0;
+  for (int r = 0; r < rounds; ++r) {
+    // lint: hot-snapshot-ok()  -- expect-lint: hot-snapshot
+    total += s.CanonicalSuperedges().size();  // expect-lint: hot-snapshot
+  }
+  return total;
+}
+
+}  // namespace fixture

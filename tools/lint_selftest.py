@@ -68,7 +68,8 @@ def collect_expectations(fixtures):
 def check_static_fixtures(repo, fixtures, failures):
     rc, reported = lint_json(
         repo, ["--root", fixtures,
-               "--rules", "hash-order,nondet,status-discard,reassoc",
+               "--rules", "hash-order,nondet,status-discard,reassoc,"
+                          "hot-snapshot",
                fixtures])
     got = {(v["file"], v["line"], v["rule"]) for v in reported}
     expected = collect_expectations(fixtures)

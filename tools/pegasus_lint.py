@@ -32,6 +32,13 @@ Rules
                   reduction` / fast-math pragmas in src/. Reassociated
                   summation changes golden bytes per-architecture.
                   Suppress with // lint: reassoc-ok(<reason>).
+  hot-snapshot    No snapshot-building calls (CanonicalSuperedges()) in a
+                  loop body: each call materializes and sorts the full
+                  superedge list, so calling it per iteration turns an
+                  O(E log E) prologue into an O(iters * E log E) hot
+                  loop. Hoist the snapshot before the loop, or suppress
+                  with // lint: hot-snapshot-ok(<why the loop is cold or
+                  the receiver changes per iteration>).
   versioning      The PSB1 section-id table (src/core/psb_format.h) and
                   the wire frame-kind table (src/serve/wire.h) are
                   fingerprinted into tools/format_versions.lock. Editing
@@ -67,14 +74,19 @@ import re
 import sys
 
 ALL_RULES = ("hash-order", "nondet", "status-discard", "reassoc",
-             "versioning")
+             "hot-snapshot", "versioning")
 
 SUPPRESS_MARKERS = {
     "hash-order": "hash-order-ok",
     "nondet": "nondet-ok",
     "status-discard": "status-ignored-ok",
     "reassoc": "reassoc-ok",
+    "hot-snapshot": "hot-snapshot-ok",
 }
+
+# hot-snapshot registry: calls that materialize + sort a full snapshot on
+# every invocation. Extend here (with a comment) when a new one appears.
+HOT_SNAPSHOT_CALLS = ("CanonicalSuperedges",)
 
 # Paths (relative to --root, '/'-separated) where raw clocks/randomness are
 # the implementation of the sanctioned abstraction rather than a leak
@@ -717,6 +729,70 @@ def check_reassoc(src, suppressions, violations, is_cmake):
 
 
 # --------------------------------------------------------------------------
+# Rule: hot-snapshot
+
+def _brace_end(code, open_offset):
+    depth = 0
+    for i in range(open_offset, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code)
+
+
+def _loop_body_spans(code):
+    """Offset ranges of every loop body: the braced block (or single
+    statement) after for/while headers, and do-while blocks. Nested loops
+    simply contribute nested spans."""
+    spans = []
+    for m in re.finditer(r"\b(?:for|while)\s*\(", code):
+        header_end = _paren_end(code, code.index("(", m.start()))
+        if header_end is None:
+            continue
+        i = header_end + 1
+        while i < len(code) and code[i] in " \t\n":
+            i += 1
+        if i >= len(code):
+            continue
+        if code[i] == "{":
+            spans.append((i, _brace_end(code, i)))
+        elif code[i] != ";":  # single-statement body; ';' is do-while's tail
+            j = code.find(";", i)
+            spans.append((i, len(code) if j == -1 else j))
+    for m in re.finditer(r"\bdo\s*\{", code):
+        open_brace = code.index("{", m.start())
+        spans.append((open_brace, _brace_end(code, open_brace)))
+    return spans
+
+
+def check_hot_snapshot(src, suppressions, violations):
+    marker = SUPPRESS_MARKERS["hot-snapshot"]
+    code = src.code
+    call_re = re.compile(
+        r"\b(%s)\s*\(" % "|".join(re.escape(n) for n in HOT_SNAPSHOT_CALLS))
+    calls = list(call_re.finditer(code))
+    if not calls:
+        return
+    spans = _loop_body_spans(code)
+    for m in calls:
+        if not any(b <= m.start() < e for b, e in spans):
+            continue
+        line = src.line_of(m.start())
+        if suppressions.covers(line, marker):
+            continue
+        violations.append(Violation(
+            src.relpath, line, "hot-snapshot",
+            "'%s()' inside a loop body materializes and sorts the full "
+            "superedge snapshot every iteration — hoist the snapshot out "
+            "of the loop, or suppress with // lint: hot-snapshot-ok(<why "
+            "the loop is cold or the receiver changes per iteration>)"
+            % m.group(1)))
+
+
+# --------------------------------------------------------------------------
 # Rule: versioning
 
 def _enum_fingerprint(text, enum_name):
@@ -922,6 +998,8 @@ def run(root, rules, paths, fmt):
             check_status_discard(src, status_registry, sup, violations)
         if "reassoc" in rules:
             check_reassoc(src, sup, violations, is_cmake=False)
+        if "hot-snapshot" in rules:
+            check_hot_snapshot(src, sup, violations)
     if "reassoc" in rules:
         for p in cmake_paths:
             with open(p, encoding="utf-8", errors="replace") as f:
